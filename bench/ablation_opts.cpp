@@ -1,0 +1,57 @@
+// Ablation (ours, not in the paper): isolates the contribution of each
+// optimization — Kernel Interleaving (with asynchronous reordering) and
+// Kernel Coalescing — on representative apps from the suite.
+
+#include <iostream>
+
+#include "core/scenario.hpp"
+#include "util/table.hpp"
+#include "workloads/suite.hpp"
+
+namespace sigvp {
+namespace {
+
+constexpr std::size_t kNumVps = 8;
+
+ScenarioResult run(const workloads::Workload& w, bool interleave, bool coalesce,
+                   bool async) {
+  ScenarioConfig cfg;
+  cfg.backend = Backend::kSigmaVp;
+  cfg.mode = ExecMode::kAnalytic;
+  cfg.dispatch.interleave = interleave;
+  cfg.dispatch.coalesce = coalesce;
+  cfg.dispatch.coalesce_eager_peers = kNumVps - 1;
+  cfg.async_launches = async;
+  return run_scenario(cfg, replicate(w, w.default_n, kNumVps));
+}
+
+}  // namespace
+}  // namespace sigvp
+
+int main() {
+  using namespace sigvp;
+  std::cout << "== Ablation: per-optimization contribution (8 VPs, makespan in ms) ==\n\n";
+
+  TablePrinter t({"Application", "None", "+Interleave", "+Coalesce", "+Both+Async",
+                  "Total gain", "Coalesced groups"});
+  const auto suite = workloads::make_suite();
+  for (const char* app : {"vectorAdd", "BlackScholes", "mergeSort", "matrixMul",
+                          "convolutionSeparable", "segmentationTreeThrust"}) {
+    const workloads::Workload& w = workloads::find(suite, app);
+    const auto none = run(w, false, false, false);
+    const auto inter = run(w, true, false, false);
+    const auto coal = run(w, false, true, false);
+    const auto both = run(w, true, true, true);
+    t.add_row({app, fmt_fixed(ms_from_us(none.makespan_us), 1),
+               fmt_fixed(ms_from_us(inter.makespan_us), 1),
+               fmt_fixed(ms_from_us(coal.makespan_us), 1),
+               fmt_fixed(ms_from_us(both.makespan_us), 1),
+               fmt_ratio(none.makespan_us / both.makespan_us),
+               fmt_int(static_cast<long long>(both.coalesced_groups))});
+  }
+  t.print(std::cout);
+  std::cout << "\n(Apps the paper lists as not helped — convolutionSeparable among\n"
+            << " them — show gains near 1.0x; kernel-cascade apps like mergeSort\n"
+            << " gain the most, matching the paper's best case.)\n";
+  return 0;
+}

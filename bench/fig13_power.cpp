@@ -1,0 +1,79 @@
+// Reproduces Fig. 13 of the paper: normalized power dissipation on the
+// target GPU (Tegra K1) — observed on the target-device model vs the
+// estimate P{K,T} of Eq. 6 — for profiles gathered on both host GPUs.
+// The paper reports estimates within ~10% of the measured values.
+
+#include <iostream>
+#include <vector>
+
+#include "estimate/estimator.hpp"
+#include "gpu/offline.hpp"
+#include "mem/allocator.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workloads/suite.hpp"
+
+namespace sigvp {
+namespace {
+
+LaunchEvaluation run_on(const workloads::Workload& w, std::uint64_t n, const GpuArch& arch) {
+  AddressSpace mem(512ull * 1024 * 1024, "m");
+  FreeListAllocator alloc(4096, mem.size() - 4096);
+  std::vector<std::uint64_t> addrs;
+  const auto bufs = w.buffers(n);
+  for (const auto& b : bufs) addrs.push_back(*alloc.allocate(b.bytes));
+  for (std::size_t i = 0; i < bufs.size(); ++i) {
+    if (!bufs[i].is_input) continue;
+    for (std::uint64_t off = 0; off + 4 <= bufs[i].bytes; off += 4) {
+      mem.write<float>(addrs[i] + off, 0.75f);
+    }
+  }
+  return evaluate_functional(arch, w.kernel, w.dims(n), w.args(addrs, n), mem);
+}
+
+}  // namespace
+}  // namespace sigvp
+
+int main() {
+  using namespace sigvp;
+  const auto suite = workloads::make_suite();
+  const GpuArch target = make_tegrak1();
+  const char* apps[] = {"BlackScholes", "matrixMul", "dct8x8", "Mandelbrot"};
+
+  for (const GpuArch& host : {make_quadro4000(), make_gridk520()}) {
+    std::cout << "== Fig. 13: normalized power on Tegra K1, profile host = " << host.name
+              << " ==\n   (observed target power = 1.0)\n\n";
+    TablePrinter t({"Kernel", "Observed (W)", "Estimate P (W)", "P / observed"});
+    std::vector<double> obs, est_p;
+    for (const char* app : apps) {
+      const workloads::Workload& w = workloads::find(suite, app);
+      const std::uint64_t n = w.estimate_n ? w.estimate_n : w.test_n;
+
+      const LaunchEvaluation on_host = run_on(w, n, host);
+      const LaunchEvaluation on_target = run_on(w, n, target);
+
+      ProfileBasedEstimator est(host, target);
+      EstimationInput in;
+      in.kernel = &w.kernel;
+      in.dims = w.dims(n);
+      in.lambda = on_host.profile.block_visits;
+      in.host_stats = on_host.stats;
+      in.behavior = w.behavior(n);
+      const TimingEstimates ts = est.estimate_time(in);
+      const double p_est = est.estimate_power_w(in, ts);
+
+      const double kernel_us = on_target.stats.duration_us - target.launch_overhead_us;
+      const double p_obs =
+          target.static_power_w + on_target.stats.dynamic_energy_j / s_from_us(kernel_us);
+
+      obs.push_back(p_obs);
+      est_p.push_back(p_est);
+      t.add_row({app, fmt_fixed(p_obs, 3), fmt_fixed(p_est, 3),
+                 fmt_fixed(p_est / p_obs, 3)});
+    }
+    t.print(std::cout);
+    std::cout << "Mean abs error: " << fmt_fixed(100.0 * mean_abs_pct_error(obs, est_p), 1)
+              << "% (paper: ~10%)\n\n";
+  }
+  return 0;
+}

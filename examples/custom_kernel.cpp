@@ -1,0 +1,120 @@
+// Custom kernel: write your own GPU kernel against the IR builder (the
+// "CUDA source" of this framework), validate it functionally on the device
+// model, inspect its disassembly and profile, and see Kernel Coalescing run
+// it for three virtual platforms in one merged launch.
+
+#include <cstdio>
+#include <sstream>
+
+#include "ir/builder.hpp"
+#include "ir/disasm.hpp"
+#include "sched/dispatcher.hpp"
+#include "util/table.hpp"
+
+using namespace sigvp;
+
+// saxpy: y[i] = alpha * x[i] + y[i], guarded for partial final blocks.
+static KernelIR make_saxpy() {
+  KernelBuilder b("saxpy", 4);
+  const auto px = b.reg(), py = b.reg(), alpha = b.reg(), n = b.reg();
+  b.block("entry");
+  b.ld_param(px, 0);
+  b.ld_param(py, 1);
+  b.ld_param(alpha, 2);
+  b.ld_param(n, 3);
+
+  const auto ctaid = b.reg(), ntid = b.reg(), tid = b.reg(), gid = b.reg(), cond = b.reg();
+  b.special(ctaid, SpecialReg::kCtaidX);
+  b.special(ntid, SpecialReg::kNtidX);
+  b.special(tid, SpecialReg::kTidX);
+  b.mul_i(gid, ctaid, ntid);
+  b.add_i(gid, gid, tid);
+  b.set_lt_i(cond, gid, n);
+  b.bra_z(cond, "exit");
+
+  b.block("body");
+  const auto xaddr = b.reg(), yaddr = b.reg(), x = b.reg(), y = b.reg();
+  b.addr_of(xaddr, px, gid, 2);
+  b.addr_of(yaddr, py, gid, 2);
+  b.ld_global_f32(x, xaddr);
+  b.ld_global_f32(y, yaddr);
+  b.fma_f32(y, alpha, x, y);
+  b.st_global_f32(y, yaddr);
+  b.ret();
+
+  b.block("exit");
+  b.ret();
+  return b.build();
+}
+
+int main() {
+  const KernelIR saxpy = make_saxpy();
+  std::printf("=== disassembly ===\n%s\n", disassemble(saxpy).c_str());
+
+  // Run it for three VPs through the re-scheduler with Kernel Coalescing:
+  // three requests, one merged launch, per-VP results scattered back.
+  EventQueue q;
+  GpuDevice gpu(q, make_quadro4000(), 256ull << 20, "gpu");
+  DispatchConfig cfg;
+  cfg.interleave = true;
+  cfg.coalesce = true;
+  cfg.coalesce_window_us = 5.0;
+  cfg.coalesce_eager_peers = 2;
+  cfg.dispatch_overhead_us = 0.0;  // keep the demo timeline readable
+  Dispatcher disp(q, gpu, cfg);
+
+  const std::uint64_t n = 1000;
+  struct Vp {
+    std::uint64_t x, y;
+    float alpha;
+  };
+  std::vector<Vp> vps;
+  for (std::uint32_t v = 0; v < 3; ++v) {
+    Vp vp{gpu.malloc(4 * n), gpu.malloc(4 * n), 2.0f};
+    for (std::uint64_t i = 0; i < n; ++i) {
+      gpu.memory().write<float>(vp.x + 4 * i, static_cast<float>(i));
+      gpu.memory().write<float>(vp.y + 4 * i, static_cast<float>(v));
+    }
+    vps.push_back(vp);
+    disp.register_vp();
+  }
+
+  // NOTE: coalescing requires a uniform scalar argument (alpha) across the
+  // group — that is part of the Kernel Match key in a real deployment; here
+  // all VPs use alpha = 2.
+  for (std::uint32_t v = 0; v < 3; ++v) {
+    Job j;
+    j.vp_id = v;
+    j.seq_in_vp = 0;
+    j.kind = JobKind::kKernel;
+    j.launch.request.kernel = &saxpy;
+    j.launch.request.dims = LaunchDims{(static_cast<std::uint32_t>(n) + 255) / 256, 1, 256, 1};
+    j.launch.request.mode = ExecMode::kFunctional;
+    j.launch.request.args.push_ptr(vps[v].x);
+    j.launch.request.args.push_ptr(vps[v].y);
+    j.launch.request.args.push_f32(vps[v].alpha);
+    j.launch.request.args.push_i64(static_cast<std::int64_t>(n));
+    j.launch.coalesce.eligible = true;
+    j.launch.coalesce.key = "saxpy.f32.alpha2";
+    j.launch.coalesce.elems = n;
+    j.launch.coalesce.buffers = {{0, 4, false}, {1, 4, true}};
+    j.launch.coalesce.size_arg_index = 3;
+    j.launch.coalesce.block_x = 256;
+    disp.submit(std::move(j));
+  }
+  q.run();
+
+  bool ok = true;
+  for (std::uint32_t v = 0; v < 3; ++v) {
+    for (std::uint64_t i = 0; i < n; i += 111) {
+      const float expect = 2.0f * static_cast<float>(i) + static_cast<float>(v);
+      if (gpu.memory().read<float>(vps[v].y + 4 * i) != expect) ok = false;
+    }
+  }
+  std::printf("3 VPs coalesced into %llu merged launch(es); results %s\n",
+              static_cast<unsigned long long>(disp.coalesced_groups()),
+              ok ? "correct for every VP" : "WRONG");
+  std::printf("simulated time: %.1f us; kernels actually launched on the GPU: %llu\n",
+              q.now(), static_cast<unsigned long long>(gpu.kernels_launched()));
+  return ok ? 0 : 1;
+}

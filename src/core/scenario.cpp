@@ -1,0 +1,135 @@
+#include "core/scenario.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/app_run.hpp"
+#include "ipc/ipc_manager.hpp"
+#include "util/check.hpp"
+#include "vp/emulation_driver.hpp"
+#include "vp/native_driver.hpp"
+#include "vp/sigmavp_driver.hpp"
+
+namespace sigvp {
+
+std::string backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kNativeGpu: return "native-gpu";
+    case Backend::kEmulationHostCpu: return "emulation-host-cpu";
+    case Backend::kEmulationOnVp: return "emulation-on-vp";
+    case Backend::kSigmaVp: return "sigma-vp";
+  }
+  return "?";
+}
+
+std::vector<AppInstance> replicate(const workloads::Workload& workload, std::uint64_t n,
+                                   std::size_t count) {
+  std::vector<AppInstance> apps(count);
+  for (auto& a : apps) {
+    a.workload = &workload;
+    a.n = n;
+  }
+  return apps;
+}
+
+ScenarioResult run_scenario(const ScenarioConfig& config, const std::vector<AppInstance>& apps) {
+  SIGVP_REQUIRE(!apps.empty(), "scenario needs at least one application");
+  for (const AppInstance& a : apps) {
+    SIGVP_REQUIRE(a.workload != nullptr && a.n > 0, "malformed app instance");
+  }
+
+  EventQueue queue;
+  const Calibration& calib = config.calib;
+
+  // Host-side infrastructure (only built when the backend needs it).
+  std::unique_ptr<GpuDevice> device;
+  std::unique_ptr<IpcManager> ipc;
+  std::unique_ptr<Dispatcher> dispatcher;
+  const bool needs_gpu =
+      config.backend == Backend::kNativeGpu || config.backend == Backend::kSigmaVp;
+  if (needs_gpu) {
+    device = std::make_unique<GpuDevice>(queue, config.gpu, config.gpu_mem_bytes, "hostGPU");
+  }
+  if (config.backend == Backend::kSigmaVp) {
+    ipc = std::make_unique<IpcManager>(queue, calib.ipc);
+    dispatcher = std::make_unique<Dispatcher>(queue, *device, config.dispatch);
+    ipc->set_sink([&d = *dispatcher](Job job) { d.submit(std::move(job)); });
+  }
+
+  // Per-app CPU contexts and drivers. On the paper's 32-core host each VP
+  // gets its own core, so CPU contexts run concurrently in simulated time.
+  std::vector<std::unique_ptr<Processor>> cpus;
+  std::vector<std::unique_ptr<cuda::DeviceDriver>> drivers;
+  const bool functional = config.mode == ExecMode::kFunctional;
+
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const std::string tag = "app" + std::to_string(i);
+    switch (config.backend) {
+      case Backend::kNativeGpu: {
+        cpus.push_back(std::make_unique<Processor>(queue, tag + ".hostcpu",
+                                                   calib.host_cpu.effective_ips));
+        drivers.push_back(std::make_unique<NativeDriver>(queue, *device, calib.host_cpu));
+        break;
+      }
+      case Backend::kEmulationHostCpu: {
+        EmulationConfig ec = calib.emulation_on_host(functional);
+        ec.cpu_ips /= calib.emulation_contention(apps.size());
+        cpus.push_back(std::make_unique<Processor>(queue, tag + ".hostcpu", ec.cpu_ips));
+        drivers.push_back(std::make_unique<EmulationDriver>(*cpus.back(), ec));
+        break;
+      }
+      case Backend::kEmulationOnVp: {
+        EmulationConfig ec = calib.emulation_on_vp(functional);
+        ec.cpu_ips /= calib.emulation_contention(apps.size());
+        cpus.push_back(std::make_unique<Processor>(queue, tag + ".guest", ec.cpu_ips));
+        drivers.push_back(std::make_unique<EmulationDriver>(*cpus.back(), ec));
+        break;
+      }
+      case Backend::kSigmaVp: {
+        cpus.push_back(std::make_unique<Processor>(queue, tag + ".guest",
+                                                   calib.vp.guest_ips(calib.host_cpu)));
+        const std::uint32_t ipc_id = ipc->register_vp(tag);
+        dispatcher->register_vp();
+        drivers.push_back(
+            std::make_unique<SigmaVpDriver>(*cpus.back(), *ipc, *device, ipc_id, calib.vp));
+        break;
+      }
+    }
+  }
+
+  // Launch every application and run the timeline to completion.
+  std::vector<std::shared_ptr<AppRun>> runs;
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const workloads::AppTraits* traits =
+        apps[i].traits.has_value() ? &*apps[i].traits : nullptr;
+    runs.push_back(std::make_shared<AppRun>(queue, *drivers[i], *cpus[i], *apps[i].workload,
+                                            apps[i].n, config.mode, traits,
+                                            config.async_launches));
+  }
+  for (auto& run : runs) {
+    run->start({});
+  }
+  queue.run();
+
+  ScenarioResult result;
+  for (const auto& run : runs) {
+    SIGVP_ASSERT(run->finished(), "event queue drained but an app never finished");
+    result.app_done_us.push_back(run->finished_at());
+    result.makespan_us = std::max(result.makespan_us, run->finished_at());
+  }
+  if (dispatcher) {
+    result.jobs_dispatched = dispatcher->jobs_dispatched();
+    result.reorders = dispatcher->reorders();
+    result.coalesced_groups = dispatcher->coalesced_groups();
+    result.coalesced_jobs = dispatcher->coalesced_jobs();
+  }
+  if (ipc) result.ipc_messages = ipc->messages_sent();
+  if (device) {
+    result.gpu_dynamic_energy_j = device->dynamic_energy_j();
+    result.gpu_compute_busy_us = device->compute_busy_us();
+    result.gpu_copy_busy_us = device->copy_busy_us();
+  }
+  return result;
+}
+
+}  // namespace sigvp

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "gpu/arch.hpp"
+#include "gpu/device.hpp"
+#include "sched/dispatcher.hpp"
+#include "workloads/workload.hpp"
+
+namespace sigvp {
+
+/// Which execution backend serves the applications' GPU calls.
+enum class Backend {
+  /// The application runs natively on the host CPU and uses the host GPU
+  /// through the vendor driver (paper Table 1 baseline).
+  kNativeGpu,
+  /// Software GPU emulation on the native host CPU (Fig. 1(a) without a VP).
+  kEmulationHostCpu,
+  /// Software GPU emulation inside a VP under binary translation —
+  /// the paper's Fig. 1(a) and the blue bars of Fig. 11.
+  kEmulationOnVp,
+  /// ΣVP: guest stack → IPC → Job Queue → Re-scheduler → host GPU
+  /// (Fig. 1(b)/Fig. 2); DispatchConfig picks plain multiplexing or the
+  /// optimized variant with Kernel Interleaving / Kernel Coalescing.
+  kSigmaVp,
+};
+
+std::string backend_name(Backend backend);
+
+/// One application instance in a scenario.
+struct AppInstance {
+  const workloads::Workload* workload = nullptr;
+  std::uint64_t n = 0;
+  /// Replaces the workload's default traits (iterations, copies, ...).
+  std::optional<workloads::AppTraits> traits;
+};
+
+struct ScenarioConfig {
+  Backend backend = Backend::kSigmaVp;
+  DispatchConfig dispatch;   // ΣVP only
+  Calibration calib;
+  GpuArch gpu = make_quadro4000();
+  std::uint64_t gpu_mem_bytes = 2ull * 1024 * 1024 * 1024;
+  ExecMode mode = ExecMode::kAnalytic;
+
+  /// Submit each iteration's kernel cascade asynchronously (stream-style)
+  /// instead of call-by-call. This is the invocation mode the Re-scheduler's
+  /// asynchronous reordering (paper Fig. 4(a)) operates on; the optimized
+  /// ΣVP scenario of Fig. 11 enables it together with interleave/coalesce.
+  bool async_launches = false;
+};
+
+struct ScenarioResult {
+  /// Completion time of the last application (the number the paper's
+  /// Fig. 11 reports per app: "time for completing all the executions").
+  SimTime makespan_us = 0.0;
+  std::vector<SimTime> app_done_us;
+
+  // ΣVP-path statistics.
+  std::uint64_t jobs_dispatched = 0;
+  std::uint64_t reorders = 0;
+  std::uint64_t coalesced_groups = 0;
+  std::uint64_t coalesced_jobs = 0;
+  std::uint64_t ipc_messages = 0;
+  double gpu_dynamic_energy_j = 0.0;
+  SimTime gpu_compute_busy_us = 0.0;
+  SimTime gpu_copy_busy_us = 0.0;
+};
+
+/// Builds the full system for `config`, runs every app instance to
+/// completion on the discrete-event timeline, and reports the schedule.
+ScenarioResult run_scenario(const ScenarioConfig& config, const std::vector<AppInstance>& apps);
+
+/// Convenience: `count` identical instances of one workload at size n.
+std::vector<AppInstance> replicate(const workloads::Workload& workload, std::uint64_t n,
+                                   std::size_t count);
+
+}  // namespace sigvp

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "cuda/launch_spec.hpp"
+#include "sim/time.hpp"
+
+namespace sigvp::cuda {
+
+/// Completion callback carrying the simulated completion time; kernel
+/// completions additionally carry the execution stats the profiler exposes.
+using DoneCallback = std::function<void(SimTime end)>;
+using KernelDoneCallback = std::function<void(SimTime end, const KernelExecStats& stats)>;
+
+/// The interface the GPU User Library programs against — the boundary that
+/// gives ΣVP binary compatibility in the paper: the same application code
+/// runs whether the backend is the software GPU emulator on the virtual
+/// platform, the ΣVP multiplexing stack, or the native host GPU.
+///
+/// All operations are asynchronous in simulated time: they return after
+/// scheduling and invoke the callback at the op's simulated completion.
+/// malloc/free return immediately (allocation is host-side bookkeeping);
+/// their latency is folded into the per-call driver overhead of the backend.
+class DeviceDriver {
+ public:
+  virtual ~DeviceDriver() = default;
+
+  virtual std::uint64_t malloc(std::uint64_t bytes) = 0;
+  virtual void free(std::uint64_t addr) = 0;
+
+  /// `src`/`dst` may be nullptr for timing-only transfers (analytic mode).
+  virtual void memcpy_h2d(std::uint64_t dst, const void* src, std::uint64_t bytes,
+                          DoneCallback cb) = 0;
+  virtual void memcpy_d2h(void* dst, std::uint64_t src, std::uint64_t bytes,
+                          DoneCallback cb) = 0;
+
+  virtual void launch(const LaunchSpec& spec, KernelDoneCallback cb) = 0;
+
+  /// Completes once every previously issued operation has completed.
+  virtual void synchronize(DoneCallback cb) = 0;
+};
+
+}  // namespace sigvp::cuda

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpu/device.hpp"
+
+namespace sigvp::cuda {
+
+/// Describes how a kernel launch can participate in Kernel Coalescing.
+///
+/// A launch is eligible when the kernel maps a linear element index onto its
+/// buffers through a base pointer and an element-count argument — the shape
+/// the paper coalesces (Fig. 5/6): concatenating the per-VP chunks and
+/// launching once over the summed element count is semantics-preserving.
+struct CoalesceInfo {
+  bool eligible = false;
+
+  /// Identity used by the Kernel Match submodule: launches coalesce only
+  /// when their keys are equal (kernel name + shape class).
+  std::string key;
+
+  /// Elements this launch processes.
+  std::uint64_t elems = 0;
+
+  /// Which kernel arguments are device-buffer pointers, and their layout.
+  struct BufferArg {
+    std::uint32_t arg_index = 0;
+    std::uint32_t bytes_per_elem = 0;
+    bool is_output = false;
+  };
+  std::vector<BufferArg> buffers;
+
+  /// Index of the i64 argument carrying the element count.
+  std::uint32_t size_arg_index = 0;
+
+  /// Threads per block the merged launch should keep.
+  std::uint32_t block_x = 256;
+};
+
+/// Everything the guest user library hands to the driver for one launch:
+/// the device-model launch request plus coalescing metadata.
+struct LaunchSpec {
+  LaunchRequest request;
+  CoalesceInfo coalesce;
+};
+
+}  // namespace sigvp::cuda

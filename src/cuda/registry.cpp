@@ -1,0 +1,35 @@
+#include "cuda/registry.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace sigvp::cuda {
+
+const KernelIR& KernelRegistry::add(KernelIR kernel) {
+  SIGVP_REQUIRE(!kernels_.contains(kernel.name), "duplicate kernel: " + kernel.name);
+  const std::string name = kernel.name;
+  auto owned = std::make_unique<KernelIR>(std::move(kernel));
+  const KernelIR& ref = *owned;
+  kernels_.emplace(name, std::move(owned));
+  return ref;
+}
+
+const KernelIR& KernelRegistry::get(const std::string& name) const {
+  auto it = kernels_.find(name);
+  SIGVP_REQUIRE(it != kernels_.end(), "unknown kernel: " + name);
+  return *it->second;
+}
+
+bool KernelRegistry::contains(const std::string& name) const {
+  return kernels_.contains(name);
+}
+
+std::vector<std::string> KernelRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(kernels_.size());
+  for (const auto& [name, _] : kernels_) out.push_back(name);
+  return out;
+}
+
+}  // namespace sigvp::cuda

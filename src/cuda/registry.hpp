@@ -1,0 +1,33 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace sigvp::cuda {
+
+/// Immutable store of compiled kernels, keyed by name — the stand-in for a
+/// loaded CUDA module/fatbinary. Kernels are registered once (typically by
+/// the workload suite) and referenced by pointer for the lifetime of the
+/// registry, so LaunchSpec can carry a stable `const KernelIR*`.
+class KernelRegistry {
+ public:
+  /// Registers a kernel; throws on duplicate names.
+  const KernelIR& add(KernelIR kernel);
+
+  /// Throws if the kernel is unknown.
+  const KernelIR& get(const std::string& name) const;
+
+  bool contains(const std::string& name) const;
+  std::vector<std::string> names() const;
+  std::size_t size() const { return kernels_.size(); }
+
+ private:
+  // unique_ptr keeps KernelIR addresses stable across rehash/moves.
+  std::map<std::string, std::unique_ptr<KernelIR>> kernels_;
+};
+
+}  // namespace sigvp::cuda

@@ -1,0 +1,44 @@
+#include "cuda/runtime.hpp"
+
+#include "util/check.hpp"
+
+namespace sigvp::cuda {
+
+void Runtime::run_until_done(const bool& done_flag) {
+  while (!done_flag) {
+    SIGVP_REQUIRE(queue_.step(),
+                  "event queue drained before the blocking operation completed "
+                  "(a backend failed to schedule a completion)");
+  }
+}
+
+void Runtime::memcpy_h2d(std::uint64_t dst, const void* src, std::uint64_t bytes) {
+  bool done = false;
+  driver_.memcpy_h2d(dst, src, bytes, [&done](SimTime) { done = true; });
+  run_until_done(done);
+}
+
+void Runtime::memcpy_d2h(void* dst, std::uint64_t src, std::uint64_t bytes) {
+  bool done = false;
+  driver_.memcpy_d2h(dst, src, bytes, [&done](SimTime) { done = true; });
+  run_until_done(done);
+}
+
+KernelExecStats Runtime::launch(const LaunchSpec& spec) {
+  bool done = false;
+  KernelExecStats out;
+  driver_.launch(spec, [&done, &out](SimTime, const KernelExecStats& stats) {
+    out = stats;
+    done = true;
+  });
+  run_until_done(done);
+  return out;
+}
+
+void Runtime::synchronize() {
+  bool done = false;
+  driver_.synchronize([&done](SimTime) { done = true; });
+  run_until_done(done);
+}
+
+}  // namespace sigvp::cuda

@@ -1,0 +1,98 @@
+#include "estimate/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "sim/time.hpp"
+#include "util/check.hpp"
+
+namespace sigvp {
+
+ProfileBasedEstimator::ProfileBasedEstimator(GpuArch host, GpuArch target)
+    : host_(std::move(host)), target_(std::move(target)) {}
+
+ClassCounts ProfileBasedEstimator::compile_sigma(const KernelIR& kernel,
+                                                 const std::vector<std::uint64_t>& lambda,
+                                                 const GpuArch& arch) {
+  SIGVP_REQUIRE(lambda.size() == kernel.blocks.size(),
+                "λ vector does not match the kernel's block count");
+  ClassCounts sigma;
+  for (std::size_t b = 0; b < kernel.blocks.size(); ++b) {
+    if (lambda[b] == 0) continue;
+    const ClassCounts mu = kernel.blocks[b].static_counts();
+    for (InstrClass c : kAllInstrClasses) {
+      // Per-block rounding, like a compiler emitting whole instructions
+      // (paper Fig. 8: µ grows 32 → 43 when recompiled for the target).
+      const std::uint64_t mu_arch = static_cast<std::uint64_t>(
+          std::llround(static_cast<double>(mu[c]) * arch.compile_expansion[c]));
+      sigma[c] += lambda[b] * mu_arch;
+    }
+  }
+  return sigma;
+}
+
+double ProfileBasedEstimator::upsilon_data(const GpuArch& arch, const LaunchDims& dims,
+                                           const MemoryBehavior& behavior) {
+  const ProbCacheModel prob(arch.l2);
+  return KernelCostModel::exposed_data_stalls(arch, dims, prob.expected_misses(behavior));
+}
+
+TimingEstimates ProfileBasedEstimator::estimate_time(const EstimationInput& input) const {
+  SIGVP_REQUIRE(input.kernel != nullptr, "estimation input without a kernel");
+  SIGVP_REQUIRE(input.host_stats.total_cycles > 0.0,
+                "estimation input without a measured host execution");
+
+  TimingEstimates out;
+  out.sigma_target = compile_sigma(*input.kernel, input.lambda, target_);
+  const ClassCounts sigma_host = compile_sigma(*input.kernel, input.lambda, host_);
+
+  // --- Eq. 2: C = σ / (IPC_H × IPC_{H→T}) = σ / IPC_T ------------------------
+  out.c_cycles = static_cast<double>(out.sigma_target.total()) / target_.max_ipc();
+
+  // --- Eq. 3: C^P_{K,A} = Σ_i σ{Ki,A} × τ{i,A} -------------------------------
+  // C^P (Eq. 3): ideal cycles from the per-class mix and the architecture's
+  // per-class issue rates — computed with the same pipe-parallel issue
+  // formula the device model itself uses — plus the deterministic per-block
+  // dispatch cost (known from the launch geometry, not a stall).
+  auto cp = [&](const ClassCounts& sigma, const GpuArch& arch) {
+    double cycles = KernelCostModel::ideal_issue_cycles(arch, input.dims, sigma);
+    const std::uint64_t serial_blocks =
+        (input.dims.num_blocks() + arch.num_sms - 1) / arch.num_sms;
+    cycles += static_cast<double>(serial_blocks) * arch.block_overhead_cycles;
+    return cycles;
+  };
+  const double cp_target = cp(out.sigma_target, target_);
+  const double cp_host = cp(sigma_host, host_);
+
+  // --- Eq. 4: C' = C^P_{K,T} + C_{K,H} − C^P_{K,H} ---------------------------
+  const double c_host = input.host_stats.total_cycles;
+  out.c1_cycles = std::max(cp_target, cp_target + c_host - cp_host);
+
+  // --- Eq. 5: C'' = C' − Υ^data_{K,H} + Υ^data_{K,T} --------------------------
+  const double ups_host = upsilon_data(host_, input.dims, input.behavior);
+  const double ups_target = upsilon_data(target_, input.dims, input.behavior);
+  out.c2_cycles = std::max(cp_target, out.c1_cycles - ups_host + ups_target);
+
+  out.et_c_us = us_from_cycles(out.c_cycles, target_.clock_ghz);
+  out.et_c1_us = us_from_cycles(out.c1_cycles, target_.clock_ghz);
+  out.et_c2_us = us_from_cycles(out.c2_cycles, target_.clock_ghz);
+  return out;
+}
+
+double ProfileBasedEstimator::estimate_power_w(const EstimationInput& input,
+                                               const TimingEstimates& timing) const {
+  SIGVP_REQUIRE(timing.et_c2_us > 0.0, "power estimation needs a timing estimate");
+  (void)input;
+  // Eq. 6: P = P_static + Σ_i (σ_i / ET) × RP_i, with the per-instruction
+  // runtime-power component expressed as energy per instruction.
+  double dynamic_w = 0.0;
+  const double et_s = s_from_us(timing.et_c2_us);
+  for (InstrClass c : kAllInstrClasses) {
+    dynamic_w +=
+        static_cast<double>(timing.sigma_target[c]) * target_.instr_energy_nj[c] * 1e-9 / et_s;
+  }
+  return target_.static_power_w + dynamic_w;
+}
+
+}  // namespace sigvp

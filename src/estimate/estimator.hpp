@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/arch.hpp"
+#include "gpu/cost_model.hpp"
+#include "gpu/prob_cache.hpp"
+#include "interp/launch.hpp"
+#include "ir/program.hpp"
+
+namespace sigvp {
+
+/// Everything the estimator consumes about one kernel execution on the host
+/// GPU (paper Fig. 7, steps 1–2): the kernel, its launch geometry, the
+/// instrumented per-block iteration counts λ, the host profiler's report,
+/// and the locality summary for the probabilistic cache model.
+struct EstimationInput {
+  const KernelIR* kernel = nullptr;
+  LaunchDims dims;
+  std::vector<std::uint64_t> lambda;  // per-block visits from instrumentation
+  KernelExecStats host_stats;         // measured on the host GPU
+  MemoryBehavior behavior;
+};
+
+/// The three increasingly refined cycle estimates of the paper's §4 and
+/// their derived execution times.
+struct TimingEstimates {
+  ClassCounts sigma_target;   // σ{K,T} from Eq. 1
+  double c_cycles = 0.0;      // Eq. 2: IPC-ratio model
+  double c1_cycles = 0.0;     // Eq. 4: per-class latency model (C')
+  double c2_cycles = 0.0;     // Eq. 5: + probabilistic cache correction (C'')
+  double et_c_us = 0.0;
+  double et_c1_us = 0.0;
+  double et_c2_us = 0.0;
+};
+
+/// Profile-Based Execution Analysis (paper §4): combine one profiled
+/// execution on the host GPU with per-ISA compilation information and
+/// analytic models to predict execution time and power on the target GPU,
+/// without ever executing there.
+class ProfileBasedEstimator {
+ public:
+  ProfileBasedEstimator(GpuArch host, GpuArch target);
+
+  /// Eq. 1: σ{K,A} = Σ_i Σ_b λ_b · µ{b_i,A}, with µ{b,A} the per-block
+  /// static counts of the kernel compiled for architecture A (per-block
+  /// rounding, like a real compiler's code expansion).
+  static ClassCounts compile_sigma(const KernelIR& kernel,
+                                   const std::vector<std::uint64_t>& lambda,
+                                   const GpuArch& arch);
+
+  /// Υ^[data]{K,A}: expected exposed data-dependency stall cycles on A,
+  /// from the probabilistic cache model (Eq. 5's correction terms).
+  static double upsilon_data(const GpuArch& arch, const LaunchDims& dims,
+                             const MemoryBehavior& behavior);
+
+  /// Eq. 2–5.
+  TimingEstimates estimate_time(const EstimationInput& input) const;
+
+  /// Eq. 6: P{K,T} from the C''-based execution time. Returns watts.
+  double estimate_power_w(const EstimationInput& input,
+                          const TimingEstimates& timing) const;
+
+  const GpuArch& host() const { return host_; }
+  const GpuArch& target() const { return target_; }
+
+ private:
+  GpuArch host_;
+  GpuArch target_;
+};
+
+}  // namespace sigvp

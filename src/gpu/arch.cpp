@@ -1,0 +1,157 @@
+#include "gpu/arch.hpp"
+
+#include <algorithm>
+
+namespace sigvp {
+
+std::uint32_t GpuArch::concurrent_blocks_per_sm(std::uint64_t threads_per_block) const {
+  if (threads_per_block == 0) return max_blocks_per_sm;
+  const std::uint64_t by_threads = max_threads_per_sm / threads_per_block;
+  const std::uint64_t limit = std::min<std::uint64_t>(by_threads, max_blocks_per_sm);
+  return static_cast<std::uint32_t>(std::max<std::uint64_t>(1, limit));
+}
+
+std::uint64_t GpuArch::concurrent_blocks(std::uint64_t threads_per_block) const {
+  return static_cast<std::uint64_t>(num_sms) * concurrent_blocks_per_sm(threads_per_block);
+}
+
+GpuArch make_quadro4000() {
+  GpuArch a;
+  a.name = "Quadro 4000";
+  a.num_sms = 8;
+  a.warp_width = 32;
+  a.max_threads_per_sm = 1536;
+  a.max_blocks_per_sm = 8;
+  a.clock_ghz = 0.95;
+
+  // GF100 SM: 32 CUDA cores (FP32/Int), half-rate FP64 (Quadro keeps the
+  // full 1/2 ratio), 16 LD/ST units, full-rate branch resolution.
+  a.lanes_per_sm[InstrClass::kFp32] = 32.0;
+  a.lanes_per_sm[InstrClass::kFp64] = 16.0;
+  a.lanes_per_sm[InstrClass::kInt] = 32.0;
+  a.lanes_per_sm[InstrClass::kBit] = 32.0;
+  a.lanes_per_sm[InstrClass::kBranch] = 32.0;
+  a.lanes_per_sm[InstrClass::kLoad] = 16.0;
+  a.lanes_per_sm[InstrClass::kStore] = 16.0;
+
+  a.block_overhead_cycles = 200.0;
+  a.other_stall_fraction = 0.08;
+  // Fermi sm_20 is the reference ISA for the generic IR.
+  a.compile_expansion = ClassValues::uniform(1.0);
+
+  a.l2 = CacheConfig{512 * 1024, 128, 8};
+  a.mem_latency_cycles = 400.0;
+  a.mem_bandwidth_gbps = 89.6;
+  a.copy_bandwidth_gbps = 6.0;   // PCIe 2.0 x16 effective
+  a.copy_latency_us = 15.0;
+  a.launch_overhead_us = 8.0;
+
+  // 142 W TDP: ~35 W static, the rest calibrated so full-rate FP32 issue
+  // dissipates close to the dynamic budget.
+  a.static_power_w = 35.0;
+  a.instr_energy_nj[InstrClass::kFp32] = 0.38;
+  a.instr_energy_nj[InstrClass::kFp64] = 0.95;
+  a.instr_energy_nj[InstrClass::kInt] = 0.22;
+  a.instr_energy_nj[InstrClass::kBit] = 0.18;
+  a.instr_energy_nj[InstrClass::kBranch] = 0.10;
+  a.instr_energy_nj[InstrClass::kLoad] = 0.55;
+  a.instr_energy_nj[InstrClass::kStore] = 0.55;
+  return a;
+}
+
+GpuArch make_gridk520() {
+  GpuArch a;
+  a.name = "Grid K520";
+  a.num_sms = 8;
+  a.warp_width = 32;
+  a.max_threads_per_sm = 2048;
+  a.max_blocks_per_sm = 16;
+  a.clock_ghz = 0.80;
+
+  // GK104 SMX: 192 CUDA cores, 1/24-rate FP64, 32 LD/ST units.
+  a.lanes_per_sm[InstrClass::kFp32] = 192.0;
+  a.lanes_per_sm[InstrClass::kFp64] = 8.0;
+  a.lanes_per_sm[InstrClass::kInt] = 160.0;
+  a.lanes_per_sm[InstrClass::kBit] = 160.0;
+  a.lanes_per_sm[InstrClass::kBranch] = 192.0;
+  a.lanes_per_sm[InstrClass::kLoad] = 32.0;
+  a.lanes_per_sm[InstrClass::kStore] = 32.0;
+
+  a.block_overhead_cycles = 150.0;
+  a.other_stall_fraction = 0.07;
+  // Kepler sm_30 code is slightly larger: extra scheduling hints and
+  // integer address expansion.
+  a.compile_expansion = ClassValues::uniform(1.0);
+  a.compile_expansion[InstrClass::kInt] = 1.06;
+  a.compile_expansion[InstrClass::kLoad] = 1.03;
+  a.compile_expansion[InstrClass::kStore] = 1.03;
+
+  a.l2 = CacheConfig{512 * 1024, 128, 8};
+  a.mem_latency_cycles = 300.0;
+  a.mem_bandwidth_gbps = 160.0;
+  a.copy_bandwidth_gbps = 6.0;
+  a.copy_latency_us = 15.0;
+  a.launch_overhead_us = 7.0;
+
+  // 225 W TDP for the dual-GPU board → ~110 W per GK104; ~40 W static.
+  a.static_power_w = 40.0;
+  a.instr_energy_nj[InstrClass::kFp32] = 0.18;
+  a.instr_energy_nj[InstrClass::kFp64] = 1.30;
+  a.instr_energy_nj[InstrClass::kInt] = 0.12;
+  a.instr_energy_nj[InstrClass::kBit] = 0.10;
+  a.instr_energy_nj[InstrClass::kBranch] = 0.06;
+  a.instr_energy_nj[InstrClass::kLoad] = 0.40;
+  a.instr_energy_nj[InstrClass::kStore] = 0.40;
+  return a;
+}
+
+GpuArch make_tegrak1() {
+  GpuArch a;
+  a.name = "Tegra K1";
+  a.num_sms = 1;
+  a.warp_width = 32;
+  a.max_threads_per_sm = 2048;
+  a.max_blocks_per_sm = 16;
+  a.clock_ghz = 0.85;
+
+  // GK20A: one Kepler SMX, 1/24-rate FP64, embedded memory system.
+  a.lanes_per_sm[InstrClass::kFp32] = 192.0;
+  a.lanes_per_sm[InstrClass::kFp64] = 8.0;
+  a.lanes_per_sm[InstrClass::kInt] = 160.0;
+  a.lanes_per_sm[InstrClass::kBit] = 160.0;
+  a.lanes_per_sm[InstrClass::kBranch] = 192.0;
+  a.lanes_per_sm[InstrClass::kLoad] = 32.0;
+  a.lanes_per_sm[InstrClass::kStore] = 32.0;
+
+  a.block_overhead_cycles = 150.0;
+  a.other_stall_fraction = 0.10;
+  // GK20A (sm_32): Kepler ISA plus embedded addressing sequences; FP64
+  // helper sequences inflate double-precision code (paper Fig. 8 shows the
+  // target block growing from 32 to 43 instructions).
+  a.compile_expansion = ClassValues::uniform(1.0);
+  a.compile_expansion[InstrClass::kInt] = 1.12;
+  a.compile_expansion[InstrClass::kFp64] = 1.18;
+  a.compile_expansion[InstrClass::kLoad] = 1.08;
+  a.compile_expansion[InstrClass::kStore] = 1.08;
+  a.compile_expansion[InstrClass::kBit] = 1.05;
+
+  a.l2 = CacheConfig{128 * 1024, 128, 8};
+  a.mem_latency_cycles = 250.0;
+  a.mem_bandwidth_gbps = 14.9;   // shared LPDDR3
+  a.copy_bandwidth_gbps = 12.0;  // on-SoC copies, no PCIe hop
+  a.copy_latency_us = 5.0;
+  a.launch_overhead_us = 12.0;   // slower ARM host driver path
+
+  // SoC GPU rail: ~0.6 W static, low-voltage dynamic energy.
+  a.static_power_w = 0.6;
+  a.instr_energy_nj[InstrClass::kFp32] = 0.030;
+  a.instr_energy_nj[InstrClass::kFp64] = 0.210;
+  a.instr_energy_nj[InstrClass::kInt] = 0.020;
+  a.instr_energy_nj[InstrClass::kBit] = 0.017;
+  a.instr_energy_nj[InstrClass::kBranch] = 0.010;
+  a.instr_energy_nj[InstrClass::kLoad] = 0.065;
+  a.instr_energy_nj[InstrClass::kStore] = 0.065;
+  return a;
+}
+
+}  // namespace sigvp

@@ -1,0 +1,54 @@
+#include "gpu/cache.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace sigvp {
+
+CacheModel::CacheModel(const CacheConfig& config) : config_(config) {
+  SIGVP_REQUIRE(config.line_bytes > 0 && (config.line_bytes & (config.line_bytes - 1)) == 0,
+                "cache line size must be a power of two");
+  SIGVP_REQUIRE(config.associativity > 0, "associativity must be positive");
+  SIGVP_REQUIRE(config.num_sets() > 0, "cache must have at least one set");
+  sets_.resize(config.num_sets());
+}
+
+bool CacheModel::touch_line(std::uint64_t line_addr) {
+  const std::uint64_t set_idx = line_addr % sets_.size();
+  auto& set = sets_[set_idx];
+  auto it = std::find(set.begin(), set.end(), line_addr);
+  if (it != set.end()) {
+    // Hit: move to MRU position.
+    set.erase(it);
+    set.insert(set.begin(), line_addr);
+    return true;
+  }
+  // Miss: insert at MRU, evict LRU if the set is full.
+  set.insert(set.begin(), line_addr);
+  if (set.size() > config_.associativity) set.pop_back();
+  return false;
+}
+
+std::uint32_t CacheModel::access(std::uint64_t addr, std::uint32_t bytes) {
+  SIGVP_REQUIRE(bytes > 0, "cache access must cover at least one byte");
+  const std::uint64_t first_line = addr / config_.line_bytes;
+  const std::uint64_t last_line = (addr + bytes - 1) / config_.line_bytes;
+  std::uint32_t misses = 0;
+  for (std::uint64_t line = first_line; line <= last_line; ++line) {
+    ++stats_.accesses;
+    if (touch_line(line)) {
+      ++stats_.hits;
+    } else {
+      ++stats_.misses;
+      ++misses;
+    }
+  }
+  return misses;
+}
+
+void CacheModel::flush() {
+  for (auto& set : sets_) set.clear();
+}
+
+}  // namespace sigvp

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/arch.hpp"
+
+namespace sigvp {
+
+/// Hit/miss counters of a cache simulation run.
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+
+  double miss_rate() const {
+    return accesses == 0 ? 0.0 : static_cast<double>(misses) / static_cast<double>(accesses);
+  }
+
+  CacheStats& operator+=(const CacheStats& o) {
+    accesses += o.accesses;
+    hits += o.hits;
+    misses += o.misses;
+    return *this;
+  }
+};
+
+/// Set-associative LRU cache simulator.
+///
+/// This is the "measured" data-cache behaviour of a device-model GPU: the
+/// interpreter's global-memory hook feeds every access here, and the cost
+/// model turns the resulting miss count into data-dependency stall cycles —
+/// the Υ^[data] term of the paper's Eq. 5, as observed rather than predicted.
+class CacheModel {
+ public:
+  explicit CacheModel(const CacheConfig& config);
+
+  /// Simulates one access of `bytes` starting at `addr` (accesses crossing a
+  /// line boundary touch every covered line). Returns the number of misses
+  /// this access caused.
+  std::uint32_t access(std::uint64_t addr, std::uint32_t bytes);
+
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+
+  /// Invalidates all lines (e.g. between independent kernel launches).
+  void flush();
+
+  const CacheConfig& config() const { return config_; }
+
+ private:
+  bool touch_line(std::uint64_t line_addr);
+
+  CacheConfig config_;
+  // Per set: line tags in LRU order (front = most recent). Empty slots are
+  // represented by absence; a set holds at most `associativity` tags.
+  std::vector<std::vector<std::uint64_t>> sets_;
+  CacheStats stats_;
+};
+
+}  // namespace sigvp

@@ -1,0 +1,109 @@
+#include "gpu/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace sigvp {
+
+namespace {
+
+double exposure_factor(const GpuArch& arch, std::uint64_t threads_per_block) {
+  // Resident warps hide miss latency by switching; with W warps in flight a
+  // miss's latency is exposed ~1/W of the time (round-robin hiding). The
+  // floor keeps a residual exposure for dependency chains even at full
+  // occupancy; throughput limits are enforced separately by the bandwidth
+  // bound in exposed_data_stalls().
+  const std::uint64_t warps_per_block = (threads_per_block + arch.warp_width - 1) / arch.warp_width;
+  const std::uint64_t resident_warps =
+      std::max<std::uint64_t>(1, warps_per_block * arch.concurrent_blocks_per_sm(threads_per_block));
+  return std::clamp(1.0 / static_cast<double>(resident_warps), 0.02, 1.0);
+}
+
+}  // namespace
+
+double KernelCostModel::ideal_issue_cycles(const GpuArch& arch, const LaunchDims& dims,
+                                           const ClassCounts& sigma) {
+  const double total_threads = static_cast<double>(dims.total_threads());
+  const std::uint64_t tpb = dims.threads_per_block();
+  const std::uint64_t warps_per_block = (tpb + arch.warp_width - 1) / arch.warp_width;
+  const std::uint64_t serial_blocks =
+      (dims.num_blocks() + arch.num_sms - 1) / arch.num_sms;
+
+  auto pipe_cycles = [&](std::initializer_list<InstrClass> classes) {
+    double cycles = 0.0;
+    for (InstrClass c : classes) {
+      const double per_thread = static_cast<double>(sigma[c]) / total_threads;
+      cycles += per_thread * static_cast<double>(warps_per_block) * arch.warp_cpi(c);
+    }
+    return cycles;
+  };
+  const double fp_pipe = pipe_cycles({InstrClass::kFp32, InstrClass::kFp64});
+  const double int_pipe =
+      pipe_cycles({InstrClass::kInt, InstrClass::kBit, InstrClass::kBranch});
+  const double mem_pipe = pipe_cycles({InstrClass::kLoad, InstrClass::kStore});
+
+  const double per_block = std::max({fp_pipe, int_pipe, mem_pipe});
+  return static_cast<double>(serial_blocks) * per_block;
+}
+
+double KernelCostModel::exposed_data_stalls(const GpuArch& arch, const LaunchDims& dims,
+                                            double misses) {
+  // Exposed miss latency, but never less than the raw DRAM bandwidth bound
+  // for the missed lines.
+  const std::uint64_t active_sms =
+      std::min<std::uint64_t>(arch.num_sms, std::max<std::uint64_t>(1, dims.num_blocks()));
+  const double exposure = exposure_factor(arch, dims.threads_per_block());
+  const double latency_stalls =
+      misses * arch.mem_latency_cycles * exposure / static_cast<double>(active_sms);
+  const double miss_bytes = misses * static_cast<double>(arch.l2.line_bytes);
+  const double bytes_per_cycle = arch.mem_bandwidth_gbps / arch.clock_ghz;
+  const double bandwidth_cycles = miss_bytes / bytes_per_cycle;
+  return std::max(latency_stalls, bandwidth_cycles);
+}
+
+double KernelCostModel::effective_tau(InstrClass c, const LaunchDims& dims) const {
+  const std::uint64_t active_sms =
+      std::min<std::uint64_t>(arch_.num_sms, std::max<std::uint64_t>(1, dims.num_blocks()));
+  // One warp instruction of class c covers warp_width thread-instructions and
+  // takes warp_cpi cycles on one SM; active SMs issue in parallel.
+  return arch_.warp_cpi(c) /
+         (static_cast<double>(arch_.warp_width) * static_cast<double>(active_sms));
+}
+
+KernelExecStats KernelCostModel::evaluate(const LaunchDims& dims, const ClassCounts& sigma,
+                                          const CacheStats& cache) const {
+  SIGVP_REQUIRE(dims.total_threads() > 0, "launch must have threads");
+  KernelExecStats s;
+  // The device executes its own compiled binary: scale the generic-IR
+  // instruction mix by the ISA's static code expansion.
+  s.sigma = sigma;
+  for (InstrClass c : kAllInstrClasses) {
+    s.sigma[c] = static_cast<std::uint64_t>(
+        static_cast<double>(sigma[c]) * arch_.compile_expansion[c] + 0.5);
+  }
+  s.cache = cache;
+  s.num_blocks = dims.num_blocks();
+  s.serial_blocks = (s.num_blocks + arch_.num_sms - 1) / arch_.num_sms;
+
+  s.issue_cycles = ideal_issue_cycles(arch_, dims, s.sigma);
+  s.block_overhead_cycles = static_cast<double>(s.serial_blocks) * arch_.block_overhead_cycles;
+
+  s.stall_cycles_data =
+      exposed_data_stalls(arch_, dims, static_cast<double>(cache.misses));
+
+  s.stall_cycles_other = arch_.other_stall_fraction * s.issue_cycles;
+
+  s.total_cycles =
+      s.issue_cycles + s.block_overhead_cycles + s.stall_cycles_data + s.stall_cycles_other;
+  s.duration_us = us_from_cycles(s.total_cycles, arch_.clock_ghz) + arch_.launch_overhead_us;
+
+  for (InstrClass c : kAllInstrClasses) {
+    s.dynamic_energy_j +=
+        static_cast<double>(s.sigma[c]) * arch_.instr_energy_nj[c] * 1e-9;
+  }
+  return s;
+}
+
+}  // namespace sigvp

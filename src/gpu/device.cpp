@@ -1,0 +1,163 @@
+#include "gpu/device.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace sigvp {
+
+namespace {
+// Device allocations start above the null page so address 0 stays invalid.
+constexpr std::uint64_t kHeapBase = 4096;
+}  // namespace
+
+GpuDevice::GpuDevice(EventQueue& queue, GpuArch arch, std::uint64_t mem_bytes, std::string name)
+    : queue_(queue),
+      arch_(std::move(arch)),
+      name_(std::move(name)),
+      memory_(mem_bytes, name_ + ".mem"),
+      allocator_(kHeapBase, mem_bytes - kHeapBase) {
+  SIGVP_REQUIRE(mem_bytes > kHeapBase, "device memory too small");
+  streams_.push_back(Stream{});  // stream 0: the default stream
+}
+
+std::uint64_t GpuDevice::malloc(std::uint64_t bytes, std::uint64_t align) {
+  auto addr = allocator_.allocate(bytes, align);
+  SIGVP_REQUIRE(addr.has_value(),
+                name_ + ": device memory exhausted allocating " + std::to_string(bytes) + " bytes");
+  return *addr;
+}
+
+void GpuDevice::free(std::uint64_t addr) { allocator_.free(addr); }
+
+GpuDevice::StreamId GpuDevice::create_stream() {
+  streams_.push_back(Stream{});
+  return static_cast<StreamId>(streams_.size() - 1);
+}
+
+SimTime GpuDevice::stream_idle_at(StreamId stream) const {
+  SIGVP_REQUIRE(stream < streams_.size(), "unknown stream");
+  return streams_[stream].tail;
+}
+
+SimTime GpuDevice::schedule_on(EngineState& engine, Stream& stream, SimTime duration) {
+  // Head-of-line blocking: the engine commits to this op now. It starts when
+  // the engine frees up AND the op's stream dependency has completed.
+  const SimTime start = std::max({queue_.now(), engine.free_at, stream.tail});
+  const SimTime end = start + duration;
+  engine.free_at = end;
+  stream.tail = end;
+  return end;
+}
+
+SimTime GpuDevice::copy_duration(std::uint64_t bytes) const {
+  const double gbps = arch_.copy_bandwidth_gbps;
+  // bytes / (GB/s) = nanoseconds per byte × bytes; convert to µs.
+  const double transfer_us = static_cast<double>(bytes) / (gbps * 1e3);
+  return arch_.copy_latency_us + transfer_us;
+}
+
+SimTime GpuDevice::memcpy_h2d(StreamId stream, std::uint64_t dst, const void* src,
+                              std::uint64_t bytes, CopyCallback cb) {
+  SIGVP_REQUIRE(stream < streams_.size(), "unknown stream");
+  if (src != nullptr) memory_.copy_in(dst, src, bytes);
+  const SimTime end = schedule_on(copy_in_engine_, streams_[stream], copy_duration(bytes));
+  copy_busy_ += copy_duration(bytes);
+  ++copies_submitted_;
+  if (cb) queue_.schedule_at(end, [end, cb = std::move(cb)] { cb(end); });
+  return end;
+}
+
+SimTime GpuDevice::memcpy_d2h(StreamId stream, void* dst, std::uint64_t src, std::uint64_t bytes,
+                              CopyCallback cb) {
+  SIGVP_REQUIRE(stream < streams_.size(), "unknown stream");
+  if (dst != nullptr) memory_.copy_out(dst, src, bytes);
+  const SimTime end = schedule_on(copy_out_engine_, streams_[stream], copy_duration(bytes));
+  copy_busy_ += copy_duration(bytes);
+  ++copies_submitted_;
+  if (cb) queue_.schedule_at(end, [end, cb = std::move(cb)] { cb(end); });
+  return end;
+}
+
+SimTime GpuDevice::memcpy_d2d(StreamId stream, std::uint64_t dst, std::uint64_t src,
+                              std::uint64_t bytes, CopyCallback cb) {
+  SIGVP_REQUIRE(stream < streams_.size(), "unknown stream");
+  memory_.copy_within(dst, src, bytes);
+  // On-device copies move at memory bandwidth, not host-link bandwidth,
+  // with a sub-µs DMA setup cost.
+  const double transfer_us = static_cast<double>(bytes) / (arch_.mem_bandwidth_gbps * 1e3);
+  const SimTime duration = 0.8 + transfer_us;
+  const SimTime end = schedule_on(copy_out_engine_, streams_[stream], duration);
+  copy_busy_ += duration;
+  ++copies_submitted_;
+  if (cb) queue_.schedule_at(end, [end, cb = std::move(cb)] { cb(end); });
+  return end;
+}
+
+SimTime GpuDevice::memcpy_d2d_batch(StreamId stream, const std::vector<CopyDesc>& descs,
+                                    CopyCallback cb) {
+  SIGVP_REQUIRE(stream < streams_.size(), "unknown stream");
+  std::uint64_t total_bytes = 0;
+  for (const CopyDesc& d : descs) {
+    memory_.copy_within(d.dst, d.src, d.bytes);
+    total_bytes += d.bytes;
+  }
+  const double transfer_us = static_cast<double>(total_bytes) / (arch_.mem_bandwidth_gbps * 1e3);
+  const SimTime duration = 0.8 + transfer_us;
+  const SimTime end = schedule_on(copy_out_engine_, streams_[stream], duration);
+  copy_busy_ += duration;
+  ++copies_submitted_;
+  if (cb) queue_.schedule_at(end, [end, cb = std::move(cb)] { cb(end); });
+  return end;
+}
+
+SimTime GpuDevice::launch(StreamId stream, const LaunchRequest& request, KernelCallback cb) {
+  SIGVP_REQUIRE(stream < streams_.size(), "unknown stream");
+  SIGVP_REQUIRE(request.kernel != nullptr, "launch without a kernel");
+
+  KernelExecStats stats;
+  if (request.mode == ExecMode::kFunctional) {
+    LaunchEvaluation eval =
+        evaluate_functional(arch_, *request.kernel, request.dims, request.args, memory_);
+    stats = eval.stats;
+  } else {
+    stats = evaluate_analytic(arch_, *request.kernel, request.dims, request.analytic_profile,
+                              request.mem_behavior);
+  }
+
+  const SimTime end = schedule_on(compute_engine_, streams_[stream], stats.duration_us);
+  compute_busy_ += stats.duration_us;
+  dynamic_energy_j_ += stats.dynamic_energy_j;
+  ++kernels_launched_;
+  last_kernel_stats_ = stats;
+
+  SIGVP_DEBUG("gpu") << name_ << " launch " << request.kernel->name << " blocks="
+                     << stats.num_blocks << " cycles=" << stats.total_cycles
+                     << " dur=" << stats.duration_us << "us end=" << end << "us";
+
+  if (cb) {
+    queue_.schedule_at(end, [end, stats, cb = std::move(cb)] { cb(end, stats); });
+  }
+  return end;
+}
+
+SimTime GpuDevice::device_idle_at() const {
+  SimTime idle = std::max({copy_in_engine_.free_at, copy_out_engine_.free_at,
+                           compute_engine_.free_at});
+  for (const Stream& s : streams_) idle = std::max(idle, s.tail);
+  return idle;
+}
+
+const KernelExecStats& GpuDevice::last_kernel_stats() const {
+  SIGVP_REQUIRE(kernels_launched_ > 0, "no kernel has been launched yet");
+  return last_kernel_stats_;
+}
+
+double GpuDevice::average_power_w(SimTime horizon_us) const {
+  SIGVP_REQUIRE(horizon_us > 0.0, "power horizon must be positive");
+  return arch_.static_power_w + dynamic_energy_j_ / s_from_us(horizon_us);
+}
+
+}  // namespace sigvp

@@ -1,0 +1,159 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gpu/arch.hpp"
+#include "gpu/cost_model.hpp"
+#include "gpu/offline.hpp"
+#include "mem/address_space.hpp"
+#include "mem/allocator.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace sigvp {
+
+/// How a kernel launch is evaluated by the device model.
+enum class ExecMode {
+  /// Interpret the IR over device memory with full cache simulation
+  /// (functional validation + measured timing).
+  kFunctional,
+  /// Price the launch from a caller-supplied analytic profile; data is not
+  /// touched (for workload sizes too large to interpret).
+  kAnalytic,
+};
+
+/// One kernel launch request against a GpuDevice.
+struct LaunchRequest {
+  const KernelIR* kernel = nullptr;
+  LaunchDims dims;
+  KernelArgs args;
+  ExecMode mode = ExecMode::kFunctional;
+  /// Analytic mode only: λ/traffic profile and locality summary.
+  DynamicProfile analytic_profile;
+  MemoryBehavior mem_behavior;
+};
+
+/// Discrete-event model of a CUDA-capable GPU: two Copy Engines (one per
+/// direction, as on Fermi-class Quadro boards), one Compute Engine, N
+/// streams.
+///
+/// Scheduling semantics match the hardware behaviour the paper's Kernel
+/// Interleaving exploits and repairs (Fig. 3):
+///  - ops within a stream execute in order;
+///  - each engine serves its queue strictly in submission order, with
+///    head-of-line blocking: if the next op's stream dependency is not yet
+///    ready, the engine waits (it does not look past it);
+///  - the two engines run concurrently, so copies and kernels from different
+///    streams overlap only when the submission order allows it.
+///
+/// Because all submissions happen in causal simulation order, the schedule
+/// is computed eagerly: each submit returns the op's completion time, and an
+/// optional callback fires at that simulated instant. Functional data
+/// movement is applied at submission; well-formed clients only read results
+/// after the completion callback, which the guest driver stack guarantees.
+class GpuDevice {
+ public:
+  using StreamId = std::uint32_t;
+  using CopyCallback = std::function<void(SimTime end)>;
+  using KernelCallback = std::function<void(SimTime end, const KernelExecStats& stats)>;
+
+  GpuDevice(EventQueue& queue, GpuArch arch, std::uint64_t mem_bytes, std::string name);
+
+  // --- memory management -----------------------------------------------------
+  /// Allocates device memory; throws on exhaustion (paper-scale workloads
+  /// never legitimately exhaust the modeled memory).
+  std::uint64_t malloc(std::uint64_t bytes, std::uint64_t align = 256);
+  void free(std::uint64_t addr);
+  AddressSpace& memory() { return memory_; }
+  std::uint64_t bytes_allocated() const { return allocator_.bytes_allocated(); }
+
+  // --- streams ---------------------------------------------------------------
+  StreamId create_stream();
+  std::size_t num_streams() const { return streams_.size(); }
+  SimTime stream_idle_at(StreamId stream) const;
+
+  // --- asynchronous operations ------------------------------------------------
+  /// Host-to-device copy; `src` may be nullptr for timing-only transfers.
+  SimTime memcpy_h2d(StreamId stream, std::uint64_t dst, const void* src, std::uint64_t bytes,
+                     CopyCallback cb = {});
+  /// Device-to-host copy; `dst` may be nullptr for timing-only transfers.
+  SimTime memcpy_d2h(StreamId stream, void* dst, std::uint64_t src, std::uint64_t bytes,
+                     CopyCallback cb = {});
+  /// Device-to-device copy (used by the kernel coalescer's gather/scatter).
+  SimTime memcpy_d2d(StreamId stream, std::uint64_t dst, std::uint64_t src, std::uint64_t bytes,
+                     CopyCallback cb = {});
+
+  /// Batched device-to-device copy: one DMA descriptor list moving every
+  /// (dst, src, bytes) triple, priced as a single transfer of the summed
+  /// bytes. The kernel coalescer gathers/scatters arena slices with this.
+  struct CopyDesc {
+    std::uint64_t dst = 0;
+    std::uint64_t src = 0;
+    std::uint64_t bytes = 0;
+  };
+  SimTime memcpy_d2d_batch(StreamId stream, const std::vector<CopyDesc>& descs,
+                           CopyCallback cb = {});
+  /// Kernel launch; returns completion time, callback receives the stats.
+  SimTime launch(StreamId stream, const LaunchRequest& request, KernelCallback cb = {});
+
+  /// Time at which every submitted op (all streams, both engines) is done.
+  SimTime device_idle_at() const;
+
+  /// Earliest time a new job could start on each engine; the Re-scheduler
+  /// uses these to decide what keeps every engine busy. Fermi-class Quadro
+  /// and Kepler GRID boards have two asynchronous copy engines (one per
+  /// direction), which is what lets uploads, downloads and kernels of
+  /// different VPs overlap three-way (paper Eq. 7).
+  SimTime h2d_engine_free_at() const { return copy_in_engine_.free_at; }
+  SimTime d2h_engine_free_at() const { return copy_out_engine_.free_at; }
+  SimTime compute_engine_free_at() const { return compute_engine_.free_at; }
+
+  // --- introspection -----------------------------------------------------------
+  const GpuArch& arch() const { return arch_; }
+  const std::string& name() const { return name_; }
+  double dynamic_energy_j() const { return dynamic_energy_j_; }
+  SimTime copy_busy_us() const { return copy_busy_; }
+  SimTime compute_busy_us() const { return compute_busy_; }
+  std::uint64_t kernels_launched() const { return kernels_launched_; }
+  std::uint64_t copies_submitted() const { return copies_submitted_; }
+  const KernelExecStats& last_kernel_stats() const;
+
+  /// Average power over [0, horizon]: static + dynamic energy / horizon.
+  double average_power_w(SimTime horizon_us) const;
+
+ private:
+  struct Stream {
+    SimTime tail = 0.0;  // completion time of the last op in this stream
+  };
+
+  /// Engine bookkeeping for eager scheduling with head-of-line blocking.
+  struct EngineState {
+    SimTime free_at = 0.0;
+  };
+
+  SimTime schedule_on(EngineState& engine, Stream& stream, SimTime duration);
+  SimTime copy_duration(std::uint64_t bytes) const;
+
+  EventQueue& queue_;
+  GpuArch arch_;
+  std::string name_;
+  AddressSpace memory_;
+  FreeListAllocator allocator_;
+
+  EngineState copy_in_engine_;
+  EngineState copy_out_engine_;
+  EngineState compute_engine_;
+  std::vector<Stream> streams_;
+
+  SimTime copy_busy_ = 0.0;
+  SimTime compute_busy_ = 0.0;
+  double dynamic_energy_j_ = 0.0;
+  std::uint64_t kernels_launched_ = 0;
+  std::uint64_t copies_submitted_ = 0;
+  KernelExecStats last_kernel_stats_;
+};
+
+}  // namespace sigvp

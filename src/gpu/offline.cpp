@@ -1,0 +1,51 @@
+#include "gpu/offline.hpp"
+
+#include "gpu/cache.hpp"
+#include "util/check.hpp"
+
+namespace sigvp {
+
+LaunchEvaluation evaluate_functional(const GpuArch& arch, const KernelIR& kernel,
+                                     const LaunchDims& dims, const KernelArgs& args,
+                                     AddressSpace& memory) {
+  CacheModel l2(arch.l2);
+  Interpreter::Options options;
+  options.mem_hook = [&l2](std::uint64_t addr, std::uint32_t bytes, bool /*is_store*/) {
+    l2.access(addr, bytes);
+  };
+
+  Interpreter interp;
+  LaunchEvaluation out;
+  out.profile = interp.run(kernel, dims, args, memory, options);
+
+  KernelCostModel model(arch);
+  out.stats = model.evaluate(dims, out.profile.instr_counts, l2.stats());
+  return out;
+}
+
+KernelExecStats evaluate_analytic(const GpuArch& arch, const KernelIR& kernel,
+                                  const LaunchDims& dims, const DynamicProfile& profile,
+                                  const MemoryBehavior& behavior) {
+  SIGVP_REQUIRE(profile.block_visits.size() == kernel.blocks.size() ||
+                    profile.block_visits.empty(),
+                "analytic profile shape does not match the kernel");
+
+  // σ from λ·µ when per-block visits are provided (Eq. 1); otherwise the
+  // profile's own class counts must already be filled in.
+  ClassCounts sigma = profile.instr_counts;
+  if (sigma.total() == 0 && !profile.block_visits.empty()) {
+    sigma = DynamicProfile::counts_from_visits(kernel, profile.block_visits);
+  }
+  SIGVP_REQUIRE(sigma.total() > 0, "analytic profile carries no instructions");
+
+  ProbCacheModel prob(arch.l2);
+  CacheStats cache;
+  cache.accesses = behavior.accesses;
+  cache.misses = static_cast<std::uint64_t>(prob.expected_misses(behavior));
+  cache.hits = cache.accesses > cache.misses ? cache.accesses - cache.misses : 0;
+
+  KernelCostModel model(arch);
+  return model.evaluate(dims, sigma, cache);
+}
+
+}  // namespace sigvp

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "gpu/arch.hpp"
+#include "gpu/cost_model.hpp"
+#include "gpu/prob_cache.hpp"
+#include "interp/interpreter.hpp"
+#include "interp/profile.hpp"
+
+namespace sigvp {
+
+/// Result of evaluating one kernel launch outside the event loop.
+struct LaunchEvaluation {
+  KernelExecStats stats;
+  DynamicProfile profile;
+};
+
+/// Functionally executes `kernel` on `memory` with a cycle-accurate L2 cache
+/// simulation for `arch`, then prices the run with the cost model. This is
+/// the "execute on the host GPU and profile it" step of the paper's
+/// Profile-Based Execution Analysis (Fig. 7, step 2).
+LaunchEvaluation evaluate_functional(const GpuArch& arch, const KernelIR& kernel,
+                                     const LaunchDims& dims, const KernelArgs& args,
+                                     AddressSpace& memory);
+
+/// Prices a launch from an analytic profile (per-block λ counts and byte
+/// traffic) plus a locality summary, without touching data — used for
+/// workload sizes too large to interpret functionally.
+KernelExecStats evaluate_analytic(const GpuArch& arch, const KernelIR& kernel,
+                                  const LaunchDims& dims, const DynamicProfile& profile,
+                                  const MemoryBehavior& behavior);
+
+}  // namespace sigvp

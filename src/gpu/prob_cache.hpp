@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+
+#include "gpu/arch.hpp"
+
+namespace sigvp {
+
+/// Locality summary of one kernel's global-memory traffic, supplied by the
+/// workload definition (analytic mode) or derived from measurement.
+struct MemoryBehavior {
+  /// Distinct bytes the kernel touches in global memory.
+  std::uint64_t footprint_bytes = 0;
+  /// Total dynamic global accesses (load + store instructions).
+  std::uint64_t accesses = 0;
+  /// Quality of the kernel's temporal locality: the fraction of line
+  /// revisits that happen at short reuse distance (and therefore hit even
+  /// under capacity pressure). Streaming kernels revisit lines immediately
+  /// (adjacent threads) — high values; kernels with large-stride revisit
+  /// patterns (matrix columns, bitonic partners) — lower values.
+  double reuse_fraction = 0.5;
+  /// Fraction of intra-warp accesses falling into the same cache line
+  /// (spatial coalescing); unit-stride kernels ~0.97, gather kernels lower.
+  double coalescing = 0.9;
+};
+
+/// Probabilistic data-cache behaviour model (after Puranik et al., EMSOFT'09,
+/// the paper's reference [17]).
+///
+/// Given a locality summary and a cache geometry, predicts the expected miss
+/// count without simulating the cache. The paper uses this to transplant the
+/// data-stall term from the host GPU to the target GPU (Eq. 5): Υ^[data] is
+/// predicted misses × exposed miss latency.
+class ProbCacheModel {
+ public:
+  explicit ProbCacheModel(const CacheConfig& config) : config_(config) {}
+
+  /// Expected number of line-granular misses for the given behaviour.
+  double expected_misses(const MemoryBehavior& behavior) const;
+
+  /// Expected miss rate (misses / line-granular accesses).
+  double expected_miss_rate(const MemoryBehavior& behavior) const;
+
+ private:
+  CacheConfig config_;
+};
+
+}  // namespace sigvp

@@ -1,0 +1,412 @@
+#include "interp/interpreter.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace sigvp {
+
+ClassCounts DynamicProfile::counts_from_visits(const KernelIR& ir,
+                                               const std::vector<std::uint64_t>& visits) {
+  SIGVP_REQUIRE(visits.size() == ir.blocks.size(), "visit vector must match block count");
+  ClassCounts out;
+  for (std::size_t b = 0; b < visits.size(); ++b) {
+    out += ir.blocks[b].static_counts().scaled(visits[b]);
+  }
+  return out;
+}
+
+namespace {
+
+/// Per-thread execution state.
+struct ThreadState {
+  std::vector<RegValue> regs;
+  std::size_t pc_block = 0;
+  std::size_t pc_instr = 0;
+  bool done = false;
+  bool at_barrier = false;
+  std::uint32_t tid_x = 0;
+  std::uint32_t tid_y = 0;
+  std::uint64_t instrs_executed = 0;
+};
+
+struct BlockContext {
+  std::uint32_t ctaid_x = 0;
+  std::uint32_t ctaid_y = 0;
+  std::vector<std::uint8_t> shared;
+};
+
+class Machine {
+ public:
+  Machine(const KernelIR& ir, const LaunchDims& dims, const KernelArgs& args,
+          AddressSpace& global, const Interpreter::Options& options, DynamicProfile& profile)
+      : ir_(ir), dims_(dims), args_(args), global_(global), options_(options),
+        profile_(profile) {}
+
+  void run_block(std::uint32_t ctaid_x, std::uint32_t ctaid_y) {
+    BlockContext cta;
+    cta.ctaid_x = ctaid_x;
+    cta.ctaid_y = ctaid_y;
+    cta.shared.assign(ir_.shared_bytes, 0);
+
+    const std::uint64_t nthreads = dims_.threads_per_block();
+    std::vector<ThreadState> threads(nthreads);
+    for (std::uint32_t ty = 0; ty < dims_.block_y; ++ty) {
+      for (std::uint32_t tx = 0; tx < dims_.block_x; ++tx) {
+        ThreadState& t = threads[static_cast<std::size_t>(ty) * dims_.block_x + tx];
+        t.regs.assign(ir_.num_regs == 0 ? 1 : ir_.num_regs, RegValue{});
+        t.tid_x = tx;
+        t.tid_y = ty;
+        enter_block(t, 0);
+      }
+    }
+
+    // Barrier-phase scheduling: run each runnable thread until it retires or
+    // parks at a barrier; release the barrier when no runnable thread is left.
+    while (true) {
+      bool any_live = false;
+      for (ThreadState& t : threads) {
+        if (t.done || t.at_barrier) continue;
+        run_thread(t, cta);
+        any_live = true;
+      }
+      bool someone_waiting = false;
+      for (ThreadState& t : threads) {
+        if (!t.done && t.at_barrier) someone_waiting = true;
+      }
+      if (!someone_waiting) break;
+      // All non-retired threads are parked: the barrier releases.
+      for (ThreadState& t : threads) t.at_barrier = false;
+      ++profile_.barriers_waited;
+      (void)any_live;
+    }
+  }
+
+ private:
+  void enter_block(ThreadState& t, std::size_t block) {
+    SIGVP_ASSERT(block < ir_.blocks.size(), "branch to nonexistent block");
+    t.pc_block = block;
+    t.pc_instr = 0;
+    ++profile_.block_visits[block];
+  }
+
+  std::uint64_t special_value(const ThreadState& t, const BlockContext& cta,
+                              SpecialReg sr) const {
+    switch (sr) {
+      case SpecialReg::kTidX: return t.tid_x;
+      case SpecialReg::kTidY: return t.tid_y;
+      case SpecialReg::kCtaidX: return cta.ctaid_x;
+      case SpecialReg::kCtaidY: return cta.ctaid_y;
+      case SpecialReg::kNtidX: return dims_.block_x;
+      case SpecialReg::kNtidY: return dims_.block_y;
+      case SpecialReg::kNctaidX: return dims_.grid_x;
+      case SpecialReg::kNctaidY: return dims_.grid_y;
+    }
+    return 0;
+  }
+
+  void shared_check(const BlockContext& cta, std::uint64_t addr, std::size_t n) const {
+    SIGVP_REQUIRE(addr + n <= cta.shared.size() && addr + n >= addr,
+                  ir_.name + ": shared-memory access out of bounds");
+  }
+
+  template <typename T>
+  T shared_read(const BlockContext& cta, std::uint64_t addr) const {
+    shared_check(cta, addr, sizeof(T));
+    T out;
+    std::memcpy(&out, cta.shared.data() + addr, sizeof(T));
+    return out;
+  }
+
+  template <typename T>
+  void shared_write(BlockContext& cta, std::uint64_t addr, T value) {
+    shared_check(cta, addr, sizeof(T));
+    std::memcpy(cta.shared.data() + addr, &value, sizeof(T));
+  }
+
+  void note_global(std::uint64_t addr, std::uint32_t bytes, bool is_store) {
+    if (is_store) {
+      profile_.global_store_bytes += bytes;
+    } else {
+      profile_.global_load_bytes += bytes;
+    }
+    if (options_.mem_hook) options_.mem_hook(addr, bytes, is_store);
+  }
+
+  /// Runs `t` until it retires or parks at a barrier.
+  void run_thread(ThreadState& t, BlockContext& cta) {
+    while (!t.done && !t.at_barrier) {
+      const BasicBlock& blk = ir_.blocks[t.pc_block];
+      SIGVP_ASSERT(t.pc_instr < blk.instrs.size(), "pc ran past the end of a block");
+      const Instr& in = blk.instrs[t.pc_instr];
+      step(t, cta, in);
+    }
+  }
+
+  void step(ThreadState& t, BlockContext& cta, const Instr& in) {
+    if (in.op != Opcode::kNop) {
+      profile_.instr_counts[instr_class(in.op)] += 1;
+      if (is_sfu_op(in.op)) {
+        if (is_sqrt_op(in.op)) {
+          ++profile_.sqrt_instrs;
+        } else {
+          ++profile_.sfu_instrs;
+        }
+      }
+    }
+    ++t.instrs_executed;
+    SIGVP_REQUIRE(t.instrs_executed <= options_.max_instrs_per_thread,
+                  ir_.name + ": per-thread instruction budget exhausted");
+
+    auto& r = t.regs;
+    auto advance = [&] { ++t.pc_instr; };
+    auto gaddr = [&] { return r[in.src0].bits + static_cast<std::uint64_t>(in.imm); };
+
+    switch (in.op) {
+      case Opcode::kNop: advance(); break;
+      case Opcode::kMovImmI: r[in.dst].set_i(in.imm); advance(); break;
+      case Opcode::kMovImmF32: r[in.dst].set_f32(static_cast<float>(in.fimm)); advance(); break;
+      case Opcode::kMovImmF64: r[in.dst].set_f64(in.fimm); advance(); break;
+      case Opcode::kMov: r[in.dst] = r[in.src0]; advance(); break;
+      case Opcode::kReadSpecial:
+        r[in.dst].bits = special_value(t, cta, static_cast<SpecialReg>(in.imm));
+        advance();
+        break;
+      case Opcode::kLdParam:
+        SIGVP_REQUIRE(static_cast<std::size_t>(in.imm) < args_.values.size(),
+                      ir_.name + ": kernel launched with too few arguments");
+        r[in.dst].bits = args_.values[static_cast<std::size_t>(in.imm)];
+        advance();
+        break;
+      case Opcode::kSelect:
+        r[in.dst] = r[in.src0].truthy() ? r[in.src1] : r[in.src2];
+        advance();
+        break;
+
+      // --- integer ---------------------------------------------------------
+      case Opcode::kAddI: r[in.dst].set_i(r[in.src0].i() + r[in.src1].i()); advance(); break;
+      case Opcode::kSubI: r[in.dst].set_i(r[in.src0].i() - r[in.src1].i()); advance(); break;
+      case Opcode::kMulI: r[in.dst].set_i(r[in.src0].i() * r[in.src1].i()); advance(); break;
+      case Opcode::kDivI:
+        SIGVP_REQUIRE(r[in.src1].i() != 0, ir_.name + ": integer division by zero");
+        r[in.dst].set_i(r[in.src0].i() / r[in.src1].i());
+        advance();
+        break;
+      case Opcode::kRemI:
+        SIGVP_REQUIRE(r[in.src1].i() != 0, ir_.name + ": integer remainder by zero");
+        r[in.dst].set_i(r[in.src0].i() % r[in.src1].i());
+        advance();
+        break;
+      case Opcode::kMinI: r[in.dst].set_i(std::min(r[in.src0].i(), r[in.src1].i())); advance(); break;
+      case Opcode::kMaxI: r[in.dst].set_i(std::max(r[in.src0].i(), r[in.src1].i())); advance(); break;
+      case Opcode::kNegI: r[in.dst].set_i(-r[in.src0].i()); advance(); break;
+      case Opcode::kAbsI: r[in.dst].set_i(std::abs(r[in.src0].i())); advance(); break;
+      case Opcode::kSetLtI: r[in.dst].set_i(r[in.src0].i() < r[in.src1].i()); advance(); break;
+      case Opcode::kSetLeI: r[in.dst].set_i(r[in.src0].i() <= r[in.src1].i()); advance(); break;
+      case Opcode::kSetEqI: r[in.dst].set_i(r[in.src0].i() == r[in.src1].i()); advance(); break;
+      case Opcode::kSetNeI: r[in.dst].set_i(r[in.src0].i() != r[in.src1].i()); advance(); break;
+      case Opcode::kSetGtI: r[in.dst].set_i(r[in.src0].i() > r[in.src1].i()); advance(); break;
+      case Opcode::kSetGeI: r[in.dst].set_i(r[in.src0].i() >= r[in.src1].i()); advance(); break;
+      case Opcode::kCvtF32ToI: r[in.dst].set_i(static_cast<std::int64_t>(r[in.src0].f32())); advance(); break;
+      case Opcode::kCvtF64ToI: r[in.dst].set_i(static_cast<std::int64_t>(r[in.src0].f64())); advance(); break;
+
+      // --- bit -------------------------------------------------------------
+      case Opcode::kAndB: r[in.dst].bits = r[in.src0].bits & r[in.src1].bits; advance(); break;
+      case Opcode::kOrB: r[in.dst].bits = r[in.src0].bits | r[in.src1].bits; advance(); break;
+      case Opcode::kXorB: r[in.dst].bits = r[in.src0].bits ^ r[in.src1].bits; advance(); break;
+      case Opcode::kNotB: r[in.dst].bits = ~r[in.src0].bits; advance(); break;
+      case Opcode::kShlB: r[in.dst].bits = r[in.src0].bits << (r[in.src1].bits & 63); advance(); break;
+      case Opcode::kShrB: r[in.dst].bits = r[in.src0].bits >> (r[in.src1].bits & 63); advance(); break;
+      case Opcode::kShrA: r[in.dst].set_i(r[in.src0].i() >> (r[in.src1].bits & 63)); advance(); break;
+
+      // --- fp32 --------------------------------------------------------------
+      case Opcode::kAddF32: r[in.dst].set_f32(r[in.src0].f32() + r[in.src1].f32()); advance(); break;
+      case Opcode::kSubF32: r[in.dst].set_f32(r[in.src0].f32() - r[in.src1].f32()); advance(); break;
+      case Opcode::kMulF32: r[in.dst].set_f32(r[in.src0].f32() * r[in.src1].f32()); advance(); break;
+      case Opcode::kDivF32: r[in.dst].set_f32(r[in.src0].f32() / r[in.src1].f32()); advance(); break;
+      case Opcode::kFmaF32:
+        r[in.dst].set_f32(std::fma(r[in.src0].f32(), r[in.src1].f32(), r[in.src2].f32()));
+        advance();
+        break;
+      case Opcode::kSqrtF32: r[in.dst].set_f32(std::sqrt(r[in.src0].f32())); advance(); break;
+      case Opcode::kRsqrtF32: r[in.dst].set_f32(1.0f / std::sqrt(r[in.src0].f32())); advance(); break;
+      case Opcode::kExpF32: r[in.dst].set_f32(std::exp(r[in.src0].f32())); advance(); break;
+      case Opcode::kLogF32: r[in.dst].set_f32(std::log(r[in.src0].f32())); advance(); break;
+      case Opcode::kSinF32: r[in.dst].set_f32(std::sin(r[in.src0].f32())); advance(); break;
+      case Opcode::kCosF32: r[in.dst].set_f32(std::cos(r[in.src0].f32())); advance(); break;
+      case Opcode::kMinF32: r[in.dst].set_f32(std::fmin(r[in.src0].f32(), r[in.src1].f32())); advance(); break;
+      case Opcode::kMaxF32: r[in.dst].set_f32(std::fmax(r[in.src0].f32(), r[in.src1].f32())); advance(); break;
+      case Opcode::kAbsF32: r[in.dst].set_f32(std::fabs(r[in.src0].f32())); advance(); break;
+      case Opcode::kNegF32: r[in.dst].set_f32(-r[in.src0].f32()); advance(); break;
+      case Opcode::kFloorF32: r[in.dst].set_f32(std::floor(r[in.src0].f32())); advance(); break;
+      case Opcode::kSetLtF32: r[in.dst].set_i(r[in.src0].f32() < r[in.src1].f32()); advance(); break;
+      case Opcode::kSetLeF32: r[in.dst].set_i(r[in.src0].f32() <= r[in.src1].f32()); advance(); break;
+      case Opcode::kSetEqF32: r[in.dst].set_i(r[in.src0].f32() == r[in.src1].f32()); advance(); break;
+      case Opcode::kSetGtF32: r[in.dst].set_i(r[in.src0].f32() > r[in.src1].f32()); advance(); break;
+      case Opcode::kSetGeF32: r[in.dst].set_i(r[in.src0].f32() >= r[in.src1].f32()); advance(); break;
+      case Opcode::kCvtIToF32: r[in.dst].set_f32(static_cast<float>(r[in.src0].i())); advance(); break;
+      case Opcode::kCvtF64ToF32: r[in.dst].set_f32(static_cast<float>(r[in.src0].f64())); advance(); break;
+
+      // --- fp64 --------------------------------------------------------------
+      case Opcode::kAddF64: r[in.dst].set_f64(r[in.src0].f64() + r[in.src1].f64()); advance(); break;
+      case Opcode::kSubF64: r[in.dst].set_f64(r[in.src0].f64() - r[in.src1].f64()); advance(); break;
+      case Opcode::kMulF64: r[in.dst].set_f64(r[in.src0].f64() * r[in.src1].f64()); advance(); break;
+      case Opcode::kDivF64: r[in.dst].set_f64(r[in.src0].f64() / r[in.src1].f64()); advance(); break;
+      case Opcode::kFmaF64:
+        r[in.dst].set_f64(std::fma(r[in.src0].f64(), r[in.src1].f64(), r[in.src2].f64()));
+        advance();
+        break;
+      case Opcode::kSqrtF64: r[in.dst].set_f64(std::sqrt(r[in.src0].f64())); advance(); break;
+      case Opcode::kExpF64: r[in.dst].set_f64(std::exp(r[in.src0].f64())); advance(); break;
+      case Opcode::kLogF64: r[in.dst].set_f64(std::log(r[in.src0].f64())); advance(); break;
+      case Opcode::kSinF64: r[in.dst].set_f64(std::sin(r[in.src0].f64())); advance(); break;
+      case Opcode::kCosF64: r[in.dst].set_f64(std::cos(r[in.src0].f64())); advance(); break;
+      case Opcode::kMinF64: r[in.dst].set_f64(std::fmin(r[in.src0].f64(), r[in.src1].f64())); advance(); break;
+      case Opcode::kMaxF64: r[in.dst].set_f64(std::fmax(r[in.src0].f64(), r[in.src1].f64())); advance(); break;
+      case Opcode::kAbsF64: r[in.dst].set_f64(std::fabs(r[in.src0].f64())); advance(); break;
+      case Opcode::kNegF64: r[in.dst].set_f64(-r[in.src0].f64()); advance(); break;
+      case Opcode::kFloorF64: r[in.dst].set_f64(std::floor(r[in.src0].f64())); advance(); break;
+      case Opcode::kSetLtF64: r[in.dst].set_i(r[in.src0].f64() < r[in.src1].f64()); advance(); break;
+      case Opcode::kSetLeF64: r[in.dst].set_i(r[in.src0].f64() <= r[in.src1].f64()); advance(); break;
+      case Opcode::kSetEqF64: r[in.dst].set_i(r[in.src0].f64() == r[in.src1].f64()); advance(); break;
+      case Opcode::kSetGtF64: r[in.dst].set_i(r[in.src0].f64() > r[in.src1].f64()); advance(); break;
+      case Opcode::kSetGeF64: r[in.dst].set_i(r[in.src0].f64() >= r[in.src1].f64()); advance(); break;
+      case Opcode::kCvtIToF64: r[in.dst].set_f64(static_cast<double>(r[in.src0].i())); advance(); break;
+      case Opcode::kCvtF32ToF64: r[in.dst].set_f64(static_cast<double>(r[in.src0].f32())); advance(); break;
+
+      // --- control flow ------------------------------------------------------
+      case Opcode::kJmp:
+        enter_block(t, static_cast<std::size_t>(in.imm));
+        break;
+      case Opcode::kBraZ:
+        if (!r[in.src0].truthy()) {
+          enter_block(t, static_cast<std::size_t>(in.imm));
+        } else {
+          enter_block(t, t.pc_block + 1);
+        }
+        break;
+      case Opcode::kBraNZ:
+        if (r[in.src0].truthy()) {
+          enter_block(t, static_cast<std::size_t>(in.imm));
+        } else {
+          enter_block(t, t.pc_block + 1);
+        }
+        break;
+      case Opcode::kRet:
+        t.done = true;
+        break;
+      case Opcode::kBar:
+        t.at_barrier = true;
+        advance();
+        break;
+
+      // --- global memory -----------------------------------------------------
+      case Opcode::kLdGlobalF32:
+        note_global(gaddr(), 4, false);
+        r[in.dst].set_f32(global_.read<float>(gaddr()));
+        advance();
+        break;
+      case Opcode::kLdGlobalF64:
+        note_global(gaddr(), 8, false);
+        r[in.dst].set_f64(global_.read<double>(gaddr()));
+        advance();
+        break;
+      case Opcode::kLdGlobalI32:
+        note_global(gaddr(), 4, false);
+        r[in.dst].set_i(global_.read<std::int32_t>(gaddr()));
+        advance();
+        break;
+      case Opcode::kLdGlobalI64:
+        note_global(gaddr(), 8, false);
+        r[in.dst].set_i(global_.read<std::int64_t>(gaddr()));
+        advance();
+        break;
+      case Opcode::kLdGlobalU8:
+        note_global(gaddr(), 1, false);
+        r[in.dst].bits = global_.read<std::uint8_t>(gaddr());
+        advance();
+        break;
+      case Opcode::kStGlobalF32:
+        note_global(gaddr(), 4, true);
+        global_.write<float>(gaddr(), r[in.src1].f32());
+        advance();
+        break;
+      case Opcode::kStGlobalF64:
+        note_global(gaddr(), 8, true);
+        global_.write<double>(gaddr(), r[in.src1].f64());
+        advance();
+        break;
+      case Opcode::kStGlobalI32:
+        note_global(gaddr(), 4, true);
+        global_.write<std::int32_t>(gaddr(), static_cast<std::int32_t>(r[in.src1].i()));
+        advance();
+        break;
+      case Opcode::kStGlobalI64:
+        note_global(gaddr(), 8, true);
+        global_.write<std::int64_t>(gaddr(), r[in.src1].i());
+        advance();
+        break;
+      case Opcode::kStGlobalU8:
+        note_global(gaddr(), 1, true);
+        global_.write<std::uint8_t>(gaddr(), static_cast<std::uint8_t>(r[in.src1].bits));
+        advance();
+        break;
+      case Opcode::kAtomAddGlobalI64: {
+        note_global(gaddr(), 8, true);
+        const std::int64_t old = global_.read<std::int64_t>(gaddr());
+        global_.write<std::int64_t>(gaddr(), old + r[in.src1].i());
+        r[in.dst].set_i(old);
+        advance();
+        break;
+      }
+      case Opcode::kAtomAddGlobalF32: {
+        note_global(gaddr(), 4, true);
+        const float old = global_.read<float>(gaddr());
+        global_.write<float>(gaddr(), old + r[in.src1].f32());
+        r[in.dst].set_f32(old);
+        advance();
+        break;
+      }
+
+      // --- shared memory -----------------------------------------------------
+      case Opcode::kLdSharedF32: r[in.dst].set_f32(shared_read<float>(cta, gaddr())); advance(); break;
+      case Opcode::kLdSharedF64: r[in.dst].set_f64(shared_read<double>(cta, gaddr())); advance(); break;
+      case Opcode::kLdSharedI64: r[in.dst].set_i(shared_read<std::int64_t>(cta, gaddr())); advance(); break;
+      case Opcode::kStSharedF32: shared_write<float>(cta, gaddr(), r[in.src1].f32()); advance(); break;
+      case Opcode::kStSharedF64: shared_write<double>(cta, gaddr(), r[in.src1].f64()); advance(); break;
+      case Opcode::kStSharedI64: shared_write<std::int64_t>(cta, gaddr(), r[in.src1].i()); advance(); break;
+    }
+  }
+
+  const KernelIR& ir_;
+  const LaunchDims& dims_;
+  const KernelArgs& args_;
+  AddressSpace& global_;
+  const Interpreter::Options& options_;
+  DynamicProfile& profile_;
+};
+
+}  // namespace
+
+DynamicProfile Interpreter::run(const KernelIR& ir, const LaunchDims& dims,
+                                const KernelArgs& args, AddressSpace& global,
+                                const Options& options) {
+  SIGVP_REQUIRE(dims.grid_x > 0 && dims.grid_y > 0 && dims.block_x > 0 && dims.block_y > 0,
+                "launch dimensions must be positive");
+  SIGVP_REQUIRE(args.values.size() >= ir.num_params,
+                ir.name + ": launch provides fewer arguments than the kernel declares");
+
+  DynamicProfile profile;
+  profile.block_visits.assign(ir.blocks.size(), 0);
+
+  Machine machine(ir, dims, args, global, options, profile);
+  for (std::uint32_t by = 0; by < dims.grid_y; ++by) {
+    for (std::uint32_t bx = 0; bx < dims.grid_x; ++bx) {
+      machine.run_block(bx, by);
+    }
+  }
+  return profile;
+}
+
+}  // namespace sigvp

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <functional>
+
+#include "interp/launch.hpp"
+#include "interp/profile.hpp"
+#include "ir/program.hpp"
+#include "mem/address_space.hpp"
+
+namespace sigvp {
+
+/// One 64-bit architectural register. Typed views go through std::bit_cast;
+/// f32 values occupy the low 32 bits (zero-extended), matching how the
+/// stores/loads of the IR move them.
+struct RegValue {
+  std::uint64_t bits = 0;
+
+  std::int64_t i() const { return std::bit_cast<std::int64_t>(bits); }
+  void set_i(std::int64_t v) { bits = std::bit_cast<std::uint64_t>(v); }
+
+  double f64() const { return std::bit_cast<double>(bits); }
+  void set_f64(double v) { bits = std::bit_cast<std::uint64_t>(v); }
+
+  float f32() const { return std::bit_cast<float>(static_cast<std::uint32_t>(bits)); }
+  void set_f32(float v) { bits = std::bit_cast<std::uint32_t>(v); }
+
+  bool truthy() const { return bits != 0; }
+};
+
+/// Callback invoked for every global-memory access; the GPU device model
+/// plugs its cache simulator in here.
+using MemAccessHook =
+    std::function<void(std::uint64_t addr, std::uint32_t bytes, bool is_store)>;
+
+/// Functional executor for KernelIR programs.
+///
+/// Semantics:
+///  - thread blocks run in row-major grid order, threads in row-major block
+///    order, so every run is deterministic (atomics included);
+///  - `bar.sync` suspends a thread until every other non-retired thread of
+///    the same block reaches a barrier (threads that already returned do not
+///    participate, mirroring CUDA's exited-thread rule);
+///  - conditional terminators fall through to the lexically next block.
+///
+/// The interpreter doubles as the paper's instrumentation pass: it returns a
+/// DynamicProfile with exact per-block iteration counts λ_b and per-class
+/// instruction counts.
+class Interpreter {
+ public:
+  struct Options {
+    /// Abort threshold against runaway kernels (per-thread dynamic instrs).
+    std::uint64_t max_instrs_per_thread = 100'000'000;
+    /// Optional observer for global-memory traffic (cache simulation).
+    MemAccessHook mem_hook;
+  };
+
+  /// Executes `ir` over `global` memory and returns the dynamic profile.
+  /// Throws ContractError on invalid launches, out-of-bounds accesses,
+  /// integer division by zero, or budget exhaustion.
+  DynamicProfile run(const KernelIR& ir, const LaunchDims& dims, const KernelArgs& args,
+                     AddressSpace& global, const Options& options);
+  DynamicProfile run(const KernelIR& ir, const LaunchDims& dims, const KernelArgs& args,
+                     AddressSpace& global) {
+    return run(ir, dims, args, global, Options{});
+  }
+};
+
+}  // namespace sigvp

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace sigvp {
+
+/// CUDA-style launch geometry (2D grid of 2D thread blocks).
+struct LaunchDims {
+  std::uint32_t grid_x = 1;
+  std::uint32_t grid_y = 1;
+  std::uint32_t block_x = 1;
+  std::uint32_t block_y = 1;
+
+  std::uint64_t num_blocks() const {
+    return static_cast<std::uint64_t>(grid_x) * grid_y;
+  }
+  std::uint64_t threads_per_block() const {
+    return static_cast<std::uint64_t>(block_x) * block_y;
+  }
+  std::uint64_t total_threads() const { return num_blocks() * threads_per_block(); }
+
+  bool operator==(const LaunchDims&) const = default;
+};
+
+/// Raw kernel parameters: each entry is the 64-bit bit pattern of a device
+/// pointer, integer, or floating-point scalar, in declaration order.
+struct KernelArgs {
+  std::vector<std::uint64_t> values;
+
+  void push_ptr(std::uint64_t device_addr) { values.push_back(device_addr); }
+  void push_i64(std::int64_t v) { values.push_back(std::bit_cast<std::uint64_t>(v)); }
+  void push_f64(double v) { values.push_back(std::bit_cast<std::uint64_t>(v)); }
+  void push_f32(float v) { values.push_back(std::bit_cast<std::uint32_t>(v)); }
+
+  bool operator==(const KernelArgs&) const = default;
+};
+
+}  // namespace sigvp

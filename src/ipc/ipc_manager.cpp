@@ -1,0 +1,103 @@
+#include "ipc/ipc_manager.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace sigvp {
+
+IpcCostModel IpcCostModel::shared_memory() {
+  IpcCostModel m;
+  m.name = "shm";
+  m.per_message_us = 30.0;
+  m.bandwidth_gbps = 2.5;
+  return m;
+}
+
+IpcCostModel IpcCostModel::socket() {
+  IpcCostModel m;
+  m.name = "socket";
+  m.per_message_us = 120.0;
+  m.bandwidth_gbps = 1.0;
+  return m;
+}
+
+IpcManager::IpcManager(EventQueue& queue, IpcCostModel cost)
+    : queue_(queue), cost_(std::move(cost)) {}
+
+void IpcManager::set_sink(DeliverFn sink) { sink_ = std::move(sink); }
+
+std::uint32_t IpcManager::register_vp(const std::string& name) {
+  vps_.push_back(VpEndpoint{name, false, {}});
+  return static_cast<std::uint32_t>(vps_.size() - 1);
+}
+
+void IpcManager::send_job(std::uint32_t vp_id, Job job, std::uint64_t payload_bytes) {
+  SIGVP_REQUIRE(vp_id < vps_.size(), "unknown VP endpoint");
+  SIGVP_REQUIRE(static_cast<bool>(sink_), "IPC manager has no host-side sink");
+
+  job.id = next_job_id_++;
+  job.vp_id = vp_id;
+
+  const SimTime request_cost = cost_.message_cost(payload_bytes);
+  ++messages_sent_;
+  transport_time_total_ += request_cost;
+
+  // Wrap the completion so the response message (control-only) is charged
+  // and VP control can hold the notification while the VP is stopped.
+  auto original = std::move(job.on_complete);
+  job.on_complete = [this, vp_id, original](SimTime end, const KernelExecStats* stats) {
+    const SimTime response_cost = cost_.message_cost(0);
+    ++messages_sent_;
+    transport_time_total_ += response_cost;
+    KernelExecStats stats_copy;
+    const bool has_stats = stats != nullptr;
+    if (has_stats) stats_copy = *stats;
+    queue_.schedule_at(end + response_cost, [this, vp_id, original, has_stats, stats_copy] {
+      notify_vp(vp_id, [this, original, has_stats, stats_copy] {
+        if (original) original(queue_.now(), has_stats ? &stats_copy : nullptr);
+      });
+    });
+  };
+
+  queue_.schedule_after(request_cost, [this, job = std::move(job)]() mutable {
+    job.enqueue_time = queue_.now();
+    SIGVP_TRACE("ipc") << "deliver job " << job.id << " from vp" << job.vp_id
+                       << " at t=" << queue_.now();
+    sink_(std::move(job));
+  });
+}
+
+void IpcManager::notify_vp(std::uint32_t vp_id, std::function<void()> deliver) {
+  VpEndpoint& vp = vps_[vp_id];
+  if (vp.stopped) {
+    vp.held.push_back(std::move(deliver));
+    return;
+  }
+  deliver();
+}
+
+void IpcManager::stop_vp(std::uint32_t vp_id) {
+  SIGVP_REQUIRE(vp_id < vps_.size(), "unknown VP endpoint");
+  vps_[vp_id].stopped = true;
+}
+
+void IpcManager::resume_vp(std::uint32_t vp_id) {
+  SIGVP_REQUIRE(vp_id < vps_.size(), "unknown VP endpoint");
+  VpEndpoint& vp = vps_[vp_id];
+  if (!vp.stopped) return;
+  vp.stopped = false;
+  while (!vp.held.empty() && !vp.stopped) {
+    auto deliver = std::move(vp.held.front());
+    vp.held.pop_front();
+    deliver();
+  }
+}
+
+bool IpcManager::is_stopped(std::uint32_t vp_id) const {
+  SIGVP_REQUIRE(vp_id < vps_.size(), "unknown VP endpoint");
+  return vps_[vp_id].stopped;
+}
+
+}  // namespace sigvp

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "cuda/launch_spec.hpp"
+#include "sim/time.hpp"
+
+namespace sigvp {
+
+/// Kind of work a virtual embedded GPU pushes into the host Job Queue.
+enum class JobKind { kMemcpyH2D, kMemcpyD2H, kKernel };
+
+/// One entry of the host-side Job Queue (paper Fig. 2).
+///
+/// The (vp_id, seq_in_vp) pair encodes the partial order the Re-scheduler
+/// must preserve: jobs of the same VP execute in seq order; jobs of
+/// different VPs may be freely reordered.
+struct Job {
+  std::uint64_t id = 0;
+  std::uint32_t vp_id = 0;
+  std::uint64_t seq_in_vp = 0;
+  JobKind kind = JobKind::kKernel;
+
+  // Copies.
+  std::uint64_t device_addr = 0;
+  std::uint64_t bytes = 0;
+  const void* host_src = nullptr;  // h2d source (nullptr = timing-only)
+  void* host_dst = nullptr;        // d2h destination (nullptr = timing-only)
+
+  // Kernel launches.
+  cuda::LaunchSpec launch;
+
+  /// Completion notification. `stats` is non-null for kernel jobs.
+  std::function<void(SimTime end, const KernelExecStats* stats)> on_complete;
+
+  SimTime enqueue_time = 0.0;
+};
+
+}  // namespace sigvp

@@ -1,0 +1,16 @@
+#pragma once
+
+#include <string>
+
+#include "ir/program.hpp"
+
+namespace sigvp {
+
+/// Renders one instruction as a PTX-flavored line (for logs and tests).
+std::string disassemble(const Instr& instr);
+
+/// Renders a whole kernel: header, per-block labels and instructions,
+/// plus the static per-class histogram µ of every block.
+std::string disassemble(const KernelIR& ir);
+
+}  // namespace sigvp

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sigvp {
+
+/// The seven dynamic-instruction classes the paper's estimation models use:
+/// i ∈ {FP32, FP64, Int, Bit, B, Ld, St} (paper Eq. 1).
+enum class InstrClass : std::uint8_t {
+  kFp32 = 0,
+  kFp64,
+  kInt,
+  kBit,
+  kBranch,
+  kLoad,
+  kStore,
+};
+
+inline constexpr std::size_t kNumInstrClasses = 7;
+
+constexpr std::string_view instr_class_name(InstrClass c) {
+  switch (c) {
+    case InstrClass::kFp32: return "FP32";
+    case InstrClass::kFp64: return "FP64";
+    case InstrClass::kInt: return "Int";
+    case InstrClass::kBit: return "Bit";
+    case InstrClass::kBranch: return "B";
+    case InstrClass::kLoad: return "Ld";
+    case InstrClass::kStore: return "St";
+  }
+  return "?";
+}
+
+/// Per-class counters; the σ and µ vectors of the paper are instances of this.
+struct ClassCounts {
+  std::array<std::uint64_t, kNumInstrClasses> counts{};
+
+  std::uint64_t& operator[](InstrClass c) { return counts[static_cast<std::size_t>(c)]; }
+  std::uint64_t operator[](InstrClass c) const { return counts[static_cast<std::size_t>(c)]; }
+
+  ClassCounts& operator+=(const ClassCounts& other) {
+    for (std::size_t i = 0; i < kNumInstrClasses; ++i) counts[i] += other.counts[i];
+    return *this;
+  }
+
+  friend ClassCounts operator+(ClassCounts a, const ClassCounts& b) { return a += b; }
+
+  /// Element-wise scale (used for λ_b · µ_b accumulation, Eq. 1).
+  ClassCounts scaled(std::uint64_t factor) const {
+    ClassCounts out = *this;
+    for (auto& c : out.counts) c *= factor;
+    return out;
+  }
+
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (auto c : counts) t += c;
+    return t;
+  }
+
+  bool operator==(const ClassCounts&) const = default;
+};
+
+/// Per-class doubles (expansion factors, latencies, energies, power shares).
+struct ClassValues {
+  std::array<double, kNumInstrClasses> values{};
+
+  double& operator[](InstrClass c) { return values[static_cast<std::size_t>(c)]; }
+  double operator[](InstrClass c) const { return values[static_cast<std::size_t>(c)]; }
+
+  static ClassValues uniform(double v) {
+    ClassValues out;
+    out.values.fill(v);
+    return out;
+  }
+};
+
+/// Iteration helper: all classes in declaration order.
+inline constexpr std::array<InstrClass, kNumInstrClasses> kAllInstrClasses = {
+    InstrClass::kFp32, InstrClass::kFp64, InstrClass::kInt,  InstrClass::kBit,
+    InstrClass::kBranch, InstrClass::kLoad, InstrClass::kStore,
+};
+
+}  // namespace sigvp

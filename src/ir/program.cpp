@@ -1,0 +1,46 @@
+#include "ir/program.hpp"
+
+namespace sigvp {
+
+ClassCounts BasicBlock::static_counts() const {
+  ClassCounts out;
+  for (const Instr& in : instrs) {
+    if (in.op == Opcode::kNop) continue;
+    out[instr_class(in.op)] += 1;
+  }
+  return out;
+}
+
+ClassCounts KernelIR::static_counts() const {
+  ClassCounts out;
+  for (const BasicBlock& b : blocks) out += b.static_counts();
+  return out;
+}
+
+std::uint64_t KernelIR::static_size() const {
+  std::uint64_t n = 0;
+  for (const BasicBlock& b : blocks) n += b.instrs.size();
+  return n;
+}
+
+bool KernelIR::uses_shared_memory() const {
+  for (const BasicBlock& b : blocks) {
+    for (const Instr& in : b.instrs) {
+      switch (in.op) {
+        case Opcode::kBar:
+        case Opcode::kLdSharedF32:
+        case Opcode::kLdSharedF64:
+        case Opcode::kLdSharedI64:
+        case Opcode::kStSharedF32:
+        case Opcode::kStSharedF64:
+        case Opcode::kStSharedI64:
+          return true;
+        default:
+          break;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace sigvp

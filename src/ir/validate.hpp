@@ -1,0 +1,15 @@
+#pragma once
+
+#include "ir/program.hpp"
+
+namespace sigvp {
+
+/// Structural validation of a kernel program. Throws ContractError when:
+///  - any block is empty or lacks a terminator, or has one mid-block;
+///  - a conditional terminator ends the last block (no fall-through target);
+///  - a branch target is out of range;
+///  - a register or parameter index is out of range;
+///  - shared-memory opcodes appear in a kernel with shared_bytes == 0.
+void validate_kernel(const KernelIR& ir);
+
+}  // namespace sigvp

@@ -1,0 +1,42 @@
+#include "mem/address_space.hpp"
+
+namespace sigvp {
+
+AddressSpace::AddressSpace(std::uint64_t size_bytes, std::string name)
+    : bytes_(size_bytes, 0), name_(std::move(name)) {
+  SIGVP_REQUIRE(size_bytes > 0, "address space must be non-empty");
+}
+
+void AddressSpace::check_range(std::uint64_t addr, std::size_t n) const {
+  SIGVP_REQUIRE(addr + n <= bytes_.size() && addr + n >= addr,
+                name_ + ": access [" + std::to_string(addr) + ", " +
+                    std::to_string(addr + n) + ") out of bounds (size " +
+                    std::to_string(bytes_.size()) + ")");
+}
+
+void AddressSpace::copy_in(std::uint64_t dst, const void* src, std::size_t n) {
+  if (n == 0) return;
+  check_range(dst, n);
+  std::memcpy(bytes_.data() + dst, src, n);
+}
+
+void AddressSpace::copy_out(void* dst, std::uint64_t src, std::size_t n) const {
+  if (n == 0) return;
+  check_range(src, n);
+  std::memcpy(dst, bytes_.data() + src, n);
+}
+
+void AddressSpace::copy_within(std::uint64_t dst, std::uint64_t src, std::size_t n) {
+  if (n == 0) return;
+  check_range(dst, n);
+  check_range(src, n);
+  std::memmove(bytes_.data() + dst, bytes_.data() + src, n);
+}
+
+void AddressSpace::fill(std::uint64_t dst, std::uint8_t value, std::size_t n) {
+  if (n == 0) return;
+  check_range(dst, n);
+  std::memset(bytes_.data() + dst, value, n);
+}
+
+}  // namespace sigvp

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace sigvp {
+
+/// A flat byte-addressed memory space with bounds-checked access.
+///
+/// Used for both the device global memory of each simulated GPU and the
+/// guest RAM of each virtual platform. Addresses are plain 64-bit offsets
+/// into the space; address 0 is never handed out by the allocator so it can
+/// serve as a null device pointer.
+class AddressSpace {
+ public:
+  AddressSpace(std::uint64_t size_bytes, std::string name);
+
+  std::uint64_t size() const { return bytes_.size(); }
+  const std::string& name() const { return name_; }
+
+  template <typename T>
+  T read(std::uint64_t addr) const {
+    check_range(addr, sizeof(T));
+    T out;
+    std::memcpy(&out, bytes_.data() + addr, sizeof(T));
+    return out;
+  }
+
+  template <typename T>
+  void write(std::uint64_t addr, T value) {
+    check_range(addr, sizeof(T));
+    std::memcpy(bytes_.data() + addr, &value, sizeof(T));
+  }
+
+  void copy_in(std::uint64_t dst, const void* src, std::size_t n);
+  void copy_out(void* dst, std::uint64_t src, std::size_t n) const;
+  void copy_within(std::uint64_t dst, std::uint64_t src, std::size_t n);
+  void fill(std::uint64_t dst, std::uint8_t value, std::size_t n);
+
+ private:
+  void check_range(std::uint64_t addr, std::size_t n) const;
+
+  std::vector<std::uint8_t> bytes_;
+  std::string name_;
+};
+
+/// A contiguous region inside some address space; the unit the kernel
+/// coalescer merges and scatters (paper Fig. 5).
+struct MemChunk {
+  std::uint64_t addr = 0;
+  std::uint64_t size = 0;
+
+  std::uint64_t end() const { return addr + size; }
+  bool operator==(const MemChunk&) const = default;
+};
+
+}  // namespace sigvp

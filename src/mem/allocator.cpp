@@ -1,0 +1,73 @@
+#include "mem/allocator.hpp"
+
+#include "util/check.hpp"
+
+namespace sigvp {
+
+namespace {
+std::uint64_t align_up(std::uint64_t value, std::uint64_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+FreeListAllocator::FreeListAllocator(std::uint64_t base, std::uint64_t size)
+    : base_(base), size_(size) {
+  SIGVP_REQUIRE(size > 0, "allocator capacity must be positive");
+  free_[base_] = size_;
+}
+
+std::optional<std::uint64_t> FreeListAllocator::allocate(std::uint64_t size,
+                                                         std::uint64_t align) {
+  SIGVP_REQUIRE(size > 0, "allocation size must be positive");
+  SIGVP_REQUIRE(is_pow2(align), "alignment must be a power of two");
+
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    const std::uint64_t range_addr = it->first;
+    const std::uint64_t range_len = it->second;
+    const std::uint64_t user_addr = align_up(range_addr, align);
+    const std::uint64_t pad = user_addr - range_addr;
+    if (pad + size > range_len) continue;
+
+    // Split: [range_addr, user_addr) stays free, the block is carved out,
+    // and the tail [user_addr+size, range end) is re-inserted if non-empty.
+    const std::uint64_t tail_addr = user_addr + size;
+    const std::uint64_t tail_len = range_len - pad - size;
+    free_.erase(it);
+    if (pad > 0) free_[range_addr] = pad;
+    if (tail_len > 0) free_[tail_addr] = tail_len;
+
+    live_[user_addr] = size;
+    bytes_allocated_ += size;
+    return user_addr;
+  }
+  return std::nullopt;
+}
+
+void FreeListAllocator::free(std::uint64_t addr) {
+  auto it = live_.find(addr);
+  SIGVP_REQUIRE(it != live_.end(), "free of unallocated address " + std::to_string(addr));
+  const std::uint64_t len = it->second;
+  live_.erase(it);
+  bytes_allocated_ -= len;
+
+  auto [ins, ok] = free_.emplace(addr, len);
+  SIGVP_ASSERT(ok, "freed range already present in free list");
+
+  // Merge with the successor range if it abuts.
+  auto next = std::next(ins);
+  if (next != free_.end() && ins->first + ins->second == next->first) {
+    ins->second += next->second;
+    free_.erase(next);
+  }
+  // Merge with the predecessor range if it abuts.
+  if (ins != free_.begin()) {
+    auto prev = std::prev(ins);
+    if (prev->first + prev->second == ins->first) {
+      prev->second += ins->second;
+      free_.erase(ins);
+    }
+  }
+}
+
+}  // namespace sigvp

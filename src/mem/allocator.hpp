@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+namespace sigvp {
+
+/// First-fit free-list allocator over a [base, base+size) address range.
+///
+/// Backs cudaMalloc in the device model. The kernel coalescer relies on a
+/// property this allocator provides: a single allocation is physically
+/// contiguous, so N chunks can be merged by allocating one chunk of the
+/// summed size and copying (paper Fig. 5).
+class FreeListAllocator {
+ public:
+  FreeListAllocator(std::uint64_t base, std::uint64_t size);
+
+  /// Returns the address of a free block of `size` bytes aligned to `align`
+  /// (a power of two), or nullopt when fragmentation/capacity prevents it.
+  std::optional<std::uint64_t> allocate(std::uint64_t size, std::uint64_t align = 256);
+
+  /// Frees a block previously returned by allocate(); throws on a foreign
+  /// or double free. Adjacent free ranges are merged.
+  void free(std::uint64_t addr);
+
+  bool owns(std::uint64_t addr) const { return live_.contains(addr); }
+  std::uint64_t bytes_allocated() const { return bytes_allocated_; }
+  std::uint64_t capacity() const { return size_; }
+  std::size_t live_blocks() const { return live_.size(); }
+  std::size_t free_ranges() const { return free_.size(); }
+
+ private:
+  std::uint64_t base_;
+  std::uint64_t size_;
+  std::map<std::uint64_t, std::uint64_t> free_;  // addr -> length
+  std::map<std::uint64_t, std::uint64_t> live_;  // addr -> length
+  std::uint64_t bytes_allocated_ = 0;
+};
+
+}  // namespace sigvp

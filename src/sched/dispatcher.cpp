@@ -1,0 +1,234 @@
+#include "sched/dispatcher.hpp"
+
+#include <limits>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+#include <memory>
+
+namespace sigvp {
+
+namespace {
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+}
+
+Dispatcher::Dispatcher(EventQueue& queue, GpuDevice& device, DispatchConfig config)
+    : events_(queue),
+      device_(device),
+      config_(config),
+      service_stream_(device.create_stream()),
+      coalescer_(queue, device, service_stream_),
+      service_(queue, "dispatcher") {}
+
+void Dispatcher::register_vp() {
+  vp_streams_.push_back(device_.create_stream());
+  next_seq_.push_back(0);
+}
+
+void Dispatcher::submit(Job job) {
+  SIGVP_REQUIRE(job.vp_id < vp_streams_.size(), "job from unregistered VP");
+  SIGVP_REQUIRE(job.kind != JobKind::kKernel || job.launch.request.kernel != nullptr,
+                "kernel job without a kernel");
+  job.enqueue_time = events_.now();
+  queue_.push_back(std::move(job));
+  pump();
+}
+
+bool Dispatcher::is_ready(const Job& job) const {
+  return job.seq_in_vp == next_seq_[job.vp_id];
+}
+
+std::uint32_t Dispatcher::ready_peers(const Job& job) const {
+  std::uint32_t peers = 0;
+  for (const Job& other : queue_) {
+    if (&other == &job) continue;
+    if (other.kind == JobKind::kKernel && other.launch.coalesce.eligible &&
+        other.launch.coalesce.key == job.launch.coalesce.key && is_ready(other)) {
+      ++peers;
+    }
+  }
+  return peers;
+}
+
+bool Dispatcher::held_for_coalescing(const Job& job) const {
+  if (!config_.coalesce || job.kind != JobKind::kKernel || !job.launch.coalesce.eligible) {
+    return false;
+  }
+  if (events_.now() - job.enqueue_time >= config_.coalesce_window_us) return false;
+  return ready_peers(job) < config_.coalesce_eager_peers;
+}
+
+void Dispatcher::arm_window_timer() {
+  if (!config_.coalesce) return;
+  SimTime earliest = -1.0;
+  for (const Job& job : queue_) {
+    if (job.kind != JobKind::kKernel || !job.launch.coalesce.eligible) continue;
+    const SimTime expiry = job.enqueue_time + config_.coalesce_window_us;
+    if (expiry > events_.now() && (earliest < 0.0 || expiry < earliest)) earliest = expiry;
+  }
+  if (earliest < 0.0) return;
+  // A strictly-future armed timer that fires no later than `earliest` will
+  // re-pump in time; otherwise arm a fresh one (consumed timers reset the
+  // marker before pumping).
+  if (window_timer_at_ > events_.now() && window_timer_at_ <= earliest) return;
+  window_timer_at_ = earliest;
+  events_.schedule_at(earliest, [this] {
+    window_timer_at_ = -1.0;
+    pump();
+  });
+}
+
+std::size_t Dispatcher::pick_next() const {
+  if (!config_.interleave) {
+    // Serial baseline: strictly one job at a time, arrival order.
+    if (in_flight_ > 0) return kNone;
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      if (is_ready(queue_[i]) && !held_for_coalescing(queue_[i])) return i;
+    }
+    return kNone;
+  }
+
+  // Kernel Interleaving: dispatch the earliest ready job that could START
+  // right now — its engine must be idle AND its stream dependency (the
+  // previous op of the same VP) must have completed. The second condition is
+  // the "augmented for job dependencies" part of the paper's Re-scheduler:
+  // without it, a dependency-stalled job would head-of-line-block its engine
+  // while another VP's runnable job waits behind it (Fig. 3(a)).
+  const SimTime now = events_.now();
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const Job& job = queue_[i];
+    if (!is_ready(job) || held_for_coalescing(job)) continue;
+    const SimTime engine_free = job.kind == JobKind::kKernel
+                                    ? device_.compute_engine_free_at()
+                                    : (job.kind == JobKind::kMemcpyH2D
+                                           ? device_.h2d_engine_free_at()
+                                           : device_.d2h_engine_free_at());
+    if (engine_free > now) continue;
+    if (service_.free_at() > now) continue;  // one job in service at a time
+    if (device_.stream_idle_at(vp_streams_[job.vp_id]) > now) continue;
+    return i;
+  }
+  return kNone;
+}
+
+void Dispatcher::pump() {
+  if (pumping_) return;
+  pumping_ = true;
+  for (std::size_t idx = pick_next(); idx != kNone; idx = pick_next()) {
+    dispatch_at(idx);
+  }
+  arm_window_timer();
+  pumping_ = false;
+}
+
+void Dispatcher::dispatch_at(std::size_t index) {
+  if (index > 0) ++reorders_;
+
+  Job job = std::move(queue_[index]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
+
+  if (config_.coalesce && job.kind == JobKind::kKernel && job.launch.coalesce.eligible) {
+    // Kernel Match: sweep the queue for ready identical requests.
+    std::vector<Job> group;
+    group.push_back(std::move(job));
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      const bool match = it->kind == JobKind::kKernel && it->launch.coalesce.eligible &&
+                         it->launch.coalesce.key == group.front().launch.coalesce.key &&
+                         is_ready(*it);
+      if (match) {
+        group.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (group.size() >= 2 && Coalescer::can_merge(group)) {
+      dispatch_group(std::move(group));
+      return;
+    }
+    dispatch_single(std::move(group.front()));
+    // Any extra matches that could not merge are re-queued at the front in
+    // their original relative order.
+    for (std::size_t i = group.size(); i-- > 1;) {
+      queue_.push_front(std::move(group[i]));
+    }
+    return;
+  }
+
+  dispatch_single(std::move(job));
+}
+
+void Dispatcher::dispatch_single(Job job) {
+  ++next_seq_[job.vp_id];
+  ++in_flight_;
+  ++jobs_dispatched_;
+  SIGVP_TRACE("dispatcher") << "dispatch job " << job.id << " vp" << job.vp_id << " kind="
+                            << static_cast<int>(job.kind) << " t=" << events_.now();
+  // Host-side job handling happens on the dispatcher thread before the op
+  // reaches the device engines.
+  service_.submit(config_.dispatch_overhead_us,
+                  [this, job = std::make_shared<Job>(std::move(job))](SimTime) mutable {
+                    submit_to_device(std::move(*job));
+                    pump();
+                  });
+}
+
+void Dispatcher::submit_to_device(Job job) {
+  const GpuDevice::StreamId stream = vp_streams_[job.vp_id];
+  switch (job.kind) {
+    case JobKind::kMemcpyH2D:
+      device_.memcpy_h2d(stream, job.device_addr, job.host_src, job.bytes,
+                         [this, cb = std::move(job.on_complete)](SimTime end) {
+                           if (cb) cb(end, nullptr);
+                           on_job_finished();
+                         });
+      break;
+    case JobKind::kMemcpyD2H:
+      device_.memcpy_d2h(stream, job.host_dst, job.device_addr, job.bytes,
+                         [this, cb = std::move(job.on_complete)](SimTime end) {
+                           if (cb) cb(end, nullptr);
+                           on_job_finished();
+                         });
+      break;
+    case JobKind::kKernel:
+      device_.launch(stream, job.launch.request,
+                     [this, cb = std::move(job.on_complete)](SimTime end,
+                                                             const KernelExecStats& stats) {
+                       if (cb) cb(end, &stats);
+                       on_job_finished();
+                     });
+      break;
+  }
+}
+
+void Dispatcher::dispatch_group(std::vector<Job> group) {
+  in_flight_ += static_cast<std::uint32_t>(group.size());
+  jobs_dispatched_ += group.size();
+  for (Job& j : group) {
+    ++next_seq_[j.vp_id];
+    // Chain the dispatcher's accounting after the job's own completion.
+    auto original = std::move(j.on_complete);
+    j.on_complete = [this, original](SimTime end, const KernelExecStats* stats) {
+      if (original) original(end, stats);
+      on_job_finished();
+    };
+  }
+  // One host-side service charge for the whole merged group — the core of
+  // the coalescing gain: N launches, one dispatch + one profiler arming.
+  service_.submit(config_.dispatch_overhead_us,
+                  [this, group = std::make_shared<std::vector<Job>>(std::move(group))](
+                      SimTime) mutable {
+                    coalescer_.execute(std::move(*group));
+                    pump();
+                  });
+}
+
+void Dispatcher::on_job_finished() {
+  SIGVP_ASSERT(in_flight_ > 0, "completion without a job in flight");
+  --in_flight_;
+  pump();
+}
+
+}  // namespace sigvp

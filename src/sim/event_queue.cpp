@@ -1,0 +1,43 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace sigvp {
+
+void EventQueue::schedule_at(SimTime t, Callback cb) {
+  SIGVP_REQUIRE(t >= now_, "cannot schedule an event in the simulated past");
+  SIGVP_REQUIRE(static_cast<bool>(cb), "event callback must be callable");
+  heap_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+void EventQueue::schedule_after(SimTime dt, Callback cb) {
+  SIGVP_REQUIRE(dt >= 0.0, "event delay must be non-negative");
+  schedule_at(now_ + dt, std::move(cb));
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; the callback is moved out via const_cast,
+  // which is safe because the element is popped before the callback runs.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ = ev.time;
+  ++processed_;
+  ev.fn();
+  return true;
+}
+
+void EventQueue::run() {
+  while (step()) {
+  }
+}
+
+void EventQueue::run_until(SimTime t) {
+  SIGVP_REQUIRE(t >= now_, "cannot run the queue backwards");
+  while (!heap_.empty() && heap_.top().time <= t) step();
+  now_ = t;
+}
+
+}  // namespace sigvp

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace sigvp {
+
+/// Deterministic discrete-event queue.
+///
+/// Events scheduled for the same timestamp fire in insertion order (a strict
+/// FIFO tie-break), which keeps every simulation in this repository fully
+/// reproducible — the re-scheduler's decisions depend on queue order.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t`; `t` must not be in the past.
+  void schedule_at(SimTime t, Callback cb);
+
+  /// Schedules `cb` at `now() + dt` with `dt >= 0`.
+  void schedule_after(SimTime dt, Callback cb);
+
+  /// Pops and runs the earliest event. Returns false when the queue is empty.
+  bool step();
+
+  /// Runs until no events remain.
+  void run();
+
+  /// Runs events with timestamp <= `t`, then advances the clock to `t`
+  /// (even if idle) so follow-up scheduling is relative to `t`.
+  void run_until(SimTime t);
+
+  std::size_t pending() const { return heap_.size(); }
+  std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace sigvp

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sigvp {
+
+/// Error thrown on violated preconditions / invariants inside the framework.
+///
+/// The simulator is a library, so contract violations surface as exceptions
+/// rather than aborts; tests assert on them and applications may catch them.
+class ContractError : public std::runtime_error {
+ public:
+  explicit ContractError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise_contract_error(const char* kind, const char* expr,
+                                              const char* file, int line,
+                                              const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractError(os.str());
+}
+}  // namespace detail
+
+}  // namespace sigvp
+
+/// Precondition check: throws sigvp::ContractError when `expr` is false.
+#define SIGVP_REQUIRE(expr, msg)                                                \
+  do {                                                                          \
+    if (!(expr)) {                                                              \
+      ::sigvp::detail::raise_contract_error("precondition", #expr, __FILE__,    \
+                                            __LINE__, (msg));                   \
+    }                                                                           \
+  } while (0)
+
+/// Internal invariant check: same mechanics, different label in the message.
+#define SIGVP_ASSERT(expr, msg)                                                 \
+  do {                                                                          \
+    if (!(expr)) {                                                              \
+      ::sigvp::detail::raise_contract_error("invariant", #expr, __FILE__,       \
+                                            __LINE__, (msg));                   \
+    }                                                                           \
+  } while (0)

@@ -1,0 +1,30 @@
+#include "util/log.hpp"
+
+namespace sigvp {
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& component, const std::string& message) {
+  if (!enabled(level)) return;
+  std::ostream& os = (level >= LogLevel::kWarn) ? std::cerr : std::clog;
+  os << "[" << level_name(level) << "] [" << component << "] " << message << "\n";
+}
+
+}  // namespace sigvp

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace sigvp {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide logging configuration. Benches set kWarn to keep tables clean;
+/// tests may raise verbosity to trace scheduler decisions.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_ && level_ != LogLevel::kOff; }
+
+  void write(LogLevel level, const std::string& component, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogLine() { Logger::instance().write(level_, component_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace sigvp
+
+#define SIGVP_LOG(level, component)                          \
+  if (!::sigvp::Logger::instance().enabled(level)) {         \
+  } else                                                     \
+    ::sigvp::detail::LogLine(level, component)
+
+#define SIGVP_TRACE(component) SIGVP_LOG(::sigvp::LogLevel::kTrace, component)
+#define SIGVP_DEBUG(component) SIGVP_LOG(::sigvp::LogLevel::kDebug, component)
+#define SIGVP_INFO(component) SIGVP_LOG(::sigvp::LogLevel::kInfo, component)
+#define SIGVP_WARN(component) SIGVP_LOG(::sigvp::LogLevel::kWarn, component)
+#define SIGVP_ERROR(component) SIGVP_LOG(::sigvp::LogLevel::kError, component)

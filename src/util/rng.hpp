@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+
+namespace sigvp {
+
+/// Deterministic xorshift128+ generator.
+///
+/// Workload input generation and the probabilistic cache model both need
+/// reproducible randomness that does not depend on the standard library's
+/// unspecified distributions; this generator is seed-stable across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding to avoid correlated low-entropy states.
+    auto next = [&seed]() {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+    s0_ = next();
+    s1_ = next();
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  std::uint64_t next_u64() {
+    std::uint64_t x = s0_;
+    const std::uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Uniform integer in [0, bound).
+  std::uint64_t next_below(std::uint64_t bound) {
+    return bound == 0 ? 0 : next_u64() % bound;
+  }
+
+ private:
+  std::uint64_t s0_ = 0;
+  std::uint64_t s1_ = 0;
+};
+
+}  // namespace sigvp

@@ -1,0 +1,42 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace sigvp {
+
+void RunningStats::add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double mean_abs_pct_error(const std::vector<double>& observed,
+                          const std::vector<double>& estimates) {
+  SIGVP_REQUIRE(observed.size() == estimates.size(), "series must have equal length");
+  SIGVP_REQUIRE(!observed.empty(), "series must be non-empty");
+  double total = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    SIGVP_REQUIRE(observed[i] != 0.0, "observed values must be non-zero");
+    total += std::abs(estimates[i] - observed[i]) / std::abs(observed[i]);
+  }
+  return total / static_cast<double>(observed.size());
+}
+
+}  // namespace sigvp

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sigvp {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double value);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean absolute percentage error of `estimates` against `observed`;
+/// used to score the timing/power estimation models (paper §5).
+double mean_abs_pct_error(const std::vector<double>& observed,
+                          const std::vector<double>& estimates);
+
+}  // namespace sigvp

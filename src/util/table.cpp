@@ -1,0 +1,66 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace sigvp {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  SIGVP_REQUIRE(!headers_.empty(), "a table needs at least one column");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  SIGVP_REQUIRE(cells.size() == headers_.size(), "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "  " << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+    }
+    os << "\n";
+  };
+
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::print_csv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ",";
+      os << row[c];
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt_fixed(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string fmt_ms(double milliseconds) { return fmt_fixed(milliseconds, 2); }
+
+std::string fmt_ratio(double ratio) { return fmt_fixed(ratio, 2); }
+
+std::string fmt_int(long long value) { return std::to_string(value); }
+
+}  // namespace sigvp

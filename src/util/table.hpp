@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sigvp {
+
+/// Console table printer used by the bench harnesses to reproduce the
+/// paper's tables and figure series as aligned text plus optional CSV.
+///
+/// Usage:
+///   TablePrinter t({"Language", "Executed by", "Time (ms)", "Ratio"});
+///   t.add_row({"CUDA", "GPU", fmt_ms(170.79), "1.00"});
+///   t.print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Renders with column alignment and a header separator.
+  void print(std::ostream& os) const;
+  /// Renders as CSV (for plotting the figures externally).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision numeric formatting helpers for table cells.
+std::string fmt_fixed(double value, int precision);
+std::string fmt_ms(double milliseconds);
+std::string fmt_ratio(double ratio);
+std::string fmt_int(long long value);
+
+}  // namespace sigvp

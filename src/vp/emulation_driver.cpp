@@ -1,0 +1,83 @@
+#include "vp/emulation_driver.hpp"
+
+#include <utility>
+
+#include "interp/interpreter.hpp"
+#include "util/check.hpp"
+
+namespace sigvp {
+
+namespace {
+constexpr std::uint64_t kHeapBase = 4096;
+}
+
+EmulationDriver::EmulationDriver(Processor& cpu, EmulationConfig config)
+    : cpu_(cpu),
+      config_(config),
+      memory_(config.device_mem_bytes, cpu.name() + ".emul-gpu-mem"),
+      allocator_(kHeapBase, config.device_mem_bytes - kHeapBase) {}
+
+std::uint64_t EmulationDriver::malloc(std::uint64_t bytes) {
+  auto addr = allocator_.allocate(bytes);
+  SIGVP_REQUIRE(addr.has_value(), "emulated GPU memory exhausted");
+  cpu_.run_time(config_.per_call_us);
+  return *addr;
+}
+
+void EmulationDriver::free(std::uint64_t addr) {
+  allocator_.free(addr);
+  cpu_.run_time(config_.per_call_us);
+}
+
+void EmulationDriver::memcpy_h2d(std::uint64_t dst, const void* src, std::uint64_t bytes,
+                                 cuda::DoneCallback cb) {
+  if (src != nullptr) memory_.copy_in(dst, src, bytes);
+  cpu_.run_time(memcpy_time_us(bytes), std::move(cb));
+}
+
+void EmulationDriver::memcpy_d2h(void* dst, std::uint64_t src, std::uint64_t bytes,
+                                 cuda::DoneCallback cb) {
+  if (dst != nullptr) memory_.copy_out(dst, src, bytes);
+  cpu_.run_time(memcpy_time_us(bytes), std::move(cb));
+}
+
+void EmulationDriver::launch(const cuda::LaunchSpec& spec, cuda::KernelDoneCallback cb) {
+  SIGVP_REQUIRE(spec.request.kernel != nullptr, "launch without a kernel");
+  const LaunchRequest& req = spec.request;
+
+  KernelExecStats stats;  // what little the emulator can report
+  std::uint64_t sfu = 0;
+  std::uint64_t sqrts = 0;
+  if (config_.functional) {
+    Interpreter interp;
+    const DynamicProfile profile = interp.run(*req.kernel, req.dims, req.args, memory_);
+    stats.sigma = profile.instr_counts;
+    sfu = profile.sfu_instrs;
+    sqrts = profile.sqrt_instrs;
+  } else {
+    ClassCounts sigma = req.analytic_profile.instr_counts;
+    if (sigma.total() == 0 && !req.analytic_profile.block_visits.empty()) {
+      sigma = DynamicProfile::counts_from_visits(*req.kernel, req.analytic_profile.block_visits);
+    }
+    SIGVP_REQUIRE(sigma.total() > 0, "analytic emulation launch without a profile");
+    stats.sigma = sigma;
+    sfu = req.analytic_profile.sfu_instrs;
+    sqrts = req.analytic_profile.sqrt_instrs;
+  }
+  const double instrs = weighted_instrs(stats.sigma, sfu, sqrts);
+
+  const SimTime duration = config_.per_call_us + kernel_time_us(instrs);
+  stats.duration_us = duration;
+  stats.num_blocks = req.dims.num_blocks();
+  cpu_.run_time(duration, [stats, cb = std::move(cb)](SimTime end) {
+    if (cb) cb(end, stats);
+  });
+}
+
+void EmulationDriver::synchronize(cuda::DoneCallback cb) {
+  // Everything executes serially on the CPU context, so synchronization is
+  // a zero-length work item queued behind the outstanding ops.
+  cpu_.run_time(0.0, std::move(cb));
+}
+
+}  // namespace sigvp

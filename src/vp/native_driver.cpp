@@ -1,0 +1,40 @@
+#include "vp/native_driver.hpp"
+
+#include <utility>
+
+namespace sigvp {
+
+NativeDriver::NativeDriver(EventQueue& queue, GpuDevice& device, const HostCpuConfig& host)
+    : queue_(queue),
+      device_(device),
+      stream_(device.create_stream()),
+      call_overhead_us_(host.native_call_overhead_us) {}
+
+void NativeDriver::memcpy_h2d(std::uint64_t dst, const void* src, std::uint64_t bytes,
+                              cuda::DoneCallback cb) {
+  // The host driver call costs a few µs before the DMA is queued; model it
+  // as submission delay folded into the copy-engine schedule.
+  const SimTime end = device_.memcpy_h2d(stream_, dst, src, bytes) + call_overhead_us_;
+  if (cb) queue_.schedule_at(end, [end, cb = std::move(cb)] { cb(end); });
+}
+
+void NativeDriver::memcpy_d2h(void* dst, std::uint64_t src, std::uint64_t bytes,
+                              cuda::DoneCallback cb) {
+  const SimTime end = device_.memcpy_d2h(stream_, dst, src, bytes) + call_overhead_us_;
+  if (cb) queue_.schedule_at(end, [end, cb = std::move(cb)] { cb(end); });
+}
+
+void NativeDriver::launch(const cuda::LaunchSpec& spec, cuda::KernelDoneCallback cb) {
+  device_.launch(stream_, spec.request,
+                 [cb = std::move(cb)](SimTime end, const KernelExecStats& stats) {
+                   if (cb) cb(end, stats);
+                 });
+}
+
+void NativeDriver::synchronize(cuda::DoneCallback cb) {
+  const SimTime idle = device_.stream_idle_at(stream_);
+  const SimTime when = std::max(idle, queue_.now());
+  if (cb) queue_.schedule_at(when, [when, cb = std::move(cb)] { cb(when); });
+}
+
+}  // namespace sigvp

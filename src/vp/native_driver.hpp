@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cuda/driver.hpp"
+#include "gpu/device.hpp"
+#include "vp/processor.hpp"
+
+namespace sigvp {
+
+/// Native host-GPU backend: the application runs on the host CPU and talks
+/// to the physical GPU through the vendor driver — the paper's Table 1
+/// baseline row ("CUDA executed by GPU"). Only a small per-call host driver
+/// overhead separates this from raw device-model time.
+class NativeDriver final : public cuda::DeviceDriver {
+ public:
+  NativeDriver(EventQueue& queue, GpuDevice& device, const HostCpuConfig& host);
+
+  std::uint64_t malloc(std::uint64_t bytes) override { return device_.malloc(bytes); }
+  void free(std::uint64_t addr) override { device_.free(addr); }
+  void memcpy_h2d(std::uint64_t dst, const void* src, std::uint64_t bytes,
+                  cuda::DoneCallback cb) override;
+  void memcpy_d2h(void* dst, std::uint64_t src, std::uint64_t bytes,
+                  cuda::DoneCallback cb) override;
+  void launch(const cuda::LaunchSpec& spec, cuda::KernelDoneCallback cb) override;
+  void synchronize(cuda::DoneCallback cb) override;
+
+  GpuDevice::StreamId stream() const { return stream_; }
+
+ private:
+  EventQueue& queue_;
+  GpuDevice& device_;
+  GpuDevice::StreamId stream_;
+  double call_overhead_us_;
+};
+
+}  // namespace sigvp

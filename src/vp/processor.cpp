@@ -1,0 +1,24 @@
+#include "vp/processor.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace sigvp {
+
+Processor::Processor(EventQueue& queue, std::string name, double instrs_per_second)
+    : engine_(queue, std::move(name)), ips_(instrs_per_second) {
+  SIGVP_REQUIRE(instrs_per_second > 0.0, "processor rate must be positive");
+}
+
+void Processor::run_instrs(double instrs, std::function<void(SimTime)> cb) {
+  SIGVP_REQUIRE(instrs >= 0.0, "instruction count must be non-negative");
+  const SimTime duration_us = instrs / ips_ * 1e6;
+  engine_.submit(duration_us, std::move(cb));
+}
+
+void Processor::run_time(SimTime duration_us, std::function<void(SimTime)> cb) {
+  engine_.submit(duration_us, std::move(cb));
+}
+
+}  // namespace sigvp

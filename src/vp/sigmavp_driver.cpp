@@ -1,0 +1,124 @@
+#include "vp/sigmavp_driver.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace sigvp {
+
+SigmaVpDriver::SigmaVpDriver(Processor& guest_cpu, IpcManager& ipc, GpuDevice& device,
+                             std::uint32_t ipc_id, const VpConfig& config)
+    : guest_cpu_(guest_cpu),
+      ipc_(ipc),
+      device_(device),
+      ipc_id_(ipc_id),
+      call_instrs_(config.user_lib_instrs_per_call + config.driver_instrs_per_call) {}
+
+void SigmaVpDriver::guest_call(std::function<void(SimTime)> then) {
+  guest_cpu_.run_instrs(call_instrs_, std::move(then));
+}
+
+std::uint64_t SigmaVpDriver::malloc(std::uint64_t bytes) {
+  // Allocation is host-side bookkeeping; the guest pays the stack traversal
+  // plus one IPC round trip (it must wait for the device address).
+  const std::uint64_t addr = device_.malloc(bytes);
+  guest_cpu_.run_instrs(call_instrs_);
+  guest_cpu_.run_time(2.0 * ipc_.cost_model().message_cost(0));
+  return addr;
+}
+
+void SigmaVpDriver::free(std::uint64_t addr) {
+  device_.free(addr);
+  guest_cpu_.run_instrs(call_instrs_);
+  guest_cpu_.run_time(2.0 * ipc_.cost_model().message_cost(0));
+}
+
+void SigmaVpDriver::memcpy_h2d(std::uint64_t dst, const void* src, std::uint64_t bytes,
+                               cuda::DoneCallback cb) {
+  ++outstanding_;
+  const std::uint64_t seq = seq_++;
+  guest_call([this, dst, src, bytes, seq, cb = std::move(cb)](SimTime) {
+    Job job;
+    job.vp_id = ipc_id_;
+    job.seq_in_vp = seq;
+    job.kind = JobKind::kMemcpyH2D;
+    job.device_addr = dst;
+    job.host_src = src;
+    job.bytes = bytes;
+    job.on_complete = [this, cb](SimTime end, const KernelExecStats*) {
+      if (cb) cb(end);
+      complete_one();
+    };
+    // The payload (guest buffer contents) rides the IPC transport.
+    ipc_.send_job(ipc_id_, std::move(job), bytes);
+  });
+}
+
+void SigmaVpDriver::memcpy_d2h(void* dst, std::uint64_t src, std::uint64_t bytes,
+                               cuda::DoneCallback cb) {
+  ++outstanding_;
+  const std::uint64_t seq = seq_++;
+  guest_call([this, dst, src, bytes, seq, cb = std::move(cb)](SimTime) {
+    Job job;
+    job.vp_id = ipc_id_;
+    job.seq_in_vp = seq;
+    job.kind = JobKind::kMemcpyD2H;
+    job.device_addr = src;
+    job.host_dst = dst;
+    job.bytes = bytes;
+    job.on_complete = [this, cb](SimTime end, const KernelExecStats*) {
+      if (cb) cb(end);
+      complete_one();
+    };
+    // Request is control-only; the data payload returns with the response,
+    // whose cost is symmetric — charged here as the request payload.
+    ipc_.send_job(ipc_id_, std::move(job), bytes);
+  });
+}
+
+void SigmaVpDriver::launch(const cuda::LaunchSpec& spec, cuda::KernelDoneCallback cb) {
+  SIGVP_REQUIRE(spec.request.kernel != nullptr, "launch without a kernel");
+  ++outstanding_;
+  const std::uint64_t seq = seq_++;
+  guest_call([this, spec, seq, cb = std::move(cb)](SimTime) {
+    Job job;
+    job.vp_id = ipc_id_;
+    job.seq_in_vp = seq;
+    job.kind = JobKind::kKernel;
+    job.launch = spec;
+    job.on_complete = [this, cb](SimTime end, const KernelExecStats* stats) {
+      SIGVP_ASSERT(stats != nullptr, "kernel completion without stats");
+      if (cb) cb(end, *stats);
+      complete_one();
+    };
+    // Launch requests carry only the argument block (~256 B of control).
+    ipc_.send_job(ipc_id_, std::move(job), 256);
+  });
+}
+
+void SigmaVpDriver::synchronize(cuda::DoneCallback cb) {
+  if (outstanding_ == 0) {
+    // Synchronization still traverses the guest stack.
+    guest_call([cb = std::move(cb)](SimTime end) {
+      if (cb) cb(end);
+    });
+    return;
+  }
+  sync_waiters_.push_back(std::move(cb));
+}
+
+void SigmaVpDriver::complete_one() {
+  SIGVP_ASSERT(outstanding_ > 0, "completion without an outstanding request");
+  --outstanding_;
+  if (outstanding_ == 0 && !sync_waiters_.empty()) {
+    auto waiters = std::move(sync_waiters_);
+    sync_waiters_.clear();
+    for (auto& w : waiters) {
+      guest_call([w = std::move(w)](SimTime end) {
+        if (w) w(end);
+      });
+    }
+  }
+}
+
+}  // namespace sigvp

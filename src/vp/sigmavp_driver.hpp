@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cuda/driver.hpp"
+#include "gpu/device.hpp"
+#include "ipc/ipc_manager.hpp"
+#include "vp/processor.hpp"
+
+namespace sigvp {
+
+/// The ΣVP guest GPU stack: GPU User Library → guest GPU driver → Virtual
+/// Embedded GPU Hardware Model (paper Fig. 2, left column).
+///
+/// Each API call charges the guest CPU for the user-library and driver code
+/// (executed under binary translation), then the virtual GPU hardware model
+/// pushes the request through the IPC manager into the host-side Job Queue.
+/// Completions travel back through IPC (response message cost, VP-control
+/// gating) before the application callback runs.
+class SigmaVpDriver final : public cuda::DeviceDriver {
+ public:
+  /// `ipc_id` is this VP's endpoint from IpcManager::register_vp(); the
+  /// dispatcher must have register_vp()'d in the same order.
+  SigmaVpDriver(Processor& guest_cpu, IpcManager& ipc, GpuDevice& device,
+                std::uint32_t ipc_id, const VpConfig& config);
+
+  std::uint64_t malloc(std::uint64_t bytes) override;
+  void free(std::uint64_t addr) override;
+  void memcpy_h2d(std::uint64_t dst, const void* src, std::uint64_t bytes,
+                  cuda::DoneCallback cb) override;
+  void memcpy_d2h(void* dst, std::uint64_t src, std::uint64_t bytes,
+                  cuda::DoneCallback cb) override;
+  void launch(const cuda::LaunchSpec& spec, cuda::KernelDoneCallback cb) override;
+  void synchronize(cuda::DoneCallback cb) override;
+
+  std::uint32_t ipc_id() const { return ipc_id_; }
+  std::uint64_t requests_sent() const { return seq_; }
+
+ private:
+  /// Charges guest user-library + driver time, then runs `then`.
+  void guest_call(std::function<void(SimTime)> then);
+  void complete_one();
+
+  Processor& guest_cpu_;
+  IpcManager& ipc_;
+  GpuDevice& device_;
+  std::uint32_t ipc_id_;
+  double call_instrs_;
+
+  std::uint64_t seq_ = 0;
+  std::uint32_t outstanding_ = 0;
+  std::vector<cuda::DoneCallback> sync_waiters_;
+};
+
+}  // namespace sigvp

@@ -1,0 +1,208 @@
+#include <algorithm>
+#include <cstdint>
+
+#include "workloads/suite.hpp"
+
+namespace sigvp::workloads {
+
+Workload make_dct8x8() {
+  // Row pass of the 8x8 DCT: each 64-thread block stages one tile in shared
+  // memory, synchronizes, and contracts rows against the DCT matrix.
+  KernelBuilder b("dct8x8", 4);
+  b.set_shared_bytes(8 * 8 * 4);
+  const auto pin = b.reg(), pcoef = b.reg(), pout = b.reg(), n = b.reg();
+  b.block("entry");
+  b.ld_param(pin, 0);
+  b.ld_param(pcoef, 1);
+  b.ld_param(pout, 2);
+  b.ld_param(n, 3);
+
+  const auto tid = b.reg(), ctaid = b.reg(), lsize = b.reg(), g = b.reg();
+  b.special(tid, SpecialReg::kTidX);
+  b.special(ctaid, SpecialReg::kCtaidX);
+  b.mov_imm_i(lsize, 64);
+  b.mul_i(g, ctaid, lsize);
+  b.add_i(g, g, tid);
+
+  const auto tx = b.reg(), ty = b.reg(), eight = b.reg(), zero = b.reg();
+  b.mov_imm_i(eight, 8);
+  b.mov_imm_i(zero, 0);
+  b.rem_i(tx, tid, eight);
+  b.div_i(ty, tid, eight);
+
+  // Stage the tile element into shared memory.
+  const auto gaddr = b.reg(), x = b.reg(), saddr = b.reg();
+  b.addr_of(gaddr, pin, g, 2);
+  b.ld_global_f32(x, gaddr);
+  b.addr_of(saddr, zero, tid, 2);
+  b.st_shared_f32(x, saddr);
+  b.bar();
+
+  // acc = sum_k coef[tx*8+k] * tile[ty*8+k]
+  const auto tx8 = b.reg(), ty8 = b.reg(), acc = b.reg(), k = b.reg(), one = b.reg();
+  b.mul_i(tx8, tx, eight);
+  b.mul_i(ty8, ty, eight);
+  b.mov_imm_f32(acc, 0.0f);
+  b.mov_imm_i(k, 0);
+  b.mov_imm_i(one, 1);
+  auto loop = b.loop_begin(k, eight, one, "k");
+  const auto cidx = b.reg(), caddr = b.reg(), c = b.reg(), sidx = b.reg(),
+             s2addr = b.reg(), v = b.reg();
+  b.add_i(cidx, tx8, k);
+  b.addr_of(caddr, pcoef, cidx, 2);
+  b.ld_global_f32(c, caddr);
+  b.add_i(sidx, ty8, k);
+  b.addr_of(s2addr, zero, sidx, 2);
+  b.ld_shared_f32(v, s2addr);
+  b.fma_f32(acc, c, v, acc);
+  b.loop_end(loop);
+
+  const auto oaddr = b.reg();
+  b.addr_of(oaddr, pout, g, 2);
+  b.st_global_f32(acc, oaddr);
+  b.ret();
+
+  Workload w;
+  w.app = "dct8x8";
+  w.kernel = b.build();
+  w.default_n = 4u << 20;
+  w.test_n = 256;  // four tiles
+  w.estimate_n = 65536;
+  const KernelIR ir = w.kernel;
+  auto tile_dims = [](std::uint64_t n_) {
+    LaunchDims d;
+    d.block_x = 64;
+    d.grid_x = static_cast<std::uint32_t>(std::max<std::uint64_t>(1, n_ / 64));
+    return d;
+  };
+  w.dims = tile_dims;
+  w.buffers = [](std::uint64_t n_) {
+    return std::vector<BufferSpec>{
+        {4 * n_, true, false}, {64 * 4, true, false}, {4 * n_, false, true}};
+  };
+  w.args = [](const std::vector<std::uint64_t>& a, std::uint64_t n_) {
+    KernelArgs args;
+    args.push_ptr(a[0]);
+    args.push_ptr(a[1]);
+    args.push_ptr(a[2]);
+    args.push_i64(static_cast<std::int64_t>(n_));
+    return args;
+  };
+  w.profile = [ir, tile_dims](std::uint64_t n_) {
+    const std::uint64_t total = tile_dims(n_).total_threads();
+    return profile_from_visits(ir, {{"entry", total},
+                                    {"k.head", total * 9},
+                                    {"k.body", total * 8},
+                                    {"k.exit", total}});
+  };
+  w.behavior = [](std::uint64_t n_) {
+    return MemoryBehavior{8 * n_ + 256, 10 * n_, 0.9, 0.95};
+  };
+  w.traits.coalescable = false;  // tile layout, shared-memory staging
+  w.traits.iterations = 30;
+  w.traits.launches_per_iter = 2;
+  w.traits.iter_h2d_bytes = 1u << 20;  // fresh image blocks per iteration
+  w.traits.iter_d2h_bytes = 1u << 20;
+  w.traits.noncuda_guest_instrs = 3000;
+  return w;
+}
+
+Workload make_reduction() {
+  // Shared-memory tree reduction; one partial sum per block. Branch-free
+  // inner loop (select-guarded) so the profile is exact.
+  KernelBuilder b("reduction", 3);
+  b.set_shared_bytes(256 * 4);
+  const auto pin = b.reg(), pout = b.reg(), n = b.reg();
+  b.block("entry");
+  b.ld_param(pin, 0);
+  b.ld_param(pout, 1);
+  b.ld_param(n, 2);
+  (void)n;
+
+  const auto tid = b.reg(), ctaid = b.reg(), bsize = b.reg(), gid = b.reg(),
+             zero = b.reg();
+  b.special(tid, SpecialReg::kTidX);
+  b.special(ctaid, SpecialReg::kCtaidX);
+  b.mov_imm_i(bsize, 256);
+  b.mov_imm_i(zero, 0);
+  b.mul_i(gid, ctaid, bsize);
+  b.add_i(gid, gid, tid);
+
+  const auto gaddr = b.reg(), x = b.reg(), saddr = b.reg();
+  b.addr_of(gaddr, pin, gid, 2);
+  b.ld_global_f32(x, gaddr);
+  b.addr_of(saddr, zero, tid, 2);
+  b.st_shared_f32(x, saddr);
+  b.bar();
+
+  const auto s = b.reg(), i = b.reg(), one = b.reg(), steps = b.reg();
+  b.mov_imm_i(s, 128);
+  b.mov_imm_i(i, 0);
+  b.mov_imm_i(one, 1);
+  b.mov_imm_i(steps, 8);
+  auto loop = b.loop_begin(i, steps, one, "s");
+  const auto active = b.reg(), idx2 = b.reg(), a2 = b.reg(), v1 = b.reg(),
+             v2 = b.reg(), sum = b.reg(), res = b.reg();
+  b.set_lt_i(active, tid, s);
+  b.add_i(idx2, tid, s);
+  b.select(idx2, active, idx2, tid);  // inactive threads read their own slot
+  b.ld_shared_f32(v1, saddr);
+  b.addr_of(a2, zero, idx2, 2);
+  b.ld_shared_f32(v2, a2);
+  b.add_f32(sum, v1, v2);
+  b.select(res, active, sum, v1);
+  b.st_shared_f32(res, saddr);
+  b.bar();
+  b.shr_b(s, s, one);
+  b.loop_end(loop);
+
+  // Every thread stores the block total to out[ctaid] (same value).
+  const auto base = b.reg(), total = b.reg(), oaddr = b.reg();
+  b.addr_of(base, zero, zero, 2);
+  b.ld_shared_f32(total, base);
+  b.addr_of(oaddr, pout, ctaid, 2);
+  b.st_global_f32(total, oaddr);
+  b.ret();
+
+  Workload w;
+  w.app = "reduction";
+  w.kernel = b.build();
+  w.default_n = 8u << 20;
+  w.test_n = 1024;
+  const KernelIR ir = w.kernel;
+  auto red_dims = [](std::uint64_t n_) {
+    LaunchDims d;
+    d.block_x = 256;
+    d.grid_x = static_cast<std::uint32_t>(std::max<std::uint64_t>(1, n_ / 256));
+    return d;
+  };
+  w.dims = red_dims;
+  w.buffers = [red_dims](std::uint64_t n_) {
+    return std::vector<BufferSpec>{{4 * n_, true, false},
+                                   {4 * red_dims(n_).num_blocks(), false, true}};
+  };
+  w.args = [](const std::vector<std::uint64_t>& a, std::uint64_t n_) {
+    KernelArgs args;
+    args.push_ptr(a[0]);
+    args.push_ptr(a[1]);
+    args.push_i64(static_cast<std::int64_t>(n_));
+    return args;
+  };
+  w.profile = [ir, red_dims](std::uint64_t n_) {
+    const std::uint64_t total = red_dims(n_).total_threads();
+    return profile_from_visits(ir, {{"entry", total},
+                                    {"s.head", total * 9},
+                                    {"s.body", total * 8},
+                                    {"s.exit", total}});
+  };
+  w.behavior = [](std::uint64_t n_) {
+    return MemoryBehavior{4 * n_ + 4 * (n_ / 256), n_ + n_ / 256, 0.9, 0.97};
+  };
+  w.traits.coalescable = false;  // per-block partials feed a host-side pass
+  w.traits.iterations = 30;
+  w.traits.launches_per_iter = 4;
+  w.traits.noncuda_guest_instrs = 4000;
+  return w;
+}
+
+}  // namespace sigvp::workloads

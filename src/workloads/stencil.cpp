@@ -1,0 +1,431 @@
+#include <algorithm>
+#include <cstdint>
+
+#include "workloads/suite.hpp"
+
+namespace sigvp::workloads {
+
+namespace {
+
+LaunchDims dims1d(std::uint64_t n, std::uint32_t block = 256) {
+  LaunchDims d;
+  d.block_x = block;
+  d.grid_x = static_cast<std::uint32_t>(std::max<std::uint64_t>(1, (n + block - 1) / block));
+  return d;
+}
+
+}  // namespace
+
+Workload make_sobel_filter() {
+  // 3x3 Sobel edge detector over an 8-bit image; integer-dominated, which is
+  // why the paper observes a comparatively low speedup for it.
+  KernelBuilder b("SobelFilter", 4);
+  const auto pin = b.reg(), pout = b.reg(), wreg = b.reg(), n = b.reg(), gid = b.reg();
+  b.block("entry");
+  b.ld_param(pin, 0);
+  b.ld_param(pout, 1);
+  b.ld_param(wreg, 2);
+  b.ld_param(n, 3);
+  emit_guard(b, gid, n);
+
+  const auto x = b.reg(), y = b.reg(), h = b.reg(), zero = b.reg(), one = b.reg();
+  b.rem_i(x, gid, wreg);
+  b.div_i(y, gid, wreg);
+  b.div_i(h, n, wreg);
+  b.mov_imm_i(zero, 0);
+  b.mov_imm_i(one, 1);
+
+  const auto wm1 = b.reg(), hm1 = b.reg();
+  b.sub_i(wm1, wreg, one);
+  b.sub_i(hm1, h, one);
+
+  // Row base offsets for y-1, y, y+1 (clamped).
+  auto clamped_row = [&](int dy) {
+    const auto r = b.reg(), off = b.reg();
+    if (dy < 0) {
+      b.sub_i(r, y, one);
+    } else if (dy > 0) {
+      b.add_i(r, y, one);
+    } else {
+      b.mov(r, y);
+    }
+    b.max_i(r, r, zero);
+    b.min_i(r, r, hm1);
+    b.mul_i(off, r, wreg);
+    return off;
+  };
+  const auto row_m = clamped_row(-1), row_0 = clamped_row(0), row_p = clamped_row(1);
+
+  auto clamped_col = [&](int dx) {
+    const auto c = b.reg();
+    if (dx < 0) {
+      b.sub_i(c, x, one);
+    } else if (dx > 0) {
+      b.add_i(c, x, one);
+    } else {
+      b.mov(c, x);
+    }
+    b.max_i(c, c, zero);
+    b.min_i(c, c, wm1);
+    return c;
+  };
+  const auto col_m = clamped_col(-1), col_0 = clamped_col(0), col_p = clamped_col(1);
+
+  auto load_pixel = [&](KernelBuilder::Reg row_off, KernelBuilder::Reg col) {
+    const auto idx = b.reg(), addr = b.reg(), v = b.reg();
+    b.add_i(idx, row_off, col);
+    b.add_i(addr, pin, idx);
+    b.ld_global_u8(v, addr);
+    return v;
+  };
+  const auto p00 = load_pixel(row_m, col_m), p01 = load_pixel(row_m, col_0),
+             p02 = load_pixel(row_m, col_p);
+  const auto p10 = load_pixel(row_0, col_m), p12 = load_pixel(row_0, col_p);
+  const auto p20 = load_pixel(row_p, col_m), p21 = load_pixel(row_p, col_0),
+             p22 = load_pixel(row_p, col_p);
+
+  // gx = (p02 + 2 p12 + p22) - (p00 + 2 p10 + p20)
+  const auto t0 = b.reg(), t1 = b.reg(), gx = b.reg(), gy = b.reg(), mag = b.reg();
+  b.add_i(t0, p02, p22);
+  b.add_i(t1, p12, p12);
+  b.add_i(t0, t0, t1);
+  b.add_i(t1, p00, p20);
+  b.sub_i(gx, t0, t1);
+  b.add_i(t1, p10, p10);
+  b.sub_i(gx, gx, t1);
+  // gy = (p20 + 2 p21 + p22) - (p00 + 2 p01 + p02)
+  b.add_i(t0, p20, p22);
+  b.add_i(t1, p21, p21);
+  b.add_i(t0, t0, t1);
+  b.add_i(t1, p00, p02);
+  b.sub_i(gy, t0, t1);
+  b.add_i(t1, p01, p01);
+  b.sub_i(gy, gy, t1);
+
+  b.abs_i(gx, gx);
+  b.abs_i(gy, gy);
+  b.add_i(mag, gx, gy);
+  const auto max_v = b.reg(), addr = b.reg();
+  b.mov_imm_i(max_v, 255);
+  b.min_i(mag, mag, max_v);
+  b.add_i(addr, pout, gid);
+  b.st_global_u8(mag, addr);
+  emit_guard_exit(b);
+
+  Workload w;
+  w.app = "SobelFilter";
+  w.kernel = b.build();
+  w.default_n = 4u << 20;  // 2048x2048 image
+  w.test_n = 1024;         // 32x32 image
+  const KernelIR ir = w.kernel;
+  w.dims = [](std::uint64_t n_) { return dims1d(n_); };
+  w.buffers = [](std::uint64_t n_) {
+    return std::vector<BufferSpec>{{n_, true, false}, {n_, false, true}};
+  };
+  w.args = [](const std::vector<std::uint64_t>& a, std::uint64_t n_) {
+    KernelArgs args;
+    args.push_ptr(a[0]);
+    args.push_ptr(a[1]);
+    // Width: square images; tests pass n that is a perfect square.
+    std::uint64_t width = 1;
+    while (width * width < n_) ++width;
+    args.push_i64(static_cast<std::int64_t>(width));
+    args.push_i64(static_cast<std::int64_t>(n_));
+    return args;
+  };
+  w.profile = [ir](std::uint64_t n_) { return guarded_profile(ir, dims1d(n_), n_); };
+  w.behavior = [](std::uint64_t n_) {
+    return MemoryBehavior{2 * n_, 9 * n_, 0.85, 0.9};
+  };
+  // 2D stencil: rows interleave across the merged arena incorrectly, so
+  // the kernel matcher refuses it (paper lists SobelFilter as not helped).
+  w.traits.coalescable = false;
+  w.traits.iterations = 30;
+  w.traits.launches_per_iter = 1;
+  w.traits.iter_h2d_bytes = 1u << 20;
+  w.traits.iter_d2h_bytes = 1u << 20;
+  w.traits.noncuda_guest_instrs = 150000;  // image file I/O + display
+  return w;
+}
+
+Workload make_volume_filtering() {
+  // 6-point 3D box filter over a D^3 f32 volume.
+  KernelBuilder b("VolumeFiltering", 4);
+  const auto pin = b.reg(), pout = b.reg(), dreg = b.reg(), n = b.reg(), gid = b.reg();
+  b.block("entry");
+  b.ld_param(pin, 0);
+  b.ld_param(pout, 1);
+  b.ld_param(dreg, 2);
+  b.ld_param(n, 3);
+  emit_guard(b, gid, n);
+
+  const auto x = b.reg(), y = b.reg(), z = b.reg(), t = b.reg(), zero = b.reg(),
+             one = b.reg(), dm1 = b.reg(), d2 = b.reg();
+  b.rem_i(x, gid, dreg);
+  b.div_i(t, gid, dreg);
+  b.rem_i(y, t, dreg);
+  b.div_i(z, t, dreg);
+  b.mov_imm_i(zero, 0);
+  b.mov_imm_i(one, 1);
+  b.sub_i(dm1, dreg, one);
+  b.mul_i(d2, dreg, dreg);
+
+  const auto acc = b.reg(), addr = b.reg(), v = b.reg(), idx = b.reg();
+  // Center sample.
+  b.addr_of(addr, pin, gid, 2);
+  b.ld_global_f32(acc, addr);
+
+  auto sample = [&](KernelBuilder::Reg coord, KernelBuilder::Reg stride, int delta) {
+    const auto c = b.reg();
+    if (delta < 0) {
+      b.sub_i(c, coord, one);
+    } else {
+      b.add_i(c, coord, one);
+    }
+    b.max_i(c, c, zero);
+    b.min_i(c, c, dm1);
+    // idx = gid + (c - coord) * stride
+    const auto diff = b.reg();
+    b.sub_i(diff, c, coord);
+    b.mul_i(diff, diff, stride);
+    b.add_i(idx, gid, diff);
+    b.addr_of(addr, pin, idx, 2);
+    b.ld_global_f32(v, addr);
+    b.add_f32(acc, acc, v);
+  };
+  sample(x, one, -1);
+  sample(x, one, +1);
+  sample(y, dreg, -1);
+  sample(y, dreg, +1);
+  sample(z, d2, -1);
+  sample(z, d2, +1);
+
+  const auto inv7 = b.reg(), res = b.reg();
+  b.mov_imm_f32(inv7, 1.0f / 7.0f);
+  b.mul_f32(res, acc, inv7);
+  b.addr_of(addr, pout, gid, 2);
+  b.st_global_f32(res, addr);
+  emit_guard_exit(b);
+
+  Workload w;
+  w.app = "VolumeFiltering";
+  w.kernel = b.build();
+  w.default_n = 1u << 21;  // 128^3
+  w.test_n = 512;          // 8^3
+  const KernelIR ir = w.kernel;
+  w.dims = [](std::uint64_t n_) { return dims1d(n_); };
+  w.buffers = [](std::uint64_t n_) {
+    return std::vector<BufferSpec>{{4 * n_, true, false}, {4 * n_, false, true}};
+  };
+  w.args = [](const std::vector<std::uint64_t>& a, std::uint64_t n_) {
+    KernelArgs args;
+    args.push_ptr(a[0]);
+    args.push_ptr(a[1]);
+    std::uint64_t d = 1;
+    while (d * d * d < n_) ++d;
+    args.push_i64(static_cast<std::int64_t>(d));
+    args.push_i64(static_cast<std::int64_t>(n_));
+    return args;
+  };
+  w.profile = [ir](std::uint64_t n_) { return guarded_profile(ir, dims1d(n_), n_); };
+  w.behavior = [](std::uint64_t n_) {
+    return MemoryBehavior{8 * n_, 8 * n_, 0.8, 0.85};
+  };
+  w.traits.coalescable = false;  // 3D neighborhoods break across arena seams
+  w.traits.iterations = 25;
+  w.traits.launches_per_iter = 1;
+  w.traits.noncuda_guest_instrs = 200000;  // OpenGL volume rendering
+  return w;
+}
+
+Workload make_bicubic_texture() {
+  // 1D bicubic reconstruction along x (Catmull-Rom weights).
+  KernelBuilder b("bicubicTexture", 4);
+  const auto pin = b.reg(), pout = b.reg(), scale = b.reg(), n = b.reg(), gid = b.reg();
+  b.block("entry");
+  b.ld_param(pin, 0);
+  b.ld_param(pout, 1);
+  b.ld_param(scale, 2);
+  b.ld_param(n, 3);
+  emit_guard(b, gid, n);
+
+  const auto fx = b.reg(), u = b.reg(), fu = b.reg(), frac = b.reg(), i0 = b.reg();
+  b.cvt_i_to_f32(fx, gid);
+  b.mul_f32(u, fx, scale);
+  b.floor_f32(fu, u);
+  b.sub_f32(frac, u, fu);
+  b.cvt_f32_to_i(i0, fu);
+
+  // Catmull-Rom weights of `frac`.
+  const auto one_f = b.reg(), half = b.reg(), t2 = b.reg(), t3 = b.reg();
+  b.mov_imm_f32(one_f, 1.0f);
+  b.mov_imm_f32(half, 0.5f);
+  b.mul_f32(t2, frac, frac);
+  b.mul_f32(t3, t2, frac);
+
+  // w0 = 0.5(-t^3 + 2t^2 - t); w1 = 0.5(3t^3 - 5t^2 + 2); etc.
+  auto weight = [&](float c3, float c2, float c1, float c0) {
+    const auto acc = b.reg(), k = b.reg();
+    b.mov_imm_f32(k, c3);
+    b.mul_f32(acc, k, t3);
+    b.mov_imm_f32(k, c2);
+    b.fma_f32(acc, k, t2, acc);
+    b.mov_imm_f32(k, c1);
+    b.fma_f32(acc, k, frac, acc);
+    b.mov_imm_f32(k, c0);
+    b.add_f32(acc, acc, k);
+    b.mul_f32(acc, acc, half);
+    return acc;
+  };
+  const auto w0 = weight(-1.0f, 2.0f, -1.0f, 0.0f);
+  const auto w1 = weight(3.0f, -5.0f, 0.0f, 2.0f);
+  const auto w2 = weight(-3.0f, 4.0f, 1.0f, 0.0f);
+  const auto w3 = weight(1.0f, -1.0f, 0.0f, 0.0f);
+
+  const auto zero = b.reg(), one = b.reg(), nm1 = b.reg();
+  b.mov_imm_i(zero, 0);
+  b.mov_imm_i(one, 1);
+  b.sub_i(nm1, n, one);
+
+  const auto acc = b.reg(), fzero = b.reg();
+  b.mov_imm_f32(fzero, 0.0f);
+  b.mov(acc, fzero);
+  auto tap = [&](int delta, KernelBuilder::Reg wgt) {
+    const auto idx = b.reg(), addr = b.reg(), v = b.reg(), dconst = b.reg();
+    b.mov_imm_i(dconst, delta);
+    b.add_i(idx, i0, dconst);
+    b.max_i(idx, idx, zero);
+    b.min_i(idx, idx, nm1);
+    b.addr_of(addr, pin, idx, 2);
+    b.ld_global_f32(v, addr);
+    b.fma_f32(acc, v, wgt, acc);
+  };
+  tap(-1, w0);
+  tap(0, w1);
+  tap(1, w2);
+  tap(2, w3);
+
+  const auto addr = b.reg();
+  b.addr_of(addr, pout, gid, 2);
+  b.st_global_f32(acc, addr);
+  emit_guard_exit(b);
+
+  Workload w;
+  w.app = "bicubicTexture";
+  w.kernel = b.build();
+  w.default_n = 2u << 20;
+  w.test_n = 1024;
+  const KernelIR ir = w.kernel;
+  w.dims = [](std::uint64_t n_) { return dims1d(n_); };
+  w.buffers = [](std::uint64_t n_) {
+    return std::vector<BufferSpec>{{4 * n_, true, false}, {4 * n_, false, true}};
+  };
+  w.args = [](const std::vector<std::uint64_t>& a, std::uint64_t n_) {
+    KernelArgs args;
+    args.push_ptr(a[0]);
+    args.push_ptr(a[1]);
+    args.push_f32(0.5f);
+    args.push_i64(static_cast<std::int64_t>(n_));
+    return args;
+  };
+  w.profile = [ir](std::uint64_t n_) { return guarded_profile(ir, dims1d(n_), n_); };
+  w.behavior = [](std::uint64_t n_) {
+    return MemoryBehavior{8 * n_, 5 * n_, 0.9, 0.9};
+  };
+  w.coalesce = [](std::uint64_t n_) {
+    cuda::CoalesceInfo c;
+    c.eligible = true;
+    c.key = "bicubicTexture.f32";
+    c.elems = n_;
+    c.buffers = {{0, 4, false}, {1, 4, true}};
+    c.size_arg_index = 3;
+    c.block_x = 256;
+    return c;
+  };
+  w.traits.coalescable = true;
+  w.traits.iterations = 30;
+  w.traits.launches_per_iter = 2;
+  w.traits.noncuda_guest_instrs = 160000;  // texture file reads + display
+  return w;
+}
+
+Workload make_marching_cubes() {
+  // Voxel classification pass: compare cell corners against the isovalue,
+  // build the cube index with bit ops, and look up the vertex count.
+  KernelBuilder b("marchingCubes", 5);
+  const auto pfield = b.reg(), ptable = b.reg(), pcount = b.reg(), n = b.reg(),
+             gid = b.reg();
+  b.block("entry");
+  b.ld_param(pfield, 0);
+  b.ld_param(ptable, 1);
+  b.ld_param(pcount, 2);
+  // param 3 is the isovalue (f32), param 4 the element count.
+  const auto iso = b.reg();
+  b.ld_param(iso, 3);
+  b.ld_param(n, 4);
+  emit_guard(b, gid, n);
+
+  const auto zero = b.reg(), one = b.reg(), nm1 = b.reg();
+  b.mov_imm_i(zero, 0);
+  b.mov_imm_i(one, 1);
+  b.sub_i(nm1, n, one);
+
+  const auto cube = b.reg();
+  b.mov(cube, zero);
+  auto corner = [&](int delta, int bit) {
+    const auto idx = b.reg(), addr = b.reg(), v = b.reg(), in_set = b.reg(),
+               shift = b.reg(), bits = b.reg();
+    b.mov_imm_i(idx, delta);
+    b.add_i(idx, gid, idx);
+    b.min_i(idx, idx, nm1);
+    b.addr_of(addr, pfield, idx, 2);
+    b.ld_global_f32(v, addr);
+    b.set_lt_f32(in_set, v, iso);
+    b.mov_imm_i(shift, bit);
+    b.shl_b(bits, in_set, shift);
+    b.or_b(cube, cube, bits);
+  };
+  corner(0, 0);
+  corner(1, 1);
+  corner(2, 2);
+  corner(3, 3);
+
+  const auto taddr = b.reg(), count = b.reg(), oaddr = b.reg();
+  b.addr_of(taddr, ptable, cube, 2);
+  b.ld_global_i32(count, taddr);
+  b.addr_of(oaddr, pcount, gid, 2);
+  b.st_global_i32(count, oaddr);
+  emit_guard_exit(b);
+
+  Workload w;
+  w.app = "marchingCubes";
+  w.kernel = b.build();
+  w.default_n = 2u << 20;
+  w.test_n = 1024;
+  const KernelIR ir = w.kernel;
+  w.dims = [](std::uint64_t n_) { return dims1d(n_); };
+  w.buffers = [](std::uint64_t n_) {
+    return std::vector<BufferSpec>{
+        {4 * n_, true, false}, {16 * 4, true, false}, {4 * n_, false, true}};
+  };
+  w.args = [](const std::vector<std::uint64_t>& a, std::uint64_t n_) {
+    KernelArgs args;
+    args.push_ptr(a[0]);
+    args.push_ptr(a[1]);
+    args.push_ptr(a[2]);
+    args.push_f32(0.5f);
+    args.push_i64(static_cast<std::int64_t>(n_));
+    return args;
+  };
+  w.profile = [ir](std::uint64_t n_) { return guarded_profile(ir, dims1d(n_), n_); };
+  w.behavior = [](std::uint64_t n_) {
+    return MemoryBehavior{8 * n_ + 64, 6 * n_, 0.85, 0.9};
+  };
+  w.traits.coalescable = false;  // shared lookup table + cell windows
+  w.traits.iterations = 25;
+  w.traits.launches_per_iter = 3;
+  w.traits.noncuda_guest_instrs = 250000;  // OpenGL mesh rendering
+  return w;
+}
+
+}  // namespace sigvp::workloads

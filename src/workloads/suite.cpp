@@ -1,0 +1,42 @@
+#include "workloads/suite.hpp"
+
+#include "util/check.hpp"
+
+namespace sigvp::workloads {
+
+std::vector<Workload> make_suite() {
+  std::vector<Workload> suite;
+  suite.reserve(20);
+  // Paper Fig. 11 chart order (left to right), with our two additions
+  // (reduction, histogram) appended.
+  suite.push_back(make_simple_gl());
+  suite.push_back(make_mandelbrot());
+  suite.push_back(make_bicubic_texture());
+  suite.push_back(make_recursive_gaussian());
+  suite.push_back(make_monte_carlo());
+  suite.push_back(make_segmentation_tree());
+  suite.push_back(make_marching_cubes());
+  suite.push_back(make_volume_filtering());
+  suite.push_back(make_sobel_filter());
+  suite.push_back(make_nbody());
+  suite.push_back(make_smoke_particles());
+  suite.push_back(make_merge_sort());
+  suite.push_back(make_stereo_disparity());
+  suite.push_back(make_convolution_separable());
+  suite.push_back(make_dct8x8());
+  suite.push_back(make_black_scholes());
+  suite.push_back(make_matrix_mul());
+  suite.push_back(make_vector_add());
+  suite.push_back(make_reduction());
+  suite.push_back(make_histogram());
+  return suite;
+}
+
+const Workload& find(const std::vector<Workload>& suite, const std::string& app) {
+  for (const Workload& w : suite) {
+    if (w.app == app) return w;
+  }
+  throw ContractError("no workload named " + app);
+}
+
+}  // namespace sigvp::workloads

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace sigvp::workloads {
+
+// Elementwise kernels.
+Workload make_vector_add();
+Workload make_black_scholes();
+Workload make_simple_gl();
+Workload make_smoke_particles();
+Workload make_merge_sort();
+Workload make_histogram();
+Workload make_segmentation_tree();
+
+// Stencil / image kernels.
+Workload make_sobel_filter();
+Workload make_volume_filtering();
+Workload make_bicubic_texture();
+Workload make_marching_cubes();
+
+// Loop-heavy kernels.
+Workload make_matrix_mul();
+Workload make_mandelbrot();
+Workload make_monte_carlo();
+Workload make_nbody();
+Workload make_convolution_separable();
+Workload make_recursive_gaussian();
+Workload make_stereo_disparity();
+
+// Shared-memory kernels.
+Workload make_dct8x8();
+Workload make_reduction();
+
+/// The full 20-app suite used by the Fig. 11 reproduction, in the paper's
+/// chart order where the paper names the app, with our additions appended.
+std::vector<Workload> make_suite();
+
+/// Finds a workload by app name in a suite; throws when absent.
+const Workload& find(const std::vector<Workload>& suite, const std::string& app);
+
+}  // namespace sigvp::workloads

@@ -1,0 +1,77 @@
+#include "workloads/workload.hpp"
+
+#include "util/check.hpp"
+
+namespace sigvp::workloads {
+
+std::size_t block_index(const KernelIR& ir, const std::string& label) {
+  for (std::size_t i = 0; i < ir.blocks.size(); ++i) {
+    if (ir.blocks[i].label == label) return i;
+  }
+  throw ContractError("kernel " + ir.name + " has no block labeled " + label);
+}
+
+DynamicProfile profile_from_visits(
+    const KernelIR& ir,
+    const std::vector<std::pair<std::string, std::uint64_t>>& label_visits) {
+  DynamicProfile p;
+  p.block_visits.assign(ir.blocks.size(), 0);
+  for (const auto& [label, count] : label_visits) {
+    p.block_visits[block_index(ir, label)] += count;
+  }
+  p.instr_counts = DynamicProfile::counts_from_visits(ir, p.block_visits);
+
+  // Byte traffic and SFU counts implied by the λ counts and the static IR.
+  for (std::size_t b = 0; b < ir.blocks.size(); ++b) {
+    const std::uint64_t visits = p.block_visits[b];
+    if (visits == 0) continue;
+    for (const Instr& in : ir.blocks[b].instrs) {
+      if (is_sfu_op(in.op)) {
+        if (is_sqrt_op(in.op)) {
+          p.sqrt_instrs += visits;
+        } else {
+          p.sfu_instrs += visits;
+        }
+      }
+      if (!is_global_memory_op(in.op)) continue;
+      const std::uint64_t bytes = memory_width_bytes(in.op) * visits;
+      if (instr_class(in.op) == InstrClass::kLoad) {
+        p.global_load_bytes += bytes;
+      } else {
+        p.global_store_bytes += bytes;
+      }
+    }
+  }
+  return p;
+}
+
+DynamicProfile guarded_profile(const KernelIR& ir, const LaunchDims& dims,
+                               std::uint64_t active) {
+  const std::uint64_t total = dims.total_threads();
+  SIGVP_REQUIRE(active <= total, "more active threads than launched threads");
+  return profile_from_visits(
+      ir, {{"entry", total}, {"body", active}, {"exit", total - active}});
+}
+
+void emit_guard(KernelBuilder& b, KernelBuilder::Reg gid, KernelBuilder::Reg n) {
+  const auto ctaid = b.reg();
+  const auto ntid = b.reg();
+  const auto tid = b.reg();
+  const auto cond = b.reg();
+  b.special(ctaid, SpecialReg::kCtaidX);
+  b.special(ntid, SpecialReg::kNtidX);
+  b.special(tid, SpecialReg::kTidX);
+  b.mul_i(gid, ctaid, ntid);
+  b.add_i(gid, gid, tid);
+  b.set_lt_i(cond, gid, n);
+  b.bra_z(cond, "exit");
+  b.block("body");
+}
+
+void emit_guard_exit(KernelBuilder& b) {
+  b.ret();
+  b.block("exit");
+  b.ret();
+}
+
+}  // namespace sigvp::workloads

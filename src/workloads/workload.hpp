@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cuda/launch_spec.hpp"
+#include "gpu/prob_cache.hpp"
+#include "interp/launch.hpp"
+#include "interp/profile.hpp"
+#include "ir/builder.hpp"
+#include "ir/program.hpp"
+
+namespace sigvp::workloads {
+
+/// Role and size of one device buffer an app allocates for its kernel.
+struct BufferSpec {
+  std::uint64_t bytes = 0;
+  bool is_input = false;   // host→device before launching
+  bool is_output = false;  // device→host after launching
+};
+
+/// How an application behaves around its kernels — the knobs that explain
+/// the per-app speedup differences in the paper's Fig. 11.
+struct AppTraits {
+  /// Fraction of ΣVP-accelerated app time spent in non-CUDA work (file I/O,
+  /// OpenGL) that no GPU forwarding can accelerate; expressed as guest
+  /// instructions per iteration.
+  double noncuda_guest_instrs = 0.0;
+
+  /// Kernel launches per iteration (mergeSort-style apps launch a cascade
+  /// of small steps per iteration).
+  std::uint32_t launches_per_iter = 1;
+
+  /// Bytes streamed host↔device per iteration (0 = device-resident app
+  /// that copies only at setup/teardown).
+  std::uint64_t iter_h2d_bytes = 0;
+  std::uint64_t iter_d2h_bytes = 0;
+
+  /// Iterations of the app's main loop for the Fig. 11 scenario.
+  std::uint32_t iterations = 20;
+
+  /// Whether the kernel's memory layout admits Kernel Coalescing.
+  bool coalescable = false;
+};
+
+/// One CUDA-SDK-like application: a kernel in the IR plus everything the
+/// framework needs to size, launch, price, and validate it.
+///
+/// Per-size functions take `n`, the workload's element count (app-specific
+/// meaning: vector length, matrix dimension, pixel count, body count, ...).
+struct Workload {
+  std::string app;            // CUDA SDK sample this stands in for
+  KernelIR kernel;
+
+  /// Problem sizes: the paper-scale default, a small functional-test size,
+  /// and a mid size for the Fig. 12/13 estimation experiments (large enough
+  /// that per-block overheads stop dominating, small enough to interpret).
+  std::uint64_t default_n = 1 << 20;
+  std::uint64_t test_n = 1 << 10;
+  std::uint64_t estimate_n = 0;  // 0 = use test_n
+
+  /// True when the analytic profile is exact (data-independent control
+  /// flow); false for kernels like Mandelbrot whose λ depends on the data,
+  /// where the analytic profile is the expectation.
+  bool exact_profile = true;
+
+  std::function<LaunchDims(std::uint64_t n)> dims;
+  std::function<std::vector<BufferSpec>(std::uint64_t n)> buffers;
+  /// Builds the argument block given device addresses for `buffers(n)`,
+  /// in order.
+  std::function<KernelArgs(const std::vector<std::uint64_t>& addrs, std::uint64_t n)> args;
+  /// Analytic per-block λ profile for a launch of size n (paper Eq. 1).
+  std::function<DynamicProfile(std::uint64_t n)> profile;
+  /// Locality summary for the probabilistic cache model.
+  std::function<MemoryBehavior(std::uint64_t n)> behavior;
+  /// Coalescing descriptor (only when traits.coalescable).
+  std::function<cuda::CoalesceInfo(std::uint64_t n)> coalesce;
+
+  /// Fills host input buffers with deterministic values for functional runs
+  /// and returns the expected outputs. in/out vectors are sized per
+  /// buffers(n). Null for workloads validated by dedicated tests only.
+  std::function<void(std::uint64_t n, std::vector<std::vector<std::uint8_t>>& host_bufs)>
+      fill_inputs;
+
+  AppTraits traits;
+};
+
+/// Index of the block labeled `label`; throws if absent.
+std::size_t block_index(const KernelIR& ir, const std::string& label);
+
+/// Builds a DynamicProfile from per-label λ counts: σ = Σ λ_b·µ_b and the
+/// global load/store byte totals implied by the IR's memory ops.
+DynamicProfile profile_from_visits(
+    const KernelIR& ir,
+    const std::vector<std::pair<std::string, std::uint64_t>>& label_visits);
+
+/// λ vector for the canonical guarded-elementwise scaffold (blocks "entry",
+/// "body", "exit"): entry = all threads, body = active, exit = inactive.
+DynamicProfile guarded_profile(const KernelIR& ir, const LaunchDims& dims, std::uint64_t active);
+
+/// The canonical guard prologue: loads no parameters, computes
+/// gid = ctaid.x·ntid.x + tid.x into `gid`, and branches to "exit" when
+/// gid >= regs[n]. Opens the "body" block. The caller must already have
+/// opened the "entry" block and loaded `n`.
+void emit_guard(KernelBuilder& b, KernelBuilder::Reg gid, KernelBuilder::Reg n);
+
+/// Closes the canonical scaffold: terminates "body" with ret and emits the
+/// "exit" block.
+void emit_guard_exit(KernelBuilder& b);
+
+}  // namespace sigvp::workloads

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "gpu/cache.hpp"
+#include "gpu/prob_cache.hpp"
+#include "util/check.hpp"
+
+namespace sigvp {
+namespace {
+
+CacheConfig small_cache() {
+  return CacheConfig{1024, 64, 2};  // 16 lines, 8 sets, 2-way
+}
+
+TEST(Cache, ColdMissThenHit) {
+  CacheModel c(small_cache());
+  EXPECT_EQ(c.access(0, 4), 1u);   // miss
+  EXPECT_EQ(c.access(4, 4), 0u);   // same line: hit
+  EXPECT_EQ(c.stats().accesses, 2u);
+  EXPECT_EQ(c.stats().misses, 1u);
+  EXPECT_EQ(c.stats().hits, 1u);
+}
+
+TEST(Cache, AccessSpanningLinesTouchesEach) {
+  CacheModel c(small_cache());
+  EXPECT_EQ(c.access(60, 8), 2u);  // crosses the 64-byte boundary
+  EXPECT_EQ(c.stats().accesses, 2u);
+}
+
+TEST(Cache, LruEvictionWithinSet) {
+  CacheModel c(small_cache());
+  // Three lines mapping to the same set of a 2-way cache: set = line % 8.
+  const std::uint64_t a = 0 * 64, b2 = 8 * 64, d = 16 * 64;
+  c.access(a, 4);
+  c.access(b2, 4);
+  c.access(a, 4);   // refresh a -> b2 is LRU
+  c.access(d, 4);   // evicts b2
+  c.reset_stats();
+  c.access(a, 4);
+  EXPECT_EQ(c.stats().misses, 0u);
+  c.access(b2, 4);
+  EXPECT_EQ(c.stats().misses, 1u);  // b2 was evicted
+}
+
+TEST(Cache, FlushInvalidatesEverything) {
+  CacheModel c(small_cache());
+  c.access(0, 4);
+  c.flush();
+  c.reset_stats();
+  c.access(0, 4);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, WorkingSetLargerThanCacheThrashes) {
+  CacheModel c(small_cache());  // 1 KiB
+  // Stream 8 KiB twice; second pass still misses (capacity).
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t addr = 0; addr < 8192; addr += 64) c.access(addr, 4);
+  }
+  EXPECT_GT(c.stats().miss_rate(), 0.9);
+}
+
+TEST(Cache, WorkingSetSmallerThanCacheMostlyHits) {
+  CacheModel c(small_cache());
+  for (int pass = 0; pass < 10; ++pass) {
+    for (std::uint64_t addr = 0; addr < 512; addr += 64) c.access(addr, 4);
+  }
+  EXPECT_LT(c.stats().miss_rate(), 0.15);
+}
+
+TEST(Cache, RejectsBadConfig) {
+  EXPECT_THROW(CacheModel(CacheConfig{1024, 48, 2}), ContractError);   // non-pow2 line
+  EXPECT_THROW(CacheModel(CacheConfig{1024, 64, 0}), ContractError);   // zero ways
+  CacheModel ok(small_cache());
+  EXPECT_THROW(ok.access(0, 0), ContractError);
+}
+
+TEST(ProbCache, ColdMissesMatchFootprint) {
+  ProbCacheModel p(CacheConfig{512 * 1024, 128, 8});
+  MemoryBehavior b;
+  b.footprint_bytes = 128 * 1000;
+  b.accesses = 1000;
+  b.reuse_fraction = 1.0;
+  b.coalescing = 0.0;
+  // Footprint fits in cache: only compulsory misses.
+  EXPECT_NEAR(p.expected_misses(b), 1000.0, 1.0);
+}
+
+TEST(ProbCache, CapacityMissesGrowWithFootprint) {
+  ProbCacheModel p(CacheConfig{64 * 1024, 128, 8});
+  MemoryBehavior small_fp{32 * 1024, 100000, 0.5, 0.5};
+  MemoryBehavior large_fp{4 * 1024 * 1024, 100000, 0.5, 0.5};
+  EXPECT_LT(p.expected_misses(small_fp), p.expected_misses(large_fp));
+}
+
+TEST(ProbCache, CoalescingReducesEffectiveAccesses) {
+  ProbCacheModel p(CacheConfig{64 * 1024, 128, 8});
+  MemoryBehavior scattered{8 * 1024 * 1024, 1000000, 0.2, 0.0};
+  MemoryBehavior coalesced = scattered;
+  coalesced.coalescing = 1.0;
+  EXPECT_LT(p.expected_misses(coalesced), p.expected_misses(scattered));
+}
+
+TEST(ProbCache, ZeroTrafficMeansZeroMisses) {
+  ProbCacheModel p(CacheConfig{64 * 1024, 128, 8});
+  EXPECT_DOUBLE_EQ(p.expected_misses(MemoryBehavior{}), 0.0);
+  EXPECT_DOUBLE_EQ(p.expected_miss_rate(MemoryBehavior{}), 0.0);
+}
+
+TEST(ProbCache, MissRateBoundedByOne) {
+  ProbCacheModel p(CacheConfig{1024, 128, 8});
+  MemoryBehavior b{1 << 30, 100, 0.0, 0.0};
+  EXPECT_LE(p.expected_miss_rate(b), 1.0);
+}
+
+TEST(CacheStats, Accumulates) {
+  CacheStats a{10, 6, 4};
+  CacheStats b{10, 10, 0};
+  a += b;
+  EXPECT_EQ(a.accesses, 20u);
+  EXPECT_DOUBLE_EQ(a.miss_rate(), 0.2);
+}
+
+}  // namespace
+}  // namespace sigvp

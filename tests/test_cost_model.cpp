@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "gpu/arch.hpp"
+#include "gpu/cost_model.hpp"
+#include "util/check.hpp"
+
+namespace sigvp {
+namespace {
+
+ClassCounts fp32_sigma(std::uint64_t total_threads, std::uint64_t per_thread) {
+  ClassCounts s;
+  s[InstrClass::kFp32] = total_threads * per_thread;
+  return s;
+}
+
+LaunchDims dims_blocks(std::uint32_t blocks, std::uint32_t tpb = 512) {
+  LaunchDims d;
+  d.block_x = tpb;
+  d.grid_x = blocks;
+  return d;
+}
+
+TEST(Arch, DerivedQuantities) {
+  const GpuArch q = make_quadro4000();
+  EXPECT_DOUBLE_EQ(q.max_ipc(), 8 * 32.0);
+  EXPECT_DOUBLE_EQ(q.warp_cpi(InstrClass::kFp32), 1.0);
+  EXPECT_DOUBLE_EQ(q.warp_cpi(InstrClass::kFp64), 2.0);
+  EXPECT_DOUBLE_EQ(q.warp_cpi(InstrClass::kLoad), 2.0);
+
+  const GpuArch k = make_gridk520();
+  EXPECT_DOUBLE_EQ(k.max_ipc(), 8 * 192.0);
+  EXPECT_DOUBLE_EQ(k.warp_cpi(InstrClass::kFp64), 4.0);
+
+  const GpuArch t = make_tegrak1();
+  EXPECT_DOUBLE_EQ(t.max_ipc(), 192.0);
+  EXPECT_EQ(t.num_sms, 1u);
+}
+
+TEST(Arch, ConcurrentBlocksRespectOccupancyLimits) {
+  const GpuArch q = make_quadro4000();  // 1536 threads/SM, 8 blocks/SM
+  EXPECT_EQ(q.concurrent_blocks_per_sm(512), 3u);
+  EXPECT_EQ(q.concurrent_blocks_per_sm(64), 8u);   // capped by max_blocks_per_sm
+  EXPECT_EQ(q.concurrent_blocks_per_sm(2048), 1u); // at least one block resident
+  EXPECT_EQ(q.concurrent_blocks(512), 24u);
+}
+
+TEST(CostModel, WaveQuantizationProducesStaircase) {
+  // The paper's Fig. 10(b): grids that round to the same wave count take the
+  // same time; one block more than a full wave adds a whole step.
+  const GpuArch q = make_quadro4000();
+  const KernelCostModel model(q);
+  const std::uint64_t per_thread = 200;
+
+  auto cycles = [&](std::uint32_t blocks) {
+    const LaunchDims d = dims_blocks(blocks);
+    return model.evaluate(d, fp32_sigma(d.total_threads(), per_thread), CacheStats{})
+        .issue_cycles;
+  };
+  EXPECT_DOUBLE_EQ(cycles(9), cycles(16));   // both: 2 waves of 8 SMs
+  EXPECT_DOUBLE_EQ(cycles(1), cycles(8));    // both: 1 wave
+  EXPECT_GT(cycles(17), cycles(16));         // 3rd wave begins
+  EXPECT_NEAR(cycles(16) / cycles(8), 2.0, 1e-9);
+}
+
+TEST(CostModel, Fp64CostsMoreThanFp32) {
+  const GpuArch q = make_quadro4000();
+  const KernelCostModel model(q);
+  const LaunchDims d = dims_blocks(8);
+  ClassCounts fp32, fp64;
+  fp32[InstrClass::kFp32] = d.total_threads() * 100;
+  fp64[InstrClass::kFp64] = d.total_threads() * 100;
+  EXPECT_GT(model.evaluate(d, fp64, CacheStats{}).issue_cycles,
+            model.evaluate(d, fp32, CacheStats{}).issue_cycles);
+}
+
+TEST(CostModel, CacheMissesAddDataStalls) {
+  const GpuArch q = make_quadro4000();
+  const KernelCostModel model(q);
+  const LaunchDims d = dims_blocks(8);
+  const ClassCounts sigma = fp32_sigma(d.total_threads(), 50);
+  CacheStats none{1000, 1000, 0};
+  CacheStats many{1000, 0, 1000};
+  const auto s_none = model.evaluate(d, sigma, none);
+  const auto s_many = model.evaluate(d, sigma, many);
+  EXPECT_DOUBLE_EQ(s_none.stall_cycles_data, 0.0);
+  EXPECT_GT(s_many.stall_cycles_data, 0.0);
+  EXPECT_GT(s_many.total_cycles, s_none.total_cycles);
+}
+
+TEST(CostModel, BandwidthBoundKicksInForManyMisses) {
+  const GpuArch q = make_quadro4000();
+  const LaunchDims d = dims_blocks(1024);
+  // Latency term shrinks with SM parallelism and hiding; for a huge miss
+  // count the DRAM bandwidth bound must dominate.
+  const double misses = 1e7;
+  const double stalls = KernelCostModel::exposed_data_stalls(q, d, misses);
+  const double bw_cycles = misses * q.l2.line_bytes / (q.mem_bandwidth_gbps / q.clock_ghz);
+  EXPECT_GE(stalls, bw_cycles * 0.999);
+}
+
+TEST(CostModel, MoreSmsMeansFewerCycles) {
+  GpuArch one_sm = make_quadro4000();
+  one_sm.num_sms = 1;
+  const GpuArch eight = make_quadro4000();
+  const LaunchDims d = dims_blocks(64);
+  const ClassCounts sigma = fp32_sigma(d.total_threads(), 100);
+  const double c1 = KernelCostModel(one_sm).evaluate(d, sigma, CacheStats{}).total_cycles;
+  const double c8 = KernelCostModel(eight).evaluate(d, sigma, CacheStats{}).total_cycles;
+  EXPECT_NEAR(c1 / c8, 8.0, 0.5);
+}
+
+TEST(CostModel, DurationIncludesLaunchOverhead) {
+  const GpuArch q = make_quadro4000();
+  const KernelCostModel model(q);
+  const LaunchDims d = dims_blocks(1, 32);
+  ClassCounts tiny;
+  tiny[InstrClass::kInt] = 32;
+  const auto s = model.evaluate(d, tiny, CacheStats{});
+  EXPECT_GE(s.duration_us, q.launch_overhead_us);
+}
+
+TEST(CostModel, EnergyScalesWithInstructionCount) {
+  const GpuArch q = make_quadro4000();
+  const KernelCostModel model(q);
+  const LaunchDims d = dims_blocks(8);
+  const auto s1 = model.evaluate(d, fp32_sigma(d.total_threads(), 10), CacheStats{});
+  const auto s2 = model.evaluate(d, fp32_sigma(d.total_threads(), 100), CacheStats{});
+  EXPECT_NEAR(s2.dynamic_energy_j / s1.dynamic_energy_j, 10.0, 0.01);
+}
+
+TEST(CostModel, CompileExpansionInflatesSigma) {
+  GpuArch t = make_tegrak1();
+  const KernelCostModel model(t);
+  const LaunchDims d = dims_blocks(4);
+  ClassCounts sigma;
+  sigma[InstrClass::kFp64] = 1000000;
+  const auto s = model.evaluate(d, sigma, CacheStats{});
+  EXPECT_NEAR(static_cast<double>(s.sigma[InstrClass::kFp64]), 1.18e6, 1e3);
+}
+
+TEST(CostModel, EffectiveTauMatchesWidth) {
+  const GpuArch q = make_quadro4000();
+  const KernelCostModel model(q);
+  const LaunchDims d = dims_blocks(64);
+  // FP32 on 8 active SMs: cpi 1 per warp instr / (32 threads * 8 SMs).
+  EXPECT_NEAR(model.effective_tau(InstrClass::kFp32, d), 1.0 / 256.0, 1e-12);
+  // A single-block launch only activates one SM.
+  EXPECT_NEAR(model.effective_tau(InstrClass::kFp32, dims_blocks(1)), 1.0 / 32.0, 1e-12);
+}
+
+TEST(CostModel, RejectsEmptyLaunch) {
+  const KernelCostModel model(make_quadro4000());
+  LaunchDims d;
+  d.grid_x = 0;
+  EXPECT_THROW(model.evaluate(d, ClassCounts{}, CacheStats{}), ContractError);
+}
+
+TEST(CostModel, StallFractionReported) {
+  const GpuArch q = make_quadro4000();
+  const KernelCostModel model(q);
+  const LaunchDims d = dims_blocks(8);
+  const auto s = model.evaluate(d, fp32_sigma(d.total_threads(), 100), CacheStats{1000, 0, 1000});
+  EXPECT_GT(s.stall_fraction(), 0.0);
+  EXPECT_LT(s.stall_fraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace sigvp

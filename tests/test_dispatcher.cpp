@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ir/builder.hpp"
+#include "sched/dispatcher.hpp"
+#include "util/check.hpp"
+#include "workloads/suite.hpp"
+
+namespace sigvp {
+namespace {
+
+constexpr std::uint64_t kMem = 256ull * 1024 * 1024;
+
+struct Rig {
+  EventQueue q;
+  GpuDevice dev;
+  Dispatcher disp;
+
+  explicit Rig(DispatchConfig cfg, std::size_t vps = 2)
+      : dev(q, make_quadro4000(), kMem, "gpu"), disp(q, dev, zero_overhead(cfg)) {
+    for (std::size_t i = 0; i < vps; ++i) disp.register_vp();
+  }
+
+  // These unit tests exercise engine scheduling and coalescing mechanics;
+  // the host-side service time is covered by scenario tests and benches.
+  static DispatchConfig zero_overhead(DispatchConfig cfg) {
+    cfg.dispatch_overhead_us = 0.0;
+    return cfg;
+  }
+};
+
+Job copy_job(std::uint32_t vp, std::uint64_t seq, std::uint64_t addr, std::uint64_t bytes,
+             std::vector<std::pair<std::uint64_t, SimTime>>* log, std::uint64_t id) {
+  Job j;
+  j.vp_id = vp;
+  j.seq_in_vp = seq;
+  j.kind = JobKind::kMemcpyH2D;
+  j.device_addr = addr;
+  j.bytes = bytes;
+  j.on_complete = [log, id](SimTime end, const KernelExecStats*) {
+    if (log) log->emplace_back(id, end);
+  };
+  return j;
+}
+
+KernelIR heavy_kernel() {
+  // ~200k FP32 instructions per thread-block launch; enough to dwarf copies.
+  KernelBuilder b("heavy", 0);
+  const auto i = b.reg(), bound = b.reg(), step = b.reg(), acc = b.reg();
+  b.block("entry");
+  b.mov_imm_i(i, 0);
+  b.mov_imm_i(bound, 1000);
+  b.mov_imm_i(step, 1);
+  b.mov_imm_f32(acc, 1.0f);
+  auto loop = b.loop_begin(i, bound, step, "L");
+  b.add_f32(acc, acc, acc);
+  b.loop_end(loop);
+  b.ret();
+  return b.build();
+}
+
+Job kernel_job(const KernelIR& k, std::uint32_t vp, std::uint64_t seq,
+               std::vector<std::pair<std::uint64_t, SimTime>>* log, std::uint64_t id) {
+  Job j;
+  j.vp_id = vp;
+  j.seq_in_vp = seq;
+  j.kind = JobKind::kKernel;
+  j.launch.request.kernel = &k;
+  j.launch.request.dims.block_x = 256;
+  j.launch.request.dims.grid_x = 8;
+  j.launch.request.mode = ExecMode::kAnalytic;
+  // ~300M FP32 instructions → ~1.3 ms on the Quadro model, comparable to
+  // the 8 MiB copies the interleaving tests overlap it with.
+  j.launch.request.analytic_profile.instr_counts[InstrClass::kFp32] = 300'000'000;
+  j.launch.request.mem_behavior = MemoryBehavior{1 << 16, 1000, 0.5, 0.9};
+  j.on_complete = [log, id](SimTime end, const KernelExecStats*) {
+    if (log) log->emplace_back(id, end);
+  };
+  return j;
+}
+
+TEST(DispatcherSerial, OneJobAtATimeInArrivalOrder) {
+  Rig rig(DispatchConfig{false, false});
+  std::vector<std::pair<std::uint64_t, SimTime>> log;
+  const std::uint64_t buf = rig.dev.malloc(1 << 20);
+  rig.disp.submit(copy_job(0, 0, buf, 1 << 20, &log, 1));
+  rig.disp.submit(copy_job(1, 0, buf, 1 << 20, &log, 2));
+  const KernelIR k = heavy_kernel();
+  rig.disp.submit(kernel_job(k, 0, 1, &log, 3));
+  rig.q.run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].first, 1u);
+  EXPECT_EQ(log[1].first, 2u);
+  EXPECT_EQ(log[2].first, 3u);
+  // Strict serialization: the kernel started only after copy 2 finished,
+  // even though the compute engine was idle the whole time.
+  EXPECT_GT(log[1].second, log[0].second);
+  EXPECT_GT(log[2].second, log[1].second);
+  EXPECT_EQ(rig.disp.jobs_dispatched(), 3u);
+  EXPECT_TRUE(rig.disp.idle());
+}
+
+TEST(DispatcherInterleave, CopyAndKernelOverlapAcrossVps) {
+  // VP0: long copy; VP1: kernel. With interleaving the kernel must not wait
+  // for the copy; the makespan shrinks versus the serial baseline.
+  const KernelIR k = heavy_kernel();
+
+  auto run = [&](bool interleave) {
+    Rig rig(DispatchConfig{interleave, false});
+    std::vector<std::pair<std::uint64_t, SimTime>> log;
+    const std::uint64_t buf = rig.dev.malloc(8 << 20);
+    rig.disp.submit(copy_job(0, 0, buf, 8 << 20, &log, 1));
+    rig.disp.submit(kernel_job(k, 1, 0, &log, 2));
+    rig.q.run();
+    SimTime makespan = 0;
+    for (auto& [id, end] : log) makespan = std::max(makespan, end);
+    return makespan;
+  };
+
+  const SimTime serial = run(false);
+  const SimTime interleaved = run(true);
+  EXPECT_LT(interleaved, serial * 0.75);
+}
+
+TEST(DispatcherInterleave, PreservesPerVpPartialOrder) {
+  Rig rig(DispatchConfig{true, false});
+  std::vector<std::pair<std::uint64_t, SimTime>> log;
+  const std::uint64_t buf = rig.dev.malloc(1 << 20);
+  const KernelIR k = heavy_kernel();
+  // VP0 submits copy (seq 0) then kernel (seq 1): kernel may not run first
+  // even though the compute engine is free.
+  rig.disp.submit(copy_job(0, 0, buf, 1 << 20, &log, 1));
+  rig.disp.submit(kernel_job(k, 0, 1, &log, 2));
+  rig.q.run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].first, 1u);
+  EXPECT_LE(log[0].second, log[1].second);
+}
+
+TEST(DispatcherInterleave, OutOfOrderSeqWaitsForPredecessor) {
+  Rig rig(DispatchConfig{true, false});
+  std::vector<std::pair<std::uint64_t, SimTime>> log;
+  const std::uint64_t buf = rig.dev.malloc(1 << 20);
+  // seq 1 arrives before seq 0: it must be held.
+  rig.disp.submit(copy_job(0, 1, buf, 1024, &log, 11));
+  EXPECT_FALSE(rig.disp.idle());
+  rig.q.run();
+  EXPECT_TRUE(log.empty());
+  rig.disp.submit(copy_job(0, 0, buf, 1024, &log, 10));
+  rig.q.run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].first, 10u);
+  EXPECT_EQ(log[1].first, 11u);
+  // Dispatching seq 0 from behind the held seq-1 job counts as a reorder.
+  EXPECT_GT(rig.disp.reorders(), 0u);
+}
+
+TEST(DispatcherCoalesce, MergesIdenticalVectorAddsFunctionally) {
+  using namespace workloads;
+  const Workload w = make_vector_add();
+  const std::uint64_t n = 700;  // deliberately unaligned
+
+  Rig rig(DispatchConfig{true, true}, 3);
+  // Per-VP buffers with distinct contents.
+  struct VpBufs {
+    std::uint64_t a, b, c;
+  };
+  std::vector<VpBufs> bufs;
+  for (std::uint32_t vp = 0; vp < 3; ++vp) {
+    VpBufs vb{rig.dev.malloc(4 * n), rig.dev.malloc(4 * n), rig.dev.malloc(4 * n)};
+    for (std::uint64_t i = 0; i < n; ++i) {
+      rig.dev.memory().write<float>(vb.a + 4 * i, static_cast<float>(i + vp));
+      rig.dev.memory().write<float>(vb.b + 4 * i, 1000.0f * static_cast<float>(vp + 1));
+    }
+    bufs.push_back(vb);
+  }
+
+  // Park a dummy kernel on the compute engine first so all three vectorAdd
+  // jobs are still queued when the coalescer scans (otherwise the first one
+  // dispatches alone the moment it arrives — the engine is idle).
+  const KernelIR blocker = heavy_kernel();
+  rig.disp.submit(kernel_job(blocker, 0, 0, nullptr, 99));
+
+  int completions = 0;
+  for (std::uint32_t vp = 0; vp < 3; ++vp) {
+    Job j;
+    j.vp_id = vp;
+    j.seq_in_vp = (vp == 0) ? 1 : 0;  // vp0 already spent seq 0 on the blocker
+    j.kind = JobKind::kKernel;
+    j.launch.request.kernel = &w.kernel;
+    j.launch.request.dims = w.dims(n);
+    j.launch.request.args = w.args({bufs[vp].a, bufs[vp].b, bufs[vp].c}, n);
+    j.launch.request.mode = ExecMode::kFunctional;
+    j.launch.coalesce = w.coalesce(n);
+    j.on_complete = [&completions](SimTime, const KernelExecStats* stats) {
+      ASSERT_NE(stats, nullptr);
+      ++completions;
+    };
+    rig.disp.submit(std::move(j));
+  }
+  rig.q.run();
+
+  EXPECT_EQ(completions, 3);
+  EXPECT_EQ(rig.disp.coalesced_groups(), 1u);
+  EXPECT_EQ(rig.disp.coalesced_jobs(), 3u);
+  // Functional correctness: each VP got ITS OWN results back.
+  for (std::uint32_t vp = 0; vp < 3; ++vp) {
+    for (std::uint64_t i = 0; i < n; i += 97) {
+      const float expect = static_cast<float>(i + vp) + 1000.0f * static_cast<float>(vp + 1);
+      EXPECT_FLOAT_EQ(rig.dev.memory().read<float>(bufs[vp].c + 4 * i), expect)
+          << "vp " << vp << " elem " << i;
+    }
+  }
+}
+
+TEST(DispatcherCoalesce, SingleEligibleJobRunsAlone) {
+  using namespace workloads;
+  const Workload w = make_vector_add();
+  Rig rig(DispatchConfig{true, true}, 1);
+  const std::uint64_t n = 256;
+  const std::uint64_t a = rig.dev.malloc(4 * n), b = rig.dev.malloc(4 * n),
+                      c = rig.dev.malloc(4 * n);
+  Job j;
+  j.vp_id = 0;
+  j.seq_in_vp = 0;
+  j.kind = JobKind::kKernel;
+  j.launch.request.kernel = &w.kernel;
+  j.launch.request.dims = w.dims(n);
+  j.launch.request.args = w.args({a, b, c}, n);
+  j.launch.request.mode = ExecMode::kFunctional;
+  j.launch.coalesce = w.coalesce(n);
+  bool done = false;
+  j.on_complete = [&done](SimTime, const KernelExecStats*) { done = true; };
+  rig.disp.submit(std::move(j));
+  rig.q.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(rig.disp.coalesced_groups(), 0u);
+}
+
+TEST(DispatcherCoalesce, DifferentKeysDoNotMerge) {
+  using namespace workloads;
+  const Workload add = make_vector_add();
+  const Workload bs = make_black_scholes();
+  Rig rig(DispatchConfig{false, true}, 2);
+  const std::uint64_t n = 256;
+
+  auto make_job = [&](const Workload& w, std::uint32_t vp) {
+    std::vector<std::uint64_t> addrs;
+    for (const auto& spec : w.buffers(n)) addrs.push_back(rig.dev.malloc(spec.bytes));
+    Job j;
+    j.vp_id = vp;
+    j.seq_in_vp = 0;
+    j.kind = JobKind::kKernel;
+    j.launch.request.kernel = &w.kernel;
+    j.launch.request.dims = w.dims(n);
+    j.launch.request.args = w.args(addrs, n);
+    j.launch.request.mode = ExecMode::kFunctional;
+    j.launch.coalesce = w.coalesce(n);
+    return j;
+  };
+  rig.disp.submit(make_job(add, 0));
+  rig.disp.submit(make_job(bs, 1));
+  rig.q.run();
+  EXPECT_EQ(rig.disp.coalesced_groups(), 0u);
+  EXPECT_EQ(rig.disp.jobs_dispatched(), 2u);
+}
+
+TEST(Coalescer, CanMergeRequiresUniformGroup) {
+  using namespace workloads;
+  const Workload w = make_vector_add();
+  Job a;
+  a.kind = JobKind::kKernel;
+  a.launch.request.kernel = &w.kernel;
+  a.launch.coalesce = w.coalesce(100);
+  Job b = a;
+  EXPECT_TRUE(Coalescer::can_merge({a, b}));
+  EXPECT_FALSE(Coalescer::can_merge({a}));
+  b.launch.coalesce.key = "other";
+  EXPECT_FALSE(Coalescer::can_merge({a, b}));
+  b = a;
+  b.launch.request.mode = ExecMode::kAnalytic;
+  EXPECT_FALSE(Coalescer::can_merge({a, b}));
+}
+
+TEST(Dispatcher, RejectsBadSubmissions) {
+  Rig rig(DispatchConfig{});
+  Job j;
+  j.vp_id = 99;
+  EXPECT_THROW(rig.disp.submit(std::move(j)), ContractError);
+  Job k;
+  k.vp_id = 0;
+  k.kind = JobKind::kKernel;  // no kernel pointer
+  EXPECT_THROW(rig.disp.submit(std::move(k)), ContractError);
+}
+
+}  // namespace
+}  // namespace sigvp

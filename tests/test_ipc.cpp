@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ipc/ipc_manager.hpp"
+#include "util/check.hpp"
+
+namespace sigvp {
+namespace {
+
+TEST(IpcCostModel, MessageCostHasPayloadTerm) {
+  const IpcCostModel shm = IpcCostModel::shared_memory();
+  EXPECT_DOUBLE_EQ(shm.message_cost(0), 30.0);
+  // 2.5 GB/s => 1 MiB ≈ 419 µs of payload time.
+  EXPECT_NEAR(shm.message_cost(1 << 20), 30.0 + (1 << 20) / 2.5e3, 1e-6);
+}
+
+TEST(IpcCostModel, SocketCostsMoreThanSharedMemory) {
+  const IpcCostModel shm = IpcCostModel::shared_memory();
+  const IpcCostModel sock = IpcCostModel::socket();
+  EXPECT_GT(sock.message_cost(0), shm.message_cost(0));
+  EXPECT_GT(sock.message_cost(1 << 20), shm.message_cost(1 << 20));
+}
+
+TEST(Ipc, DeliversJobAfterTransportDelay) {
+  EventQueue q;
+  IpcManager ipc(q, IpcCostModel::shared_memory());
+  SimTime delivered_at = -1.0;
+  ipc.set_sink([&](Job) { delivered_at = q.now(); });
+  const auto vp = ipc.register_vp("vp0");
+
+  Job job;
+  job.kind = JobKind::kKernel;
+  ipc.send_job(vp, std::move(job), 0);
+  q.run();
+  EXPECT_DOUBLE_EQ(delivered_at, 30.0);
+  EXPECT_EQ(ipc.messages_sent(), 1u);
+}
+
+TEST(Ipc, PayloadBytesSlowTheRequest) {
+  EventQueue q;
+  IpcManager ipc(q, IpcCostModel::shared_memory());
+  SimTime delivered_at = -1.0;
+  ipc.set_sink([&](Job) { delivered_at = q.now(); });
+  const auto vp = ipc.register_vp("vp0");
+  Job job;
+  job.kind = JobKind::kMemcpyH2D;
+  job.bytes = 1 << 20;
+  ipc.send_job(vp, std::move(job), 1 << 20);
+  q.run();
+  EXPECT_NEAR(delivered_at, 30.0 + (1 << 20) / 2.5e3, 1e-6);
+}
+
+TEST(Ipc, ResponsePathChargesAControlMessage) {
+  EventQueue q;
+  IpcManager ipc(q, IpcCostModel::shared_memory());
+  std::vector<Job> inbox;
+  ipc.set_sink([&](Job j) { inbox.push_back(std::move(j)); });
+  const auto vp = ipc.register_vp("vp0");
+
+  SimTime completed_at = -1.0;
+  Job job;
+  job.kind = JobKind::kKernel;
+  job.on_complete = [&](SimTime end, const KernelExecStats*) { completed_at = end; };
+  ipc.send_job(vp, std::move(job), 0);
+  q.run();
+  ASSERT_EQ(inbox.size(), 1u);
+
+  // Host finishes the job at t=100; the VP should see it at 100 + 30.
+  inbox[0].on_complete(100.0, nullptr);
+  q.run();
+  EXPECT_DOUBLE_EQ(completed_at, 130.0);
+  EXPECT_EQ(ipc.messages_sent(), 2u);
+}
+
+TEST(Ipc, VpControlHoldsAndReleasesNotifications) {
+  EventQueue q;
+  IpcManager ipc(q, IpcCostModel::shared_memory());
+  std::vector<Job> inbox;
+  ipc.set_sink([&](Job j) { inbox.push_back(std::move(j)); });
+  const auto vp = ipc.register_vp("vp0");
+
+  bool notified = false;
+  Job job;
+  job.kind = JobKind::kKernel;
+  job.on_complete = [&](SimTime, const KernelExecStats*) { notified = true; };
+  ipc.send_job(vp, std::move(job), 0);
+  q.run();
+  ASSERT_EQ(inbox.size(), 1u);
+
+  // Stop the VP before the completion arrives: notification must be held.
+  ipc.stop_vp(vp);
+  EXPECT_TRUE(ipc.is_stopped(vp));
+  inbox[0].on_complete(50.0, nullptr);
+  q.run();
+  EXPECT_FALSE(notified);
+
+  // Resuming releases the held notification immediately.
+  ipc.resume_vp(vp);
+  EXPECT_TRUE(notified);
+  EXPECT_FALSE(ipc.is_stopped(vp));
+}
+
+TEST(Ipc, KernelStatsSurviveTheResponsePath) {
+  EventQueue q;
+  IpcManager ipc(q, IpcCostModel::shared_memory());
+  std::vector<Job> inbox;
+  ipc.set_sink([&](Job j) { inbox.push_back(std::move(j)); });
+  const auto vp = ipc.register_vp("vp0");
+
+  ClassCounts seen;
+  Job job;
+  job.kind = JobKind::kKernel;
+  job.on_complete = [&](SimTime, const KernelExecStats* stats) {
+    ASSERT_NE(stats, nullptr);
+    seen = stats->sigma;
+  };
+  ipc.send_job(vp, std::move(job), 0);
+  q.run();
+
+  KernelExecStats stats;
+  stats.sigma[InstrClass::kFp64] = 777;
+  inbox[0].on_complete(10.0, &stats);  // stats is stack-local: must be copied
+  q.run();
+  EXPECT_EQ(seen[InstrClass::kFp64], 777u);
+}
+
+TEST(Ipc, JobsGetUniqueIdsAndVpTag) {
+  EventQueue q;
+  IpcManager ipc(q, IpcCostModel::shared_memory());
+  std::vector<Job> inbox;
+  ipc.set_sink([&](Job j) { inbox.push_back(std::move(j)); });
+  const auto vp0 = ipc.register_vp("vp0");
+  const auto vp1 = ipc.register_vp("vp1");
+  ipc.send_job(vp0, Job{}, 0);
+  ipc.send_job(vp1, Job{}, 0);
+  q.run();
+  ASSERT_EQ(inbox.size(), 2u);
+  EXPECT_NE(inbox[0].id, inbox[1].id);
+  EXPECT_EQ(inbox[0].vp_id, vp0);
+  EXPECT_EQ(inbox[1].vp_id, vp1);
+}
+
+TEST(Ipc, RejectsUnknownVp) {
+  EventQueue q;
+  IpcManager ipc(q, IpcCostModel::shared_memory());
+  ipc.set_sink([](Job) {});
+  EXPECT_THROW(ipc.send_job(5, Job{}, 0), ContractError);
+  EXPECT_THROW(ipc.stop_vp(5), ContractError);
+  EXPECT_THROW(ipc.resume_vp(5), ContractError);
+}
+
+TEST(Ipc, SendWithoutSinkThrows) {
+  EventQueue q;
+  IpcManager ipc(q, IpcCostModel::shared_memory());
+  const auto vp = ipc.register_vp("vp0");
+  EXPECT_THROW(ipc.send_job(vp, Job{}, 0), ContractError);
+}
+
+}  // namespace
+}  // namespace sigvp

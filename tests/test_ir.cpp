@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/disasm.hpp"
+#include "ir/validate.hpp"
+#include "util/check.hpp"
+
+namespace sigvp {
+namespace {
+
+KernelIR tiny_kernel() {
+  KernelBuilder b("tiny", 1);
+  const auto r0 = b.reg(), r1 = b.reg();
+  b.block("entry");
+  b.ld_param(r0, 0);
+  b.mov_imm_i(r1, 7);
+  b.add_i(r0, r0, r1);
+  b.ret();
+  return b.build();
+}
+
+TEST(Builder, BuildsValidKernel) {
+  const KernelIR ir = tiny_kernel();
+  EXPECT_EQ(ir.name, "tiny");
+  EXPECT_EQ(ir.blocks.size(), 1u);
+  EXPECT_EQ(ir.num_regs, 2u);
+  EXPECT_EQ(ir.static_size(), 4u);
+}
+
+TEST(Builder, ResolvesForwardLabels) {
+  KernelBuilder b("fwd", 0);
+  const auto c = b.reg();
+  b.block("entry");
+  b.mov_imm_i(c, 0);
+  b.bra_z(c, "target");
+  b.block("mid");
+  b.ret();
+  b.block("target");
+  b.ret();
+  const KernelIR ir = b.build();
+  EXPECT_EQ(ir.blocks[0].instrs.back().imm, 2);  // "target" is block 2
+}
+
+TEST(Builder, RejectsUndefinedLabel) {
+  KernelBuilder b("bad", 0);
+  b.block("entry");
+  b.jmp("nowhere");
+  EXPECT_THROW(b.build(), ContractError);
+}
+
+TEST(Builder, RejectsDuplicateLabel) {
+  KernelBuilder b("dup", 0);
+  b.block("entry");
+  b.ret();
+  EXPECT_THROW(b.block("entry"), ContractError);
+}
+
+TEST(Builder, RejectsEmitAfterTerminator) {
+  KernelBuilder b("after", 0);
+  const auto r = b.reg();
+  b.block("entry");
+  b.ret();
+  EXPECT_THROW(b.mov_imm_i(r, 1), ContractError);
+}
+
+TEST(Builder, RejectsNewBlockWithoutTerminator) {
+  KernelBuilder b("unterm", 0);
+  const auto r = b.reg();
+  b.block("entry");
+  b.mov_imm_i(r, 1);
+  EXPECT_THROW(b.block("next"), ContractError);
+}
+
+TEST(Builder, RejectsParamIndexOutOfRange) {
+  KernelBuilder b("param", 1);
+  const auto r = b.reg();
+  b.block("entry");
+  EXPECT_THROW(b.ld_param(r, 3), ContractError);
+}
+
+TEST(Builder, LoopHelperProducesHeadBodyExitBlocks) {
+  KernelBuilder b("loop", 0);
+  const auto i = b.reg(), bound = b.reg(), step = b.reg(), acc = b.reg();
+  b.block("entry");
+  b.mov_imm_i(i, 0);
+  b.mov_imm_i(bound, 10);
+  b.mov_imm_i(step, 1);
+  b.mov_imm_i(acc, 0);
+  auto loop = b.loop_begin(i, bound, step, "L");
+  b.add_i(acc, acc, i);
+  b.loop_end(loop);
+  b.ret();
+  const KernelIR ir = b.build();
+  ASSERT_EQ(ir.blocks.size(), 4u);
+  EXPECT_EQ(ir.blocks[1].label, "L.head");
+  EXPECT_EQ(ir.blocks[2].label, "L.body");
+  EXPECT_EQ(ir.blocks[3].label, "L.exit");
+}
+
+TEST(Validate, ConditionalTerminatorInFinalBlockRejected) {
+  KernelIR ir;
+  ir.name = "bad";
+  ir.num_regs = 1;
+  ir.blocks.push_back(BasicBlock{"entry", {Instr{Opcode::kBraZ, 0, 0, 0, 0, 0, 0.0}}});
+  EXPECT_THROW(validate_kernel(ir), ContractError);
+}
+
+TEST(Validate, BranchTargetOutOfRangeRejected) {
+  KernelIR ir;
+  ir.name = "bad";
+  ir.num_regs = 1;
+  ir.blocks.push_back(BasicBlock{"entry", {Instr{Opcode::kJmp, 0, 0, 0, 0, 99, 0.0}}});
+  EXPECT_THROW(validate_kernel(ir), ContractError);
+}
+
+TEST(Validate, SharedOpWithoutSharedBytesRejected) {
+  KernelIR ir;
+  ir.name = "bad";
+  ir.num_regs = 2;
+  ir.blocks.push_back(BasicBlock{
+      "entry",
+      {Instr{Opcode::kLdSharedF32, 0, 1, 0, 0, 0, 0.0}, Instr{Opcode::kRet, 0, 0, 0, 0, 0, 0.0}}});
+  EXPECT_THROW(validate_kernel(ir), ContractError);
+}
+
+TEST(Validate, RegisterOutOfRangeRejected) {
+  KernelIR ir;
+  ir.name = "bad";
+  ir.num_regs = 1;
+  ir.blocks.push_back(BasicBlock{
+      "entry",
+      {Instr{Opcode::kAddI, 0, 5, 0, 0, 0, 0.0}, Instr{Opcode::kRet, 0, 0, 0, 0, 0, 0.0}}});
+  EXPECT_THROW(validate_kernel(ir), ContractError);
+}
+
+TEST(StaticCounts, ClassHistogramIsPerBlock) {
+  KernelBuilder b("hist", 0);
+  const auto a = b.reg(), c = b.reg();
+  b.block("entry");
+  b.mov_imm_f32(a, 1.0f);   // FP32? no: mov-imm classified Int
+  b.add_f32(c, a, a);       // FP32
+  b.and_b(c, a, a);         // Bit
+  b.ret();                  // B
+  const KernelIR ir = b.build();
+  const ClassCounts mu = ir.blocks[0].static_counts();
+  EXPECT_EQ(mu[InstrClass::kFp32], 1u);
+  EXPECT_EQ(mu[InstrClass::kBit], 1u);
+  EXPECT_EQ(mu[InstrClass::kBranch], 1u);
+  EXPECT_EQ(mu[InstrClass::kInt], 1u);  // the immediate move
+  EXPECT_EQ(mu.total(), 4u);
+}
+
+TEST(ClassCounts, ArithmeticAndScaling) {
+  ClassCounts a;
+  a[InstrClass::kInt] = 3;
+  ClassCounts b;
+  b[InstrClass::kInt] = 4;
+  b[InstrClass::kFp64] = 1;
+  const ClassCounts sum = a + b;
+  EXPECT_EQ(sum[InstrClass::kInt], 7u);
+  EXPECT_EQ(sum.scaled(2)[InstrClass::kFp64], 2u);
+  EXPECT_EQ(sum.total(), 8u);
+}
+
+TEST(Opcode, EveryOpcodeHasNameAndClass) {
+  // Sweep the full opcode range; names must be unique-ish and classes valid.
+  for (int op = 0; op <= static_cast<int>(Opcode::kStSharedI64); ++op) {
+    const Opcode o = static_cast<Opcode>(op);
+    EXPECT_NE(opcode_name(o), "?") << "opcode " << op;
+    const InstrClass c = instr_class(o);
+    EXPECT_LT(static_cast<std::size_t>(c), kNumInstrClasses);
+  }
+}
+
+TEST(Opcode, MemoryTraitsConsistent) {
+  EXPECT_TRUE(is_memory_op(Opcode::kLdGlobalF32));
+  EXPECT_TRUE(is_global_memory_op(Opcode::kAtomAddGlobalF32));
+  EXPECT_FALSE(is_global_memory_op(Opcode::kLdSharedF32));
+  EXPECT_EQ(memory_width_bytes(Opcode::kLdGlobalF64), 8u);
+  EXPECT_EQ(memory_width_bytes(Opcode::kLdGlobalU8), 1u);
+  EXPECT_EQ(memory_width_bytes(Opcode::kAddI), 0u);
+  EXPECT_TRUE(is_terminator(Opcode::kRet));
+  EXPECT_FALSE(is_terminator(Opcode::kBar));
+  EXPECT_TRUE(is_branch_with_target(Opcode::kBraNZ));
+  EXPECT_FALSE(is_branch_with_target(Opcode::kRet));
+}
+
+TEST(Disasm, RendersInstructionsAndBlockHistogram) {
+  const KernelIR ir = tiny_kernel();
+  const std::string text = disassemble(ir);
+  EXPECT_NE(text.find(".kernel tiny"), std::string::npos);
+  EXPECT_NE(text.find("ld.param"), std::string::npos);
+  EXPECT_NE(text.find("add.i"), std::string::npos);
+  EXPECT_NE(text.find("Int:3"), std::string::npos);
+  EXPECT_NE(text.find("ret"), std::string::npos);
+}
+
+TEST(Builder, RegisterBudgetEnforced) {
+  KernelBuilder b("regs", 0);
+  for (int i = 0; i < 256; ++i) b.reg();
+  EXPECT_THROW(b.reg(), ContractError);
+}
+
+}  // namespace
+}  // namespace sigvp

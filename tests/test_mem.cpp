@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "mem/address_space.hpp"
+#include "mem/allocator.hpp"
+#include "util/check.hpp"
+
+namespace sigvp {
+namespace {
+
+TEST(AddressSpace, TypedReadWriteRoundTrip) {
+  AddressSpace mem(1024, "m");
+  mem.write<double>(16, 3.5);
+  mem.write<std::int32_t>(24, -7);
+  mem.write<std::uint8_t>(28, 200);
+  EXPECT_DOUBLE_EQ(mem.read<double>(16), 3.5);
+  EXPECT_EQ(mem.read<std::int32_t>(24), -7);
+  EXPECT_EQ(mem.read<std::uint8_t>(28), 200);
+}
+
+TEST(AddressSpace, BoundsChecked) {
+  AddressSpace mem(64, "m");
+  EXPECT_THROW(mem.read<double>(60), ContractError);
+  EXPECT_THROW(mem.write<double>(64, 1.0), ContractError);
+  EXPECT_NO_THROW(mem.write<double>(56, 1.0));
+  // Overflowing address wraps must be caught too.
+  EXPECT_THROW(mem.read<std::uint8_t>(~0ull), ContractError);
+}
+
+TEST(AddressSpace, BulkCopies) {
+  AddressSpace mem(256, "m");
+  const std::uint8_t src[4] = {1, 2, 3, 4};
+  mem.copy_in(10, src, 4);
+  std::uint8_t dst[4] = {};
+  mem.copy_out(dst, 10, 4);
+  EXPECT_EQ(dst[3], 4);
+  mem.copy_within(100, 10, 4);
+  EXPECT_EQ(mem.read<std::uint8_t>(103), 4);
+  mem.fill(10, 9, 4);
+  EXPECT_EQ(mem.read<std::uint8_t>(12), 9);
+  EXPECT_THROW(mem.copy_in(254, src, 4), ContractError);
+}
+
+TEST(AddressSpace, OverlappingCopyWithinIsSafe) {
+  AddressSpace mem(64, "m");
+  for (std::uint8_t i = 0; i < 8; ++i) mem.write<std::uint8_t>(i, i);
+  mem.copy_within(2, 0, 6);  // overlapping forward move
+  EXPECT_EQ(mem.read<std::uint8_t>(2), 0);
+  EXPECT_EQ(mem.read<std::uint8_t>(7), 5);
+}
+
+TEST(Allocator, AllocatesAlignedDistinctBlocks) {
+  FreeListAllocator a(4096, 1 << 20);
+  const auto p1 = a.allocate(100, 256);
+  const auto p2 = a.allocate(100, 256);
+  ASSERT_TRUE(p1 && p2);
+  EXPECT_NE(*p1, *p2);
+  EXPECT_EQ(*p1 % 256, 0u);
+  EXPECT_EQ(*p2 % 256, 0u);
+  EXPECT_EQ(a.bytes_allocated(), 200u);
+  EXPECT_EQ(a.live_blocks(), 2u);
+}
+
+TEST(Allocator, FreeMergesNeighbors) {
+  FreeListAllocator a(0, 4096);
+  const auto p1 = a.allocate(512, 1);
+  const auto p2 = a.allocate(512, 1);
+  const auto p3 = a.allocate(512, 1);
+  ASSERT_TRUE(p1 && p2 && p3);
+  a.free(*p1);
+  a.free(*p3);
+  EXPECT_GE(a.free_ranges(), 2u);
+  a.free(*p2);
+  // Everything merged back into one range.
+  EXPECT_EQ(a.free_ranges(), 1u);
+  const auto big = a.allocate(4096, 1);
+  EXPECT_TRUE(big.has_value());
+}
+
+TEST(Allocator, ExhaustionReturnsNullopt) {
+  FreeListAllocator a(0, 1024);
+  EXPECT_FALSE(a.allocate(2048).has_value());
+  const auto p = a.allocate(512, 1);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_FALSE(a.allocate(1024, 1).has_value());
+}
+
+TEST(Allocator, DoubleFreeAndForeignFreeThrow) {
+  FreeListAllocator a(0, 4096);
+  const auto p = a.allocate(64, 1);
+  ASSERT_TRUE(p.has_value());
+  a.free(*p);
+  EXPECT_THROW(a.free(*p), ContractError);
+  EXPECT_THROW(a.free(12345), ContractError);
+}
+
+TEST(Allocator, ReusesFreedSpace) {
+  FreeListAllocator a(0, 1024);
+  const auto p1 = a.allocate(1024, 1);
+  ASSERT_TRUE(p1.has_value());
+  a.free(*p1);
+  const auto p2 = a.allocate(1024, 1);
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_EQ(*p1, *p2);
+}
+
+TEST(Allocator, FirstFitSkipsTooSmallHoles) {
+  FreeListAllocator a(0, 4096);
+  const auto p1 = a.allocate(128, 1);
+  const auto p2 = a.allocate(128, 1);
+  ASSERT_TRUE(p1 && p2);
+  a.free(*p1);  // 128-byte hole at the front
+  const auto p3 = a.allocate(512, 1);
+  ASSERT_TRUE(p3.has_value());
+  EXPECT_GT(*p3, *p2);  // hole skipped
+  const auto p4 = a.allocate(64, 1);
+  ASSERT_TRUE(p4.has_value());
+  EXPECT_EQ(*p4, *p1);  // hole reused for a fitting request
+}
+
+TEST(Allocator, RejectsBadArguments) {
+  FreeListAllocator a(0, 1024);
+  EXPECT_THROW(a.allocate(0), ContractError);
+  EXPECT_THROW(a.allocate(16, 3), ContractError);  // non-power-of-two alignment
+}
+
+TEST(MemChunk, EndAndEquality) {
+  const MemChunk c{100, 50};
+  EXPECT_EQ(c.end(), 150u);
+  EXPECT_EQ(c, (MemChunk{100, 50}));
+  EXPECT_NE(c, (MemChunk{100, 51}));
+}
+
+}  // namespace
+}  // namespace sigvp

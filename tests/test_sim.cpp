@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
+#include "util/check.hpp"
+
+namespace sigvp {
+namespace {
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30.0, [&] { order.push_back(3); });
+  q.schedule_at(10.0, [&] { order.push_back(1); });
+  q.schedule_at(20.0, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 30.0);
+}
+
+TEST(EventQueue, SameTimestampFifoTieBreak) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] {
+    ++fired;
+    q.schedule_after(1.0, [&] { ++fired; });
+  });
+  q.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueue, RejectsSchedulingInThePast) {
+  EventQueue q;
+  q.schedule_at(10.0, [] {});
+  q.run();
+  EXPECT_THROW(q.schedule_at(5.0, [] {}), ContractError);
+  EXPECT_THROW(q.schedule_after(-1.0, [] {}), ContractError);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockEvenWhenIdle) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(10.0, [&] { ++fired; });
+  q.schedule_at(50.0, [&] { ++fired; });
+  q.run_until(20.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 20.0);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+  EXPECT_EQ(q.events_processed(), 0u);
+}
+
+TEST(Engine, JobsSerializeFifo) {
+  EventQueue q;
+  Engine e(q, "test");
+  std::vector<SimTime> ends;
+  e.submit(10.0, [&](SimTime t) { ends.push_back(t); });
+  e.submit(5.0, [&](SimTime t) { ends.push_back(t); });
+  q.run();
+  ASSERT_EQ(ends.size(), 2u);
+  EXPECT_DOUBLE_EQ(ends[0], 10.0);
+  EXPECT_DOUBLE_EQ(ends[1], 15.0);
+  EXPECT_DOUBLE_EQ(e.busy_time(), 15.0);
+}
+
+TEST(Engine, JobSubmittedLaterStartsAtSubmissionTime) {
+  EventQueue q;
+  Engine e(q, "test");
+  SimTime end = 0;
+  q.schedule_at(100.0, [&] { e.submit(5.0, [&](SimTime t) { end = t; }); });
+  q.run();
+  EXPECT_DOUBLE_EQ(end, 105.0);
+}
+
+TEST(Engine, UtilizationIsBusyOverHorizon) {
+  EventQueue q;
+  Engine e(q, "test");
+  e.submit(25.0, {});
+  q.run();
+  EXPECT_DOUBLE_EQ(e.utilization(100.0), 0.25);
+  EXPECT_DOUBLE_EQ(e.utilization(0.0), 0.0);
+}
+
+TEST(Engine, RejectsNegativeDuration) {
+  EventQueue q;
+  Engine e(q, "test");
+  EXPECT_THROW(e.submit(-1.0, {}), ContractError);
+}
+
+TEST(Engine, ZeroDurationJobCompletesAtNow) {
+  EventQueue q;
+  Engine e(q, "test");
+  SimTime end = -1;
+  e.submit(0.0, [&](SimTime t) { end = t; });
+  q.run();
+  EXPECT_DOUBLE_EQ(end, 0.0);
+  EXPECT_EQ(e.jobs_submitted(), 1u);
+}
+
+}  // namespace
+}  // namespace sigvp

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace sigvp {
+namespace {
+
+TEST(TablePrinter, AlignsColumnsAndSeparatesHeader) {
+  TablePrinter t({"Language", "Time (ms)"});
+  t.add_row({"CUDA", "170.79"});
+  t.add_row({"C", "8213.09"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Language"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_NE(out.find("8213.09"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TablePrinter, CsvOutputHasOneLinePerRow) {
+  TablePrinter t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinter, RejectsMismatchedRowWidth) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractError);
+}
+
+TEST(TablePrinter, RejectsEmptyHeader) {
+  EXPECT_THROW(TablePrinter({}), ContractError);
+}
+
+TEST(Format, FixedHelpers) {
+  EXPECT_EQ(fmt_ms(170.791), "170.79");
+  EXPECT_EQ(fmt_ratio(3.324), "3.32");
+  EXPECT_EQ(fmt_int(42), "42");
+  EXPECT_EQ(fmt_fixed(1.5, 3), "1.500");
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(5.0, 6.0);
+    EXPECT_GE(v, 5.0);
+    EXPECT_LT(v, 6.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(17), 17u);
+  EXPECT_EQ(r.next_below(0), 0u);
+}
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleValueHasZeroVariance) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Mape, ComputesMeanAbsolutePercentageError) {
+  EXPECT_NEAR(mean_abs_pct_error({100.0, 200.0}, {110.0, 180.0}), 0.10, 1e-12);
+}
+
+TEST(Mape, RejectsBadInput) {
+  EXPECT_THROW(mean_abs_pct_error({}, {}), ContractError);
+  EXPECT_THROW(mean_abs_pct_error({1.0}, {1.0, 2.0}), ContractError);
+  EXPECT_THROW(mean_abs_pct_error({0.0}, {1.0}), ContractError);
+}
+
+TEST(Check, RequireThrowsWithMessage) {
+  try {
+    SIGVP_REQUIRE(false, "custom context");
+    FAIL() << "expected throw";
+  } catch (const ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find("custom context"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace sigvp

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "core/calibration.hpp"
+#include "cuda/runtime.hpp"
+#include "ir/builder.hpp"
+#include "sched/dispatcher.hpp"
+#include "util/check.hpp"
+#include "vp/emulation_driver.hpp"
+#include "vp/native_driver.hpp"
+#include "vp/sigmavp_driver.hpp"
+#include "workloads/suite.hpp"
+
+namespace sigvp {
+namespace {
+
+constexpr std::uint64_t kMem = 256ull * 1024 * 1024;
+
+TEST(Processor, TimeIsInstructionsOverRate) {
+  EventQueue q;
+  Processor p(q, "cpu", 1e9);  // 1 GIPS
+  SimTime end = -1;
+  p.run_instrs(5e6, [&](SimTime t) { end = t; });  // 5 ms
+  q.run();
+  EXPECT_NEAR(end, 5000.0, 1e-6);
+  EXPECT_NEAR(p.busy_total(), 5000.0, 1e-6);
+}
+
+TEST(Processor, WorkItemsSerialize) {
+  EventQueue q;
+  Processor p(q, "cpu", 1e9);
+  SimTime e1 = 0, e2 = 0;
+  p.run_instrs(1e6, [&](SimTime t) { e1 = t; });
+  p.run_time(500.0, [&](SimTime t) { e2 = t; });
+  q.run();
+  EXPECT_NEAR(e1, 1000.0, 1e-9);
+  EXPECT_NEAR(e2, 1500.0, 1e-9);
+}
+
+TEST(VpConfig, CalibrationRatiosFromTable1) {
+  const HostCpuConfig host;
+  const VpConfig vp;
+  EXPECT_NEAR(vp.bt_slowdown, 32.86, 0.01);
+  EXPECT_NEAR(host.effective_ips / vp.guest_ips(host), 32.86, 0.01);
+  EXPECT_NEAR(vp.emul_isa_expansion, 1.247, 0.001);
+}
+
+TEST(Calibration, EmulationConfigsScaleWithBinaryTranslation) {
+  Calibration calib;
+  const EmulationConfig on_host = calib.emulation_on_host(false);
+  const EmulationConfig on_vp = calib.emulation_on_vp(false);
+  EXPECT_NEAR(on_host.cpu_ips / on_vp.cpu_ips, 32.86 * 1.247, 0.1);
+  EXPECT_NEAR(on_vp.per_call_us / on_host.per_call_us, 32.86, 0.01);
+  EXPECT_DOUBLE_EQ(on_host.overhead, 1.113);
+}
+
+TEST(EmulationDriver, FunctionalVectorAddProducesResults) {
+  using namespace workloads;
+  const Workload w = make_vector_add();
+  EventQueue q;
+  Processor cpu(q, "host", 1e10);
+  Calibration calib;
+  EmulationDriver drv(cpu, calib.emulation_on_host(true));
+  cuda::Runtime rt(q, drv);
+
+  const std::uint64_t n = 300;
+  const std::uint64_t a = rt.malloc(4 * n), b = rt.malloc(4 * n), c = rt.malloc(4 * n);
+  std::vector<float> ha(n), hb(n), hc(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ha[i] = static_cast<float>(i);
+    hb[i] = 2.0f;
+  }
+  rt.memcpy_h2d(a, ha.data(), 4 * n);
+  rt.memcpy_h2d(b, hb.data(), 4 * n);
+  cuda::LaunchSpec spec;
+  spec.request.kernel = &w.kernel;
+  spec.request.dims = w.dims(n);
+  spec.request.args = w.args({a, b, c}, n);
+  spec.request.mode = ExecMode::kFunctional;
+  const KernelExecStats stats = rt.launch(spec);
+  rt.memcpy_d2h(hc.data(), c, 4 * n);
+  for (std::uint64_t i = 0; i < n; i += 37) {
+    EXPECT_FLOAT_EQ(hc[i], static_cast<float>(i) + 2.0f);
+  }
+  EXPECT_GT(stats.sigma.total(), 0u);
+  EXPECT_GT(cpu.busy_total(), 0.0);
+}
+
+TEST(EmulationDriver, KernelTimeWeightsFpHigherThanInt) {
+  EventQueue q;
+  Processor cpu(q, "host", 1e10);
+  Calibration calib;
+  EmulationDriver drv(cpu, calib.emulation_on_host(false));
+  ClassCounts ints, fps;
+  ints[InstrClass::kInt] = 1000000;
+  fps[InstrClass::kFp64] = 1000000;
+  EXPECT_NEAR(drv.weighted_instrs(fps) / drv.weighted_instrs(ints), 3.6, 1e-9);
+}
+
+TEST(EmulationDriver, VpEmulationSlowerThanHostEmulation) {
+  using namespace workloads;
+  const Workload w = make_vector_add();
+  const std::uint64_t n = 4096;
+  Calibration calib;
+
+  auto run = [&](EmulationConfig cfg) {
+    EventQueue q;
+    Processor cpu(q, "cpu", cfg.cpu_ips);
+    EmulationDriver drv(cpu, cfg);
+    cuda::Runtime rt(q, drv);
+    const auto bufs = w.buffers(n);
+    std::vector<std::uint64_t> addrs;
+    for (const auto& s : bufs) addrs.push_back(rt.malloc(s.bytes));
+    cuda::LaunchSpec spec;
+    spec.request.kernel = &w.kernel;
+    spec.request.dims = w.dims(n);
+    spec.request.args = w.args(addrs, n);
+    spec.request.mode = ExecMode::kAnalytic;
+    spec.request.analytic_profile = w.profile(n);
+    rt.launch(spec);
+    rt.synchronize();
+    return q.now();
+  };
+
+  const SimTime host = run(calib.emulation_on_host(false));
+  const SimTime vp = run(calib.emulation_on_vp(false));
+  // The kernel part scales by bt_slowdown × isa_expansion = 41.0; mallocs
+  // and per-call costs scale by bt_slowdown only, pulling the ratio down.
+  EXPECT_NEAR(vp / host, 32.86 * 1.247, 5.0);
+}
+
+TEST(SigmaVpDriver, RoundTripThroughIpcAndDispatcher) {
+  using namespace workloads;
+  const Workload w = make_vector_add();
+  EventQueue q;
+  GpuDevice dev(q, make_quadro4000(), kMem, "gpu");
+  Calibration calib;
+  IpcManager ipc(q, calib.ipc);
+  Dispatcher disp(q, dev, DispatchConfig{});
+  ipc.set_sink([&](Job j) { disp.submit(std::move(j)); });
+  Processor guest(q, "guest", calib.vp.guest_ips(calib.host_cpu));
+  const auto id = ipc.register_vp("vp0");
+  disp.register_vp();
+  SigmaVpDriver drv(guest, ipc, dev, id, calib.vp);
+  cuda::Runtime rt(q, drv);
+
+  const std::uint64_t n = 300;
+  const std::uint64_t a = rt.malloc(4 * n), b = rt.malloc(4 * n), c = rt.malloc(4 * n);
+  std::vector<float> ha(n, 3.0f), hb(n, 4.0f), hc(n);
+  rt.memcpy_h2d(a, ha.data(), 4 * n);
+  rt.memcpy_h2d(b, hb.data(), 4 * n);
+  cuda::LaunchSpec spec;
+  spec.request.kernel = &w.kernel;
+  spec.request.dims = w.dims(n);
+  spec.request.args = w.args({a, b, c}, n);
+  spec.request.mode = ExecMode::kFunctional;
+  rt.launch(spec);
+  rt.memcpy_d2h(hc.data(), c, 4 * n);
+  EXPECT_FLOAT_EQ(hc[0], 7.0f);
+  EXPECT_FLOAT_EQ(hc[n - 1], 7.0f);
+
+  // Timing sanity: each op pays at least one IPC round trip (60 µs) plus
+  // guest driver time; the whole sequence is minutes of guest time away
+  // from zero but well below a second.
+  EXPECT_GT(q.now(), 5.0 * 60.0);
+  // 4 GPU ops × (request + response) messages.
+  EXPECT_EQ(ipc.messages_sent(), 8u);
+  EXPECT_EQ(drv.requests_sent(), 4u);
+}
+
+TEST(SigmaVpDriver, SynchronizeWaitsForOutstandingOps) {
+  EventQueue q;
+  GpuDevice dev(q, make_quadro4000(), kMem, "gpu");
+  Calibration calib;
+  IpcManager ipc(q, calib.ipc);
+  Dispatcher disp(q, dev, DispatchConfig{});
+  ipc.set_sink([&](Job j) { disp.submit(std::move(j)); });
+  Processor guest(q, "guest", calib.vp.guest_ips(calib.host_cpu));
+  const auto id = ipc.register_vp("vp0");
+  disp.register_vp();
+  SigmaVpDriver drv(guest, ipc, dev, id, calib.vp);
+
+  const std::uint64_t buf = drv.malloc(8 << 20);
+  SimTime copy_done = -1, sync_done = -1;
+  drv.memcpy_h2d(buf, nullptr, 8 << 20, [&](SimTime t) { copy_done = t; });
+  drv.synchronize([&](SimTime t) { sync_done = t; });
+  q.run();
+  EXPECT_GT(copy_done, 0.0);
+  EXPECT_GE(sync_done, copy_done);
+}
+
+TEST(NativeDriver, ThinWrapperOverDevice) {
+  EventQueue q;
+  GpuDevice dev(q, make_quadro4000(), kMem, "gpu");
+  const HostCpuConfig host;
+  NativeDriver drv(q, dev, host);
+  cuda::Runtime rt(q, drv);
+  const std::uint64_t buf = rt.malloc(1 << 20);
+  std::vector<float> data(1 << 18, 2.5f);
+  rt.memcpy_h2d(buf, data.data(), 1 << 20);
+  EXPECT_FLOAT_EQ(dev.memory().read<float>(buf), 2.5f);
+  // Native path should be within a few µs of raw device time.
+  EXPECT_LT(q.now(), 15.0 + (1 << 20) / 6.0e3 + 10.0);
+  rt.synchronize();
+}
+
+}  // namespace
+}  // namespace sigvp

@@ -1,0 +1,355 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "interp/interpreter.hpp"
+#include "mem/allocator.hpp"
+#include "workloads/suite.hpp"
+
+namespace sigvp {
+namespace {
+
+using workloads::Workload;
+
+/// Small fixture: device-like memory + allocator + interpreter.
+class Funct : public ::testing::Test {
+ protected:
+  AddressSpace mem{512ull * 1024 * 1024, "m"};
+  FreeListAllocator alloc{4096, 512ull * 1024 * 1024 - 4096};
+  Interpreter interp;
+
+  std::uint64_t dalloc(std::uint64_t bytes) {
+    auto a = alloc.allocate(bytes);
+    EXPECT_TRUE(a.has_value());
+    return *a;
+  }
+
+  void run(const Workload& w, const std::vector<std::uint64_t>& addrs, std::uint64_t n) {
+    interp.run(w.kernel, w.dims(n), w.args(addrs, n), mem);
+  }
+};
+
+TEST_F(Funct, VectorAddAddsElementwise) {
+  const Workload w = workloads::make_vector_add();
+  const std::uint64_t n = 777;
+  const std::uint64_t a = dalloc(4 * n), b = dalloc(4 * n), c = dalloc(4 * n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    mem.write<float>(a + 4 * i, static_cast<float>(i) * 0.25f);
+    mem.write<float>(b + 4 * i, 100.0f - static_cast<float>(i));
+  }
+  run(w, {a, b, c}, n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    EXPECT_FLOAT_EQ(mem.read<float>(c + 4 * i),
+                    static_cast<float>(i) * 0.25f + 100.0f - static_cast<float>(i));
+  }
+}
+
+TEST_F(Funct, MatrixMulMatchesReference) {
+  const Workload w = workloads::make_matrix_mul();
+  const std::uint64_t m = 32;
+  const std::uint64_t bytes = 8 * m * m;
+  const std::uint64_t pa = dalloc(bytes), pb = dalloc(bytes), pc = dalloc(bytes);
+  std::vector<double> A(m * m), B(m * m);
+  for (std::uint64_t i = 0; i < m * m; ++i) {
+    A[i] = 0.25 * static_cast<double>(i % 17) - 1.0;
+    B[i] = 0.5 * static_cast<double>(i % 13) + 0.125;
+  }
+  mem.copy_in(pa, A.data(), bytes);
+  mem.copy_in(pb, B.data(), bytes);
+  run(w, {pa, pb, pc}, m);
+  for (std::uint64_t r = 0; r < m; r += 7) {
+    for (std::uint64_t c = 0; c < m; c += 5) {
+      double ref = 0.0;
+      for (std::uint64_t k = 0; k < m; ++k) ref += A[r * m + k] * B[k * m + c];
+      EXPECT_NEAR(mem.read<double>(pc + 8 * (r * m + c)), ref, 1e-9)
+          << "C[" << r << "," << c << "]";
+    }
+  }
+}
+
+TEST_F(Funct, BlackScholesSatisfiesParityAndBounds) {
+  const Workload w = workloads::make_black_scholes();
+  const std::uint64_t n = 500;
+  const std::uint64_t ps = dalloc(4 * n), px = dalloc(4 * n), pt = dalloc(4 * n),
+                      pcall = dalloc(4 * n), pput = dalloc(4 * n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    mem.write<float>(ps + 4 * i, 20.0f + static_cast<float>(i % 50));
+    mem.write<float>(px + 4 * i, 30.0f + static_cast<float>(i % 20));
+    mem.write<float>(pt + 4 * i, 0.25f + 0.05f * static_cast<float>(i % 10));
+  }
+  run(w, {ps, px, pt, pcall, pput}, n);
+  for (std::uint64_t i = 0; i < n; i += 13) {
+    const float s = mem.read<float>(ps + 4 * i);
+    const float x = mem.read<float>(px + 4 * i);
+    const float t = mem.read<float>(pt + 4 * i);
+    const float call = mem.read<float>(pcall + 4 * i);
+    const float put = mem.read<float>(pput + 4 * i);
+    const float disc = std::exp(-0.02f * t);
+    // Put-call parity holds by construction; check it survives the IR.
+    EXPECT_NEAR(call - put, s - x * disc, 1e-3f);
+    // A call is worth at most S.
+    EXPECT_LE(call, s + 1e-3f);
+  }
+}
+
+TEST_F(Funct, MergeSortStepsSortCompletely) {
+  const Workload w = workloads::make_merge_sort();
+  const std::uint64_t n = 256;  // power of two for the bitonic network
+  const std::uint64_t data = dalloc(8 * n);
+  std::vector<std::int64_t> values(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    values[i] = static_cast<std::int64_t>((i * 7919 + 13) % 1000);
+  }
+  mem.copy_in(data, values.data(), 8 * n);
+
+  // Full bitonic cascade: k = 2,4,...,n; j = k/2 ... 1.
+  for (std::uint64_t k = 2; k <= n; k <<= 1) {
+    for (std::uint64_t j = k >> 1; j >= 1; j >>= 1) {
+      KernelArgs args;
+      args.push_ptr(data);
+      args.push_i64(static_cast<std::int64_t>(j));
+      args.push_i64(static_cast<std::int64_t>(k));
+      args.push_i64(static_cast<std::int64_t>(n));
+      interp.run(w.kernel, w.dims(n), args, mem);
+    }
+  }
+  std::vector<std::int64_t> out(n);
+  mem.copy_out(out.data(), data, 8 * n);
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(out, values);
+}
+
+TEST_F(Funct, HistogramCountsEveryByte) {
+  const Workload w = workloads::make_histogram();
+  const std::uint64_t n = 4096;
+  const std::uint64_t data = dalloc(n), hist = dalloc(256 * 8);
+  std::vector<std::uint64_t> expected(256, 0);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint8_t v = static_cast<std::uint8_t>((i * 31 + 7) % 256);
+    mem.write<std::uint8_t>(data + i, v);
+    ++expected[v];
+  }
+  mem.fill(hist, 0, 256 * 8);
+  run(w, {data, hist}, n);
+  std::uint64_t total = 0;
+  for (int bin = 0; bin < 256; ++bin) {
+    const auto count =
+        static_cast<std::uint64_t>(mem.read<std::int64_t>(hist + 8 * static_cast<std::uint64_t>(bin)));
+    EXPECT_EQ(count, expected[static_cast<std::size_t>(bin)]) << "bin " << bin;
+    total += count;
+  }
+  EXPECT_EQ(total, n);
+}
+
+TEST_F(Funct, ReductionSumsBlocks) {
+  const Workload w = workloads::make_reduction();
+  const std::uint64_t n = 1024;  // 4 blocks of 256
+  const std::uint64_t in = dalloc(4 * n), out = dalloc(4 * 4);
+  double expected_total = 0.0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const float v = 0.001f * static_cast<float>(i % 97) + 0.5f;
+    mem.write<float>(in + 4 * i, v);
+    expected_total += v;
+  }
+  run(w, {in, out}, n);
+  double got = 0.0;
+  for (int blk = 0; blk < 4; ++blk) {
+    got += mem.read<float>(out + 4 * static_cast<std::uint64_t>(blk));
+  }
+  EXPECT_NEAR(got, expected_total, 0.05);
+}
+
+TEST_F(Funct, SegScanStepAddsStridedNeighbor) {
+  const Workload w = workloads::make_segmentation_tree();
+  const std::uint64_t n = 64;
+  const std::uint64_t in = dalloc(4 * n), out = dalloc(4 * n);
+  for (std::uint64_t i = 0; i < n; ++i) mem.write<float>(in + 4 * i, 1.0f);
+  // stride 4
+  KernelArgs args;
+  args.push_ptr(in);
+  args.push_ptr(out);
+  args.push_i64(4);
+  args.push_i64(static_cast<std::int64_t>(n));
+  interp.run(w.kernel, w.dims(n), args, mem);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const float expect = (i >= 4) ? 2.0f : 1.0f;
+    EXPECT_FLOAT_EQ(mem.read<float>(out + 4 * i), expect) << i;
+  }
+}
+
+TEST_F(Funct, SobelDetectsVerticalEdge) {
+  const Workload w = workloads::make_sobel_filter();
+  const std::uint64_t width = 32, n = width * width;
+  const std::uint64_t in = dalloc(n), out = dalloc(n);
+  // Left half black, right half white: strong response at the boundary.
+  for (std::uint64_t y = 0; y < width; ++y) {
+    for (std::uint64_t x = 0; x < width; ++x) {
+      mem.write<std::uint8_t>(in + y * width + x, x < width / 2 ? 0 : 200);
+    }
+  }
+  run(w, {in, out}, n);
+  const std::uint64_t mid_row = (width / 2) * width;
+  const auto at = [&](std::uint64_t x) {
+    return mem.read<std::uint8_t>(out + mid_row + x);
+  };
+  EXPECT_EQ(at(4), 0);                 // flat region
+  EXPECT_EQ(at(width - 4), 0);         // flat region
+  EXPECT_GT(at(width / 2 - 1), 100);   // edge response (clamped at 255)
+  EXPECT_GT(at(width / 2), 100);
+}
+
+TEST_F(Funct, MandelbrotInteriorExhaustsBudgetExteriorEscapes) {
+  const Workload w = workloads::make_mandelbrot();
+  const std::uint64_t n = 64;
+  const std::uint64_t out = dalloc(4 * n);
+  // Row across the real axis from -2.5 (outside) into the set.
+  KernelArgs args;
+  args.push_ptr(out);
+  args.push_i64(static_cast<std::int64_t>(n));  // width = n → single row
+  args.push_i64(50);                            // max_iter
+  args.push_f64(-2.5);
+  args.push_f64(0.0);
+  args.push_f64(2.5 / static_cast<double>(n));
+  args.push_i64(static_cast<std::int64_t>(n));
+  interp.run(w.kernel, w.dims(n), args, mem);
+  EXPECT_LT(mem.read<std::int32_t>(out + 0), 3);         // far outside: fast escape
+  EXPECT_EQ(mem.read<std::int32_t>(out + 4 * (n - 1)), 50);  // c ≈ -0.04: interior
+}
+
+TEST_F(Funct, StereoDisparityFindsShift) {
+  const Workload w = workloads::make_stereo_disparity();
+  const std::uint64_t n = 1024;
+  const std::uint64_t left = dalloc(n), right = dalloc(n), disp = dalloc(4 * n);
+  // The kernel compares left[i] against right[i+d]; build the right image
+  // so that right[i] = left[i-5], making d = 5 the perfect match.
+  const std::uint64_t shift = 5;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint8_t v = static_cast<std::uint8_t>((i * 37 + 11) % 251);
+    mem.write<std::uint8_t>(left + i, v);
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint8_t v = (i >= shift) ? mem.read<std::uint8_t>(left + i - shift) : 0;
+    mem.write<std::uint8_t>(right + i, v);
+  }
+  run(w, {left, right, disp}, n);
+  std::uint64_t exact = 0;
+  for (std::uint64_t i = 100; i < 900; ++i) {
+    const std::int32_t d = mem.read<std::int32_t>(disp + 4 * i);
+    EXPECT_GE(d, 0);
+    EXPECT_LT(d, 16);
+    if (d == static_cast<std::int32_t>(shift)) ++exact;
+  }
+  // The winner-takes-all search should lock onto the true disparity almost
+  // everywhere (rare pseudo-random value collisions can tie at another d).
+  EXPECT_GT(exact, 700u);
+}
+
+TEST_F(Funct, Dct8x8ConstantTileYieldsDcRow) {
+  const Workload w = workloads::make_dct8x8();
+  const std::uint64_t n = 64;  // one tile
+  const std::uint64_t in = dalloc(4 * n), coef = dalloc(64 * 4), out = dalloc(4 * n);
+  // DCT matrix rows: row 0 = 1/sqrt(8) (DC), others orthogonal cosines.
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      const double v = (r == 0)
+                           ? 1.0 / std::sqrt(8.0)
+                           : 0.5 * std::cos((2 * c + 1) * r * 3.14159265358979 / 16.0);
+      mem.write<float>(coef + 4 * static_cast<std::uint64_t>(r * 8 + c),
+                       static_cast<float>(v));
+    }
+  }
+  for (std::uint64_t i = 0; i < n; ++i) mem.write<float>(in + 4 * i, 1.0f);
+  run(w, {in, coef, out}, n);
+  // Constant input: only the DC coefficient (tx == 0) is non-zero.
+  for (int ty = 0; ty < 8; ++ty) {
+    EXPECT_NEAR(mem.read<float>(out + 4 * static_cast<std::uint64_t>(ty * 8 + 0)),
+                8.0f / std::sqrt(8.0f), 1e-4f);
+    for (int tx = 1; tx < 8; ++tx) {
+      EXPECT_NEAR(mem.read<float>(out + 4 * static_cast<std::uint64_t>(ty * 8 + tx)), 0.0f,
+                  1e-4f)
+          << "ty=" << ty << " tx=" << tx;
+    }
+  }
+}
+
+TEST_F(Funct, NbodySymmetricPairLeavesNetForceNearZero) {
+  const Workload w = workloads::make_nbody();
+  const std::uint64_t n = 2;
+  const std::uint64_t pos = dalloc(4 * n), vel = dalloc(4 * n);
+  mem.write<float>(pos + 0, -1.0f);
+  mem.write<float>(pos + 4, 1.0f);
+  mem.write<float>(vel + 0, 0.0f);
+  mem.write<float>(vel + 4, 0.0f);
+  run(w, {pos, vel}, n);
+  const float v0 = mem.read<float>(vel + 0);
+  const float v1 = mem.read<float>(vel + 4);
+  EXPECT_GT(v0, 0.0f);          // pulled toward +1
+  EXPECT_LT(v1, 0.0f);          // pulled toward -1
+  EXPECT_NEAR(v0 + v1, 0.0f, 1e-6f);  // momentum conservation
+}
+
+TEST_F(Funct, VolumeFilterPreservesConstantField) {
+  const Workload w = workloads::make_volume_filtering();
+  const std::uint64_t n = 512;  // 8^3
+  const std::uint64_t in = dalloc(4 * n), out = dalloc(4 * n);
+  for (std::uint64_t i = 0; i < n; ++i) mem.write<float>(in + 4 * i, 3.0f);
+  run(w, {in, out}, n);
+  for (std::uint64_t i = 0; i < n; i += 19) {
+    EXPECT_NEAR(mem.read<float>(out + 4 * i), 3.0f, 1e-5f);
+  }
+}
+
+TEST_F(Funct, BicubicInterpolationReproducesLinearRamp) {
+  const Workload w = workloads::make_bicubic_texture();
+  const std::uint64_t n = 256;
+  const std::uint64_t in = dalloc(4 * n), out = dalloc(4 * n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    mem.write<float>(in + 4 * i, static_cast<float>(i));
+  }
+  run(w, {in, out}, n);
+  // Catmull-Rom reproduces linear functions exactly (away from the clamped
+  // borders): out[i] = in[i * 0.5].
+  for (std::uint64_t i = 8; i < n - 8; i += 11) {
+    EXPECT_NEAR(mem.read<float>(out + 4 * i), 0.5f * static_cast<float>(i), 1e-2f) << i;
+  }
+}
+
+TEST_F(Funct, SmokeParticlesIntegrateVelocity) {
+  const Workload w = workloads::make_smoke_particles();
+  const std::uint64_t n = 16;
+  const std::uint64_t pos = dalloc(4 * n), vel = dalloc(4 * n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    mem.write<float>(pos + 4 * i, 0.0f);
+    mem.write<float>(vel + 4 * i, 1.0f);
+  }
+  run(w, {pos, vel}, n);
+  // vel' = 1*0.995 - 9.8*0.01 = 0.897; pos' = vel' * 0.01
+  for (std::uint64_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(mem.read<float>(vel + 4 * i), 0.897f, 1e-5f);
+    EXPECT_NEAR(mem.read<float>(pos + 4 * i), 0.00897f, 1e-6f);
+  }
+}
+
+TEST_F(Funct, MarchingCubesClassifiesAgainstIso) {
+  const Workload w = workloads::make_marching_cubes();
+  const std::uint64_t n = 64;
+  const std::uint64_t field = dalloc(4 * n), table = dalloc(16 * 4), count = dalloc(4 * n);
+  // Lookup table: numVerts[idx] = idx (identity) for easy checking.
+  for (int i = 0; i < 16; ++i) {
+    mem.write<std::int32_t>(table + 4 * static_cast<std::uint64_t>(i), i);
+  }
+  // field value 0 (< iso 0.5) in the first half, 1.0 in the second half.
+  for (std::uint64_t i = 0; i < n; ++i) {
+    mem.write<float>(field + 4 * i, i < n / 2 ? 0.0f : 1.0f);
+  }
+  run(w, {field, table, count}, n);
+  // Deep inside the low half, all 4 corners are below iso: idx = 0b1111.
+  EXPECT_EQ(mem.read<std::int32_t>(count + 4 * 5), 15);
+  // Deep inside the high half: no corner below iso: idx = 0.
+  EXPECT_EQ(mem.read<std::int32_t>(count + 4 * (n - 10)), 0);
+}
+
+}  // namespace
+}  // namespace sigvp

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "interp/interpreter.hpp"
+#include "ir/validate.hpp"
+#include "mem/allocator.hpp"
+#include "util/check.hpp"
+#include "workloads/suite.hpp"
+
+namespace sigvp {
+namespace {
+
+using workloads::Workload;
+
+class WorkloadTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static const std::vector<Workload>& suite() {
+    static const std::vector<Workload> s = workloads::make_suite();
+    return s;
+  }
+  const Workload& workload() const { return workloads::find(suite(), GetParam()); }
+};
+
+TEST_P(WorkloadTest, KernelValidates) {
+  const Workload& w = workload();
+  EXPECT_NO_THROW(validate_kernel(w.kernel));
+  EXPECT_GT(w.kernel.static_size(), 0u);
+  EXPECT_EQ(w.kernel.name.empty(), false);
+}
+
+TEST_P(WorkloadTest, DimsCoverProblemSize) {
+  const Workload& w = workload();
+  for (std::uint64_t n : {w.test_n, w.default_n}) {
+    const LaunchDims d = w.dims(n);
+    EXPECT_GE(d.total_threads(), n / 512)  // loose lower bound (1 thread can own many elems)
+        << w.app;
+    EXPECT_GT(d.total_threads(), 0u);
+  }
+}
+
+TEST_P(WorkloadTest, BuffersAndArgsConsistent) {
+  const Workload& w = workload();
+  const auto bufs = w.buffers(w.test_n);
+  EXPECT_FALSE(bufs.empty());
+  std::vector<std::uint64_t> addrs;
+  std::uint64_t next = 4096;
+  for (const auto& b : bufs) {
+    EXPECT_GT(b.bytes, 0u) << w.app;
+    addrs.push_back(next);
+    next += (b.bytes + 255) / 256 * 256;
+  }
+  const KernelArgs args = w.args(addrs, w.test_n);
+  EXPECT_GE(args.values.size(), w.kernel.num_params) << w.app;
+}
+
+TEST_P(WorkloadTest, FunctionalRunMatchesAnalyticProfile) {
+  const Workload& w = workload();
+  const std::uint64_t n = w.test_n;
+  const auto bufs = w.buffers(n);
+
+  AddressSpace mem(512ull * 1024 * 1024, "m");
+  FreeListAllocator alloc(4096, mem.size() - 4096);
+  std::vector<std::uint64_t> addrs;
+  for (const auto& b : bufs) {
+    const auto a = alloc.allocate(b.bytes);
+    ASSERT_TRUE(a.has_value());
+    addrs.push_back(*a);
+  }
+  // Fill inputs with small nonzero values so data-dependent kernels
+  // (Mandelbrot escape test, mergeSort comparisons) see plausible data.
+  for (std::size_t i = 0; i < bufs.size(); ++i) {
+    if (!bufs[i].is_input) continue;
+    for (std::uint64_t off = 0; off + 4 <= bufs[i].bytes; off += 4) {
+      mem.write<float>(addrs[i] + off, 0.5f);
+    }
+  }
+
+  Interpreter interp;
+  const DynamicProfile measured =
+      interp.run(w.kernel, w.dims(n), w.args(addrs, n), mem);
+  const DynamicProfile analytic = w.profile(n);
+
+  ASSERT_EQ(analytic.block_visits.size(), w.kernel.blocks.size()) << w.app;
+  if (w.exact_profile) {
+    // The paper's λ·µ identity (Eq. 1), exact: instrumentation and the
+    // analytic profile must agree block by block.
+    for (std::size_t b = 0; b < analytic.block_visits.size(); ++b) {
+      EXPECT_EQ(measured.block_visits[b], analytic.block_visits[b])
+          << w.app << " block " << w.kernel.blocks[b].label;
+    }
+    EXPECT_EQ(measured.instr_counts, analytic.instr_counts) << w.app;
+    EXPECT_EQ(measured.global_load_bytes, analytic.global_load_bytes) << w.app;
+    EXPECT_EQ(measured.global_store_bytes, analytic.global_store_bytes) << w.app;
+  } else {
+    // Data-dependent kernels: the analytic profile is an expectation.
+    const double m = static_cast<double>(measured.total_instrs());
+    const double a = static_cast<double>(analytic.total_instrs());
+    EXPECT_GT(m, 0.0);
+    EXPECT_NEAR(m / a, 1.0, 0.35) << w.app;
+  }
+}
+
+TEST_P(WorkloadTest, SigmaEqualsLambdaTimesMu) {
+  // counts_from_visits reproduces the dynamic per-class counts (Eq. 1).
+  const Workload& w = workload();
+  const DynamicProfile p = w.profile(w.test_n);
+  EXPECT_EQ(DynamicProfile::counts_from_visits(w.kernel, p.block_visits), p.instr_counts)
+      << w.app;
+}
+
+TEST_P(WorkloadTest, BehaviorIsSane) {
+  const Workload& w = workload();
+  for (std::uint64_t n : {w.test_n, w.default_n}) {
+    const MemoryBehavior b = w.behavior(n);
+    EXPECT_GT(b.footprint_bytes, 0u) << w.app;
+    EXPECT_GT(b.accesses, 0u) << w.app;
+    EXPECT_GE(b.reuse_fraction, 0.0);
+    EXPECT_LE(b.reuse_fraction, 1.0);
+    EXPECT_GE(b.coalescing, 0.0);
+    EXPECT_LE(b.coalescing, 1.0);
+  }
+}
+
+TEST_P(WorkloadTest, ProfileScalesWithProblemSize) {
+  const Workload& w = workload();
+  const double small = static_cast<double>(w.profile(w.test_n).total_instrs());
+  const double large = static_cast<double>(w.profile(w.default_n).total_instrs());
+  EXPECT_GT(large, small) << w.app;
+}
+
+TEST_P(WorkloadTest, CoalesceInfoConsistentWithTraits) {
+  const Workload& w = workload();
+  if (!w.traits.coalescable) {
+    SUCCEED();
+    return;
+  }
+  ASSERT_TRUE(static_cast<bool>(w.coalesce)) << w.app;
+  const cuda::CoalesceInfo c = w.coalesce(w.test_n);
+  EXPECT_TRUE(c.eligible);
+  EXPECT_FALSE(c.key.empty());
+  EXPECT_EQ(c.elems, w.test_n);
+  EXPECT_GT(c.block_x, 0u);
+  const KernelArgs args = w.args(std::vector<std::uint64_t>(w.buffers(w.test_n).size(), 4096),
+                                 w.test_n);
+  EXPECT_LT(c.size_arg_index, args.values.size());
+  for (const auto& buf : c.buffers) {
+    EXPECT_LT(buf.arg_index, args.values.size());
+    EXPECT_GT(buf.bytes_per_elem, 0u);
+  }
+}
+
+std::vector<std::string> all_names() {
+  std::vector<std::string> names;
+  for (const auto& w : workloads::make_suite()) names.push_back(w.app);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, WorkloadTest, ::testing::ValuesIn(all_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(Suite, HasTwentyAppsWithUniqueNames) {
+  const auto suite = workloads::make_suite();
+  EXPECT_EQ(suite.size(), 20u);
+  std::set<std::string> names;
+  for (const auto& w : suite) names.insert(w.app);
+  EXPECT_EQ(names.size(), suite.size());
+  EXPECT_THROW(workloads::find(suite, "no-such-app"), ContractError);
+}
+
+TEST(Suite, PaperAppsPresent) {
+  const auto suite = workloads::make_suite();
+  for (const char* app :
+       {"simpleGL", "Mandelbrot", "bicubicTexture", "recursiveGaussian", "MonteCarlo",
+        "segmentationTreeThrust", "marchingCubes", "VolumeFiltering", "SobelFilter", "nbody",
+        "smokeParticles", "mergeSort", "stereoDisparity", "convolutionSeparable", "dct8x8",
+        "BlackScholes", "matrixMul"}) {
+    EXPECT_NO_THROW(workloads::find(suite, app)) << app;
+  }
+}
+
+TEST(Suite, OptimizationUnfriendlyAppsAreNotCoalescable) {
+  // The paper lists these as not sped up by the two optimizations.
+  const auto suite = workloads::make_suite();
+  for (const char* app : {"convolutionSeparable", "dct8x8", "SobelFilter", "MonteCarlo",
+                          "nbody", "smokeParticles"}) {
+    EXPECT_FALSE(workloads::find(suite, app).traits.coalescable) << app;
+  }
+}
+
+}  // namespace
+}  // namespace sigvp
