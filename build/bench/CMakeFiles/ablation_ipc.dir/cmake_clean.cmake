@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ipc.dir/ablation_ipc.cpp.o"
+  "CMakeFiles/ablation_ipc.dir/ablation_ipc.cpp.o.d"
+  "ablation_ipc"
+  "ablation_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

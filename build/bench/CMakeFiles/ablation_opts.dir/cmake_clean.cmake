@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_opts.dir/ablation_opts.cpp.o"
+  "CMakeFiles/ablation_opts.dir/ablation_opts.cpp.o.d"
+  "ablation_opts"
+  "ablation_opts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_suite.dir/fig11_suite.cpp.o"
+  "CMakeFiles/fig11_suite.dir/fig11_suite.cpp.o.d"
+  "fig11_suite"
+  "fig11_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

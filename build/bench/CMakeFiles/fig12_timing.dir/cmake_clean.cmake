@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_timing.dir/fig12_timing.cpp.o"
+  "CMakeFiles/fig12_timing.dir/fig12_timing.cpp.o.d"
+  "fig12_timing"
+  "fig12_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_interleaving.dir/fig9_interleaving.cpp.o"
+  "CMakeFiles/fig9_interleaving.dir/fig9_interleaving.cpp.o.d"
+  "fig9_interleaving"
+  "fig9_interleaving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_interleaving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

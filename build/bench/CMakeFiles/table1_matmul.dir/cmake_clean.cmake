@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_matmul.dir/table1_matmul.cpp.o"
+  "CMakeFiles/table1_matmul.dir/table1_matmul.cpp.o.d"
+  "table1_matmul"
+  "table1_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

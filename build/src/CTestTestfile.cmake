@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("ir")
+subdirs("interp")
+subdirs("mem")
+subdirs("gpu")
+subdirs("cuda")
+subdirs("ipc")
+subdirs("sched")
+subdirs("vp")
+subdirs("workloads")
+subdirs("estimate")
+subdirs("core")

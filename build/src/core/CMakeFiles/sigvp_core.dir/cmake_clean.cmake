@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigvp_core.dir/app_run.cpp.o"
+  "CMakeFiles/sigvp_core.dir/app_run.cpp.o.d"
+  "CMakeFiles/sigvp_core.dir/scenario.cpp.o"
+  "CMakeFiles/sigvp_core.dir/scenario.cpp.o.d"
+  "libsigvp_core.a"
+  "libsigvp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigvp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

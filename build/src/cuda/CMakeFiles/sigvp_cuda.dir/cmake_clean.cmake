@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigvp_cuda.dir/registry.cpp.o"
+  "CMakeFiles/sigvp_cuda.dir/registry.cpp.o.d"
+  "CMakeFiles/sigvp_cuda.dir/runtime.cpp.o"
+  "CMakeFiles/sigvp_cuda.dir/runtime.cpp.o.d"
+  "libsigvp_cuda.a"
+  "libsigvp_cuda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigvp_cuda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigvp_estimate.dir/estimator.cpp.o"
+  "CMakeFiles/sigvp_estimate.dir/estimator.cpp.o.d"
+  "libsigvp_estimate.a"
+  "libsigvp_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigvp_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

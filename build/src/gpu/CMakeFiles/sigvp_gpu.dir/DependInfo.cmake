@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/arch.cpp" "src/gpu/CMakeFiles/sigvp_gpu.dir/arch.cpp.o" "gcc" "src/gpu/CMakeFiles/sigvp_gpu.dir/arch.cpp.o.d"
+  "/root/repo/src/gpu/cache.cpp" "src/gpu/CMakeFiles/sigvp_gpu.dir/cache.cpp.o" "gcc" "src/gpu/CMakeFiles/sigvp_gpu.dir/cache.cpp.o.d"
+  "/root/repo/src/gpu/cost_model.cpp" "src/gpu/CMakeFiles/sigvp_gpu.dir/cost_model.cpp.o" "gcc" "src/gpu/CMakeFiles/sigvp_gpu.dir/cost_model.cpp.o.d"
+  "/root/repo/src/gpu/device.cpp" "src/gpu/CMakeFiles/sigvp_gpu.dir/device.cpp.o" "gcc" "src/gpu/CMakeFiles/sigvp_gpu.dir/device.cpp.o.d"
+  "/root/repo/src/gpu/offline.cpp" "src/gpu/CMakeFiles/sigvp_gpu.dir/offline.cpp.o" "gcc" "src/gpu/CMakeFiles/sigvp_gpu.dir/offline.cpp.o.d"
+  "/root/repo/src/gpu/prob_cache.cpp" "src/gpu/CMakeFiles/sigvp_gpu.dir/prob_cache.cpp.o" "gcc" "src/gpu/CMakeFiles/sigvp_gpu.dir/prob_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sigvp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/sigvp_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/sigvp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sigvp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sigvp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

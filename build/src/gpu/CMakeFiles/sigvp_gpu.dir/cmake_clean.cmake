@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigvp_gpu.dir/arch.cpp.o"
+  "CMakeFiles/sigvp_gpu.dir/arch.cpp.o.d"
+  "CMakeFiles/sigvp_gpu.dir/cache.cpp.o"
+  "CMakeFiles/sigvp_gpu.dir/cache.cpp.o.d"
+  "CMakeFiles/sigvp_gpu.dir/cost_model.cpp.o"
+  "CMakeFiles/sigvp_gpu.dir/cost_model.cpp.o.d"
+  "CMakeFiles/sigvp_gpu.dir/device.cpp.o"
+  "CMakeFiles/sigvp_gpu.dir/device.cpp.o.d"
+  "CMakeFiles/sigvp_gpu.dir/offline.cpp.o"
+  "CMakeFiles/sigvp_gpu.dir/offline.cpp.o.d"
+  "CMakeFiles/sigvp_gpu.dir/prob_cache.cpp.o"
+  "CMakeFiles/sigvp_gpu.dir/prob_cache.cpp.o.d"
+  "libsigvp_gpu.a"
+  "libsigvp_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigvp_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigvp_interp.dir/interpreter.cpp.o"
+  "CMakeFiles/sigvp_interp.dir/interpreter.cpp.o.d"
+  "libsigvp_interp.a"
+  "libsigvp_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigvp_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

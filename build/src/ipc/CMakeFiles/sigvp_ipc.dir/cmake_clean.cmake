@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigvp_ipc.dir/ipc_manager.cpp.o"
+  "CMakeFiles/sigvp_ipc.dir/ipc_manager.cpp.o.d"
+  "libsigvp_ipc.a"
+  "libsigvp_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigvp_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

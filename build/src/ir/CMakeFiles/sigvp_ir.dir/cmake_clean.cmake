@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigvp_ir.dir/builder.cpp.o"
+  "CMakeFiles/sigvp_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/sigvp_ir.dir/disasm.cpp.o"
+  "CMakeFiles/sigvp_ir.dir/disasm.cpp.o.d"
+  "CMakeFiles/sigvp_ir.dir/opcode.cpp.o"
+  "CMakeFiles/sigvp_ir.dir/opcode.cpp.o.d"
+  "CMakeFiles/sigvp_ir.dir/program.cpp.o"
+  "CMakeFiles/sigvp_ir.dir/program.cpp.o.d"
+  "CMakeFiles/sigvp_ir.dir/validate.cpp.o"
+  "CMakeFiles/sigvp_ir.dir/validate.cpp.o.d"
+  "libsigvp_ir.a"
+  "libsigvp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigvp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

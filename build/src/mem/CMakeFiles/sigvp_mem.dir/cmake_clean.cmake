@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigvp_mem.dir/address_space.cpp.o"
+  "CMakeFiles/sigvp_mem.dir/address_space.cpp.o.d"
+  "CMakeFiles/sigvp_mem.dir/allocator.cpp.o"
+  "CMakeFiles/sigvp_mem.dir/allocator.cpp.o.d"
+  "libsigvp_mem.a"
+  "libsigvp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigvp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

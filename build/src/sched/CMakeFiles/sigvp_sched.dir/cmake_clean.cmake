@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigvp_sched.dir/coalescer.cpp.o"
+  "CMakeFiles/sigvp_sched.dir/coalescer.cpp.o.d"
+  "CMakeFiles/sigvp_sched.dir/dispatcher.cpp.o"
+  "CMakeFiles/sigvp_sched.dir/dispatcher.cpp.o.d"
+  "libsigvp_sched.a"
+  "libsigvp_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigvp_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigvp_sim.dir/engine.cpp.o"
+  "CMakeFiles/sigvp_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/sigvp_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/sigvp_sim.dir/event_queue.cpp.o.d"
+  "libsigvp_sim.a"
+  "libsigvp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigvp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigvp_util.dir/log.cpp.o"
+  "CMakeFiles/sigvp_util.dir/log.cpp.o.d"
+  "CMakeFiles/sigvp_util.dir/stats.cpp.o"
+  "CMakeFiles/sigvp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/sigvp_util.dir/table.cpp.o"
+  "CMakeFiles/sigvp_util.dir/table.cpp.o.d"
+  "libsigvp_util.a"
+  "libsigvp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigvp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigvp_vp.dir/emulation_driver.cpp.o"
+  "CMakeFiles/sigvp_vp.dir/emulation_driver.cpp.o.d"
+  "CMakeFiles/sigvp_vp.dir/native_driver.cpp.o"
+  "CMakeFiles/sigvp_vp.dir/native_driver.cpp.o.d"
+  "CMakeFiles/sigvp_vp.dir/processor.cpp.o"
+  "CMakeFiles/sigvp_vp.dir/processor.cpp.o.d"
+  "CMakeFiles/sigvp_vp.dir/sigmavp_driver.cpp.o"
+  "CMakeFiles/sigvp_vp.dir/sigmavp_driver.cpp.o.d"
+  "libsigvp_vp.a"
+  "libsigvp_vp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigvp_vp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sigvp_vp.
+# This may be replaced when dependencies are built.

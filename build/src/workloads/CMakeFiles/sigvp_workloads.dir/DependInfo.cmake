@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/elementwise.cpp" "src/workloads/CMakeFiles/sigvp_workloads.dir/elementwise.cpp.o" "gcc" "src/workloads/CMakeFiles/sigvp_workloads.dir/elementwise.cpp.o.d"
+  "/root/repo/src/workloads/loops.cpp" "src/workloads/CMakeFiles/sigvp_workloads.dir/loops.cpp.o" "gcc" "src/workloads/CMakeFiles/sigvp_workloads.dir/loops.cpp.o.d"
+  "/root/repo/src/workloads/shared_mem.cpp" "src/workloads/CMakeFiles/sigvp_workloads.dir/shared_mem.cpp.o" "gcc" "src/workloads/CMakeFiles/sigvp_workloads.dir/shared_mem.cpp.o.d"
+  "/root/repo/src/workloads/stencil.cpp" "src/workloads/CMakeFiles/sigvp_workloads.dir/stencil.cpp.o" "gcc" "src/workloads/CMakeFiles/sigvp_workloads.dir/stencil.cpp.o.d"
+  "/root/repo/src/workloads/suite.cpp" "src/workloads/CMakeFiles/sigvp_workloads.dir/suite.cpp.o" "gcc" "src/workloads/CMakeFiles/sigvp_workloads.dir/suite.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/workloads/CMakeFiles/sigvp_workloads.dir/workload.cpp.o" "gcc" "src/workloads/CMakeFiles/sigvp_workloads.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cuda/CMakeFiles/sigvp_cuda.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/sigvp_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/sigvp_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/sigvp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sigvp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sigvp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sigvp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

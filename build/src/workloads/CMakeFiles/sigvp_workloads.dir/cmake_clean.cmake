@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigvp_workloads.dir/elementwise.cpp.o"
+  "CMakeFiles/sigvp_workloads.dir/elementwise.cpp.o.d"
+  "CMakeFiles/sigvp_workloads.dir/loops.cpp.o"
+  "CMakeFiles/sigvp_workloads.dir/loops.cpp.o.d"
+  "CMakeFiles/sigvp_workloads.dir/shared_mem.cpp.o"
+  "CMakeFiles/sigvp_workloads.dir/shared_mem.cpp.o.d"
+  "CMakeFiles/sigvp_workloads.dir/stencil.cpp.o"
+  "CMakeFiles/sigvp_workloads.dir/stencil.cpp.o.d"
+  "CMakeFiles/sigvp_workloads.dir/suite.cpp.o"
+  "CMakeFiles/sigvp_workloads.dir/suite.cpp.o.d"
+  "CMakeFiles/sigvp_workloads.dir/workload.cpp.o"
+  "CMakeFiles/sigvp_workloads.dir/workload.cpp.o.d"
+  "libsigvp_workloads.a"
+  "libsigvp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigvp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_models.dir/test_pipeline_models.cpp.o"
+  "CMakeFiles/test_pipeline_models.dir/test_pipeline_models.cpp.o.d"
+  "test_pipeline_models"
+  "test_pipeline_models.pdb"
+  "test_pipeline_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

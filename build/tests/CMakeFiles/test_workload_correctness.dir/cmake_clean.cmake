@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_correctness.dir/test_workload_correctness.cpp.o"
+  "CMakeFiles/test_workload_correctness.dir/test_workload_correctness.cpp.o.d"
+  "test_workload_correctness"
+  "test_workload_correctness.pdb"
+  "test_workload_correctness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_correctness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
