@@ -2,6 +2,11 @@
 // WHOLE workload suite, not just the paper's four Fig. 12 kernels — every
 // kernel is profiled on the Quadro 4000 model and its Tegra K1 time/power
 // predicted, then compared against the target-device model.
+//
+// The 20 per-kernel evaluations are independent (each owns its address
+// space and interpreter), so they are sharded across host cores with
+// parallel_for into indexed slots; the table prints in suite order and is
+// byte-identical for any --workers N.
 
 #include <iostream>
 #include <vector>
@@ -9,6 +14,8 @@
 #include "estimate/estimator.hpp"
 #include "gpu/offline.hpp"
 #include "mem/allocator.hpp"
+#include "run/sweep.hpp"
+#include "run/thread_pool.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "workloads/suite.hpp"
@@ -31,44 +38,65 @@ LaunchEvaluation run_on(const workloads::Workload& w, std::uint64_t n, const Gpu
   return evaluate_functional(arch, w.kernel, w.dims(n), w.args(addrs, n), mem);
 }
 
+struct Row {
+  double c_ratio = 0.0;
+  double c1_ratio = 0.0;
+  double c2_ratio = 0.0;
+  double p_ratio = 0.0;
+};
+
 }  // namespace
 }  // namespace sigvp
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sigvp;
+  const run::SweepCli cli = run::parse_sweep_cli(argc, argv, "");
   const GpuArch host = make_quadro4000();
   const GpuArch target = make_tegrak1();
 
   std::cout << "== Ablation: estimation accuracy over the full suite "
             << "(host profile: " << host.name << ", target: Tegra K1) ==\n\n";
+
+  const auto suite = workloads::make_suite();
+  std::vector<Row> rows(suite.size());
+  {
+    run::ThreadPool pool(cli.workers == 0 ? run::ThreadPool::default_workers()
+                                          : cli.workers);
+    run::parallel_for(pool, suite.size(), [&](std::size_t idx) {
+      const workloads::Workload& w = suite[idx];
+      const std::uint64_t n = w.estimate_n ? w.estimate_n : w.test_n;
+      const LaunchEvaluation on_host = run_on(w, n, host);
+      const LaunchEvaluation on_target = run_on(w, n, target);
+
+      ProfileBasedEstimator est(host, target);
+      EstimationInput in;
+      in.kernel = &w.kernel;
+      in.dims = w.dims(n);
+      in.lambda = on_host.profile.block_visits;
+      in.host_stats = on_host.stats;
+      in.behavior = w.behavior(n);
+      const TimingEstimates ts = est.estimate_time(in);
+      const double p_est = est.estimate_power_w(in, ts);
+
+      const double obs = on_target.stats.total_cycles;
+      const double kernel_us = on_target.stats.duration_us - target.launch_overhead_us;
+      const double p_obs =
+          target.static_power_w + on_target.stats.dynamic_energy_j / s_from_us(kernel_us);
+
+      rows[idx] = Row{ts.c_cycles / obs, ts.c1_cycles / obs, ts.c2_cycles / obs,
+                      p_est / p_obs};
+    });
+  }
+
   TablePrinter t({"Kernel", "C/obs", "C'/obs", "C''/obs", "P_est/P_obs"});
   RunningStats err_c, err_c2, err_p;
-
-  for (const auto& w : workloads::make_suite()) {
-    const std::uint64_t n = w.estimate_n ? w.estimate_n : w.test_n;
-    const LaunchEvaluation on_host = run_on(w, n, host);
-    const LaunchEvaluation on_target = run_on(w, n, target);
-
-    ProfileBasedEstimator est(host, target);
-    EstimationInput in;
-    in.kernel = &w.kernel;
-    in.dims = w.dims(n);
-    in.lambda = on_host.profile.block_visits;
-    in.host_stats = on_host.stats;
-    in.behavior = w.behavior(n);
-    const TimingEstimates ts = est.estimate_time(in);
-    const double p_est = est.estimate_power_w(in, ts);
-
-    const double obs = on_target.stats.total_cycles;
-    const double kernel_us = on_target.stats.duration_us - target.launch_overhead_us;
-    const double p_obs =
-        target.static_power_w + on_target.stats.dynamic_energy_j / s_from_us(kernel_us);
-
-    err_c.add(std::abs(ts.c_cycles / obs - 1.0));
-    err_c2.add(std::abs(ts.c2_cycles / obs - 1.0));
-    err_p.add(std::abs(p_est / p_obs - 1.0));
-    t.add_row({w.app, fmt_fixed(ts.c_cycles / obs, 2), fmt_fixed(ts.c1_cycles / obs, 2),
-               fmt_fixed(ts.c2_cycles / obs, 2), fmt_fixed(p_est / p_obs, 2)});
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const Row& r = rows[i];
+    err_c.add(std::abs(r.c_ratio - 1.0));
+    err_c2.add(std::abs(r.c2_ratio - 1.0));
+    err_p.add(std::abs(r.p_ratio - 1.0));
+    t.add_row({suite[i].app, fmt_fixed(r.c_ratio, 2), fmt_fixed(r.c1_ratio, 2),
+               fmt_fixed(r.c2_ratio, 2), fmt_fixed(r.p_ratio, 2)});
   }
   t.print(std::cout);
   std::cout << "\nMean abs error over 20 kernels: C " << fmt_fixed(100.0 * err_c.mean(), 1)

@@ -3,6 +3,11 @@
 // the observation on the target, and the three estimates C, C', C'' of the
 // Profile-Based Execution Analysis — using execution profiles from both
 // host GPUs (Quadro 4000 and Grid K520).
+//
+// Each (host arch, app) cell is an independent functional evaluation with
+// its own address space, so the 8 cells are sharded across host cores with
+// parallel_for; rows land in indexed slots and the printed tables are
+// byte-identical for any worker count. Use --workers N to bound the pool.
 
 #include <iostream>
 #include <vector>
@@ -10,6 +15,8 @@
 #include "estimate/estimator.hpp"
 #include "gpu/offline.hpp"
 #include "mem/allocator.hpp"
+#include "run/sweep.hpp"
+#include "run/thread_pool.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "workloads/suite.hpp"
@@ -32,23 +39,35 @@ LaunchEvaluation run_on(const workloads::Workload& w, std::uint64_t n, const Gpu
   return evaluate_functional(arch, w.kernel, w.dims(n), w.args(addrs, n), mem);
 }
 
+struct Cell {
+  double h_norm = 0.0;       // host time / observed target time
+  double c_norm = 0.0;       // estimate C, normalized
+  double c1_norm = 0.0;      // estimate C'
+  double c2_norm = 0.0;      // estimate C''
+  double t_obs_us = 0.0;     // observed target time (for the error summary)
+  double et_c2_us = 0.0;     // C'' estimate in us
+};
+
 }  // namespace
 }  // namespace sigvp
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sigvp;
+  const run::SweepCli cli = run::parse_sweep_cli(argc, argv, "");
   const auto suite = workloads::make_suite();
   const GpuArch target = make_tegrak1();
-  const char* apps[] = {"BlackScholes", "matrixMul", "dct8x8", "Mandelbrot"};
+  const std::vector<const char*> apps = {"BlackScholes", "matrixMul", "dct8x8",
+                                         "Mandelbrot"};
+  const std::vector<GpuArch> hosts = {make_quadro4000(), make_gridk520()};
 
-  for (const GpuArch& host : {make_quadro4000(), make_gridk520()}) {
-    std::cout << "== Fig. 12: normalized execution times, profile host = " << host.name
-              << ", target = Tegra K1 ==\n"
-              << "   (all values divided by the observed target-device time)\n\n";
-    TablePrinter t({"Kernel", "H(" + host.name + ")", "T(Tegra)", "C", "C'", "C''"});
-    std::vector<double> observed, est_c2;
-    for (const char* app : apps) {
-      const workloads::Workload& w = workloads::find(suite, app);
+  // One cell per (host, app) pair, filled in parallel.
+  std::vector<Cell> cells(hosts.size() * apps.size());
+  {
+    run::ThreadPool pool(cli.workers == 0 ? run::ThreadPool::default_workers()
+                                          : cli.workers);
+    run::parallel_for(pool, cells.size(), [&](std::size_t idx) {
+      const GpuArch& host = hosts[idx / apps.size()];
+      const workloads::Workload& w = workloads::find(suite, apps[idx % apps.size()]);
       const std::uint64_t n = w.estimate_n ? w.estimate_n : w.test_n;
 
       const LaunchEvaluation on_host = run_on(w, n, host);
@@ -64,15 +83,30 @@ int main() {
       const TimingEstimates ts = est.estimate_time(in);
 
       // Normalize by the observed target execution time (paper's y-axis).
-      const double t_obs_us =
-          us_from_cycles(on_target.stats.total_cycles, target.clock_ghz);
-      const double h_us = us_from_cycles(on_host.stats.total_cycles, host.clock_ghz);
+      Cell& cell = cells[idx];
+      cell.t_obs_us = us_from_cycles(on_target.stats.total_cycles, target.clock_ghz);
+      cell.h_norm =
+          us_from_cycles(on_host.stats.total_cycles, host.clock_ghz) / cell.t_obs_us;
+      cell.c_norm = ts.et_c_us / cell.t_obs_us;
+      cell.c1_norm = ts.et_c1_us / cell.t_obs_us;
+      cell.c2_norm = ts.et_c2_us / cell.t_obs_us;
+      cell.et_c2_us = ts.et_c2_us;
+    });
+  }
 
-      observed.push_back(t_obs_us);
-      est_c2.push_back(ts.et_c2_us);
-      t.add_row({app, fmt_fixed(h_us / t_obs_us, 3), "1.000",
-                 fmt_fixed(ts.et_c_us / t_obs_us, 2), fmt_fixed(ts.et_c1_us / t_obs_us, 2),
-                 fmt_fixed(ts.et_c2_us / t_obs_us, 2)});
+  for (std::size_t h = 0; h < hosts.size(); ++h) {
+    const GpuArch& host = hosts[h];
+    std::cout << "== Fig. 12: normalized execution times, profile host = " << host.name
+              << ", target = Tegra K1 ==\n"
+              << "   (all values divided by the observed target-device time)\n\n";
+    TablePrinter t({"Kernel", "H(" + host.name + ")", "T(Tegra)", "C", "C'", "C''"});
+    std::vector<double> observed, est_c2;
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+      const Cell& cell = cells[h * apps.size() + a];
+      observed.push_back(cell.t_obs_us);
+      est_c2.push_back(cell.et_c2_us);
+      t.add_row({apps[a], fmt_fixed(cell.h_norm, 3), "1.000", fmt_fixed(cell.c_norm, 2),
+                 fmt_fixed(cell.c1_norm, 2), fmt_fixed(cell.c2_norm, 2)});
     }
     t.print(std::cout);
     std::cout << "C'' mean abs error vs observed target: "

@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/run/CMakeFiles/sigvp_run.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/sigvp_core.dir/DependInfo.cmake"
   "/root/repo/build/src/workloads/CMakeFiles/sigvp_workloads.dir/DependInfo.cmake"
   "/root/repo/build/src/estimate/CMakeFiles/sigvp_estimate.dir/DependInfo.cmake"

@@ -198,4 +198,6 @@ bench/CMakeFiles/ablation_opts.dir/ablation_opts.cpp.o: \
  /root/repo/src/vp/processor.hpp /root/repo/src/sim/engine.hpp \
  /root/repo/src/sched/dispatcher.hpp /root/repo/src/sched/coalescer.hpp \
  /root/repo/src/workloads/workload.hpp /root/repo/src/ir/builder.hpp \
- /root/repo/src/util/table.hpp /root/repo/src/workloads/suite.hpp
+ /root/repo/src/run/json_writer.hpp /root/repo/src/run/sweep.hpp \
+ /root/repo/src/util/stats.hpp /root/repo/src/util/table.hpp \
+ /root/repo/src/workloads/suite.hpp

@@ -17,3 +17,4 @@ subdirs("vp")
 subdirs("workloads")
 subdirs("estimate")
 subdirs("core")
+subdirs("run")

@@ -232,4 +232,9 @@ src/core/CMakeFiles/sigvp_core.dir/app_run.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/util/log.hpp /usr/include/c++/12/iostream
+ /root/repo/src/util/log.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/iostream /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h

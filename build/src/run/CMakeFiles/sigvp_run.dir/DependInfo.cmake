@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/run/json_writer.cpp" "src/run/CMakeFiles/sigvp_run.dir/json_writer.cpp.o" "gcc" "src/run/CMakeFiles/sigvp_run.dir/json_writer.cpp.o.d"
+  "/root/repo/src/run/sweep.cpp" "src/run/CMakeFiles/sigvp_run.dir/sweep.cpp.o" "gcc" "src/run/CMakeFiles/sigvp_run.dir/sweep.cpp.o.d"
+  "/root/repo/src/run/thread_pool.cpp" "src/run/CMakeFiles/sigvp_run.dir/thread_pool.cpp.o" "gcc" "src/run/CMakeFiles/sigvp_run.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sigvp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sigvp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/sigvp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/vp/CMakeFiles/sigvp_vp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/sigvp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/sigvp_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cuda/CMakeFiles/sigvp_cuda.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimate/CMakeFiles/sigvp_estimate.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/sigvp_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/sigvp_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sigvp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/sigvp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sigvp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigvp_run.dir/json_writer.cpp.o"
+  "CMakeFiles/sigvp_run.dir/json_writer.cpp.o.d"
+  "CMakeFiles/sigvp_run.dir/sweep.cpp.o"
+  "CMakeFiles/sigvp_run.dir/sweep.cpp.o.d"
+  "CMakeFiles/sigvp_run.dir/thread_pool.cpp.o"
+  "CMakeFiles/sigvp_run.dir/thread_pool.cpp.o.d"
+  "libsigvp_run.a"
+  "libsigvp_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigvp_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsigvp_run.a"
+)

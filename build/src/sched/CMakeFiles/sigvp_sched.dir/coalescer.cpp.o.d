@@ -230,4 +230,8 @@ src/sched/CMakeFiles/sigvp_sched.dir/coalescer.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/util/log.hpp \
- /usr/include/c++/12/iostream
+ /usr/include/c++/12/atomic /usr/include/c++/12/iostream \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h

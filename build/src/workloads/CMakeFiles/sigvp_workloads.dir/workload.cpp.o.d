@@ -190,4 +190,4 @@ src/workloads/CMakeFiles/sigvp_workloads.dir/workload.cpp.o: \
  /root/repo/src/sim/event_queue.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/ir/builder.hpp
+ /root/repo/src/ir/builder.hpp /root/repo/src/util/rng.hpp

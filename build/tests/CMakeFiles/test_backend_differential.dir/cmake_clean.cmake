@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backend_differential.dir/test_backend_differential.cpp.o"
+  "CMakeFiles/test_backend_differential.dir/test_backend_differential.cpp.o.d"
+  "test_backend_differential"
+  "test_backend_differential.pdb"
+  "test_backend_differential[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backend_differential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

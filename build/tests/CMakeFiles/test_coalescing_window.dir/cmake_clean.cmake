@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coalescing_window.dir/test_coalescing_window.cpp.o"
+  "CMakeFiles/test_coalescing_window.dir/test_coalescing_window.cpp.o.d"
+  "test_coalescing_window"
+  "test_coalescing_window.pdb"
+  "test_coalescing_window[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coalescing_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

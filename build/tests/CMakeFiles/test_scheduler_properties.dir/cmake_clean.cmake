@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheduler_properties.dir/test_scheduler_properties.cpp.o"
+  "CMakeFiles/test_scheduler_properties.dir/test_scheduler_properties.cpp.o.d"
+  "test_scheduler_properties"
+  "test_scheduler_properties.pdb"
+  "test_scheduler_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheduler_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

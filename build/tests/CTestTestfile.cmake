@@ -22,3 +22,7 @@ include("/root/repo/build/tests/test_scenario[1]_include.cmake")
 include("/root/repo/build/tests/test_pipeline_models[1]_include.cmake")
 include("/root/repo/build/tests/test_end_to_end[1]_include.cmake")
 include("/root/repo/build/tests/test_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_scheduler_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_backend_differential[1]_include.cmake")
+include("/root/repo/build/tests/test_coalescing_window[1]_include.cmake")

@@ -3,6 +3,11 @@
 // estimate execution time and power for a family of embedded-GPU designs
 // (varying SM count and clock around the Tegra K1 baseline) using
 // Profile-Based Execution Analysis.
+//
+// The profiling run happens once, serially; the per-candidate estimations
+// are independent and fan out across host cores with parallel_for
+// (--workers N bounds the pool). Rows land in indexed slots, so the table
+// is identical for any worker count.
 
 #include <cstdio>
 #include <vector>
@@ -10,11 +15,14 @@
 #include "estimate/estimator.hpp"
 #include "gpu/offline.hpp"
 #include "mem/allocator.hpp"
+#include "run/sweep.hpp"
+#include "run/thread_pool.hpp"
 #include "util/table.hpp"
 #include "workloads/suite.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sigvp;
+  const run::SweepCli cli = run::parse_sweep_cli(argc, argv, "");
   const auto suite = workloads::make_suite();
   const workloads::Workload& w = workloads::find(suite, "BlackScholes");
   const std::uint64_t n = w.estimate_n ? w.estimate_n : w.test_n;
@@ -40,40 +48,55 @@ int main() {
               profiled.stats.total_cycles);
 
   // --- steps 3-5: estimate over the embedded-GPU design space ----------------
-  TablePrinter t({"Candidate", "SMs", "Clock (GHz)", "Est. time (ms)", "Est. power (W)",
-                  "Energy (mJ)"});
   struct Candidate {
     const char* name;
     std::uint32_t sms;
     double clock;
   };
-  for (const Candidate& cand : std::vector<Candidate>{{"K1-lowpower", 1, 0.60},
-                                                      {"K1-baseline", 1, 0.85},
-                                                      {"K1-boost", 1, 1.00},
-                                                      {"2xSMX", 2, 0.85},
-                                                      {"4xSMX-halfclock", 4, 0.45}}) {
-    GpuArch target = make_tegrak1();
-    target.name = cand.name;
-    target.num_sms = cand.sms;
-    target.clock_ghz = cand.clock;
-    // Static power scales with area (SM count); dynamic energy per
-    // instruction is voltage/frequency dependent — first-order model.
-    target.static_power_w *= cand.sms;
+  const std::vector<Candidate> candidates = {{"K1-lowpower", 1, 0.60},
+                                             {"K1-baseline", 1, 0.85},
+                                             {"K1-boost", 1, 1.00},
+                                             {"2xSMX", 2, 0.85},
+                                             {"4xSMX-halfclock", 4, 0.45}};
+  struct Estimate {
+    double time_ms = 0.0;
+    double power_w = 0.0;
+    double energy_mj = 0.0;
+  };
+  std::vector<Estimate> estimates(candidates.size());
+  {
+    run::ThreadPool pool(cli.workers == 0 ? run::ThreadPool::default_workers()
+                                          : cli.workers);
+    run::parallel_for(pool, candidates.size(), [&](std::size_t idx) {
+      const Candidate& cand = candidates[idx];
+      GpuArch target = make_tegrak1();
+      target.name = cand.name;
+      target.num_sms = cand.sms;
+      target.clock_ghz = cand.clock;
+      // Static power scales with area (SM count); dynamic energy per
+      // instruction is voltage/frequency dependent — first-order model.
+      target.static_power_w *= cand.sms;
 
-    ProfileBasedEstimator est(host, target);
-    EstimationInput in;
-    in.kernel = &w.kernel;
-    in.dims = w.dims(n);
-    in.lambda = profiled.profile.block_visits;
-    in.host_stats = profiled.stats;
-    in.behavior = w.behavior(n);
-    const TimingEstimates timing = est.estimate_time(in);
-    const double power = est.estimate_power_w(in, timing);
-    const double energy_mj = power * s_from_us(timing.et_c2_us) * 1e3;
+      ProfileBasedEstimator est(host, target);
+      EstimationInput in;
+      in.kernel = &w.kernel;
+      in.dims = w.dims(n);
+      in.lambda = profiled.profile.block_visits;
+      in.host_stats = profiled.stats;
+      in.behavior = w.behavior(n);
+      const TimingEstimates timing = est.estimate_time(in);
+      const double power = est.estimate_power_w(in, timing);
+      estimates[idx] = Estimate{ms_from_us(timing.et_c2_us), power,
+                                power * s_from_us(timing.et_c2_us) * 1e3};
+    });
+  }
 
-    t.add_row({cand.name, fmt_int(cand.sms), fmt_fixed(cand.clock, 2),
-               fmt_fixed(ms_from_us(timing.et_c2_us), 3), fmt_fixed(power, 2),
-               fmt_fixed(energy_mj, 3)});
+  TablePrinter t({"Candidate", "SMs", "Clock (GHz)", "Est. time (ms)", "Est. power (W)",
+                  "Energy (mJ)"});
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    t.add_row({candidates[i].name, fmt_int(candidates[i].sms),
+               fmt_fixed(candidates[i].clock, 2), fmt_fixed(estimates[i].time_ms, 3),
+               fmt_fixed(estimates[i].power_w, 2), fmt_fixed(estimates[i].energy_mj, 3)});
   }
   std::printf("Estimated execution on candidate embedded GPUs (C'' model):\n\n");
   std::ostringstream os;

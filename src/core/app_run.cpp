@@ -10,7 +10,8 @@ namespace sigvp {
 
 AppRun::AppRun(EventQueue& queue, cuda::DeviceDriver& driver, Processor& cpu,
                const workloads::Workload& workload, std::uint64_t n, ExecMode mode,
-               const workloads::AppTraits* traits_override, bool async_launches)
+               const workloads::AppTraits* traits_override, bool async_launches,
+               bool functional_io)
     : queue_(queue),
       driver_(driver),
       cpu_(cpu),
@@ -18,9 +19,12 @@ AppRun::AppRun(EventQueue& queue, cuda::DeviceDriver& driver, Processor& cpu,
       n_(n),
       mode_(mode),
       traits_(traits_override != nullptr ? *traits_override : workload.traits),
-      async_launches_(async_launches) {
+      async_launches_(async_launches),
+      functional_io_(functional_io) {
   SIGVP_REQUIRE(n_ > 0, "application size must be positive");
   SIGVP_REQUIRE(traits_.iterations > 0, "application must run at least one iteration");
+  SIGVP_REQUIRE(!functional_io_ || mode_ == ExecMode::kFunctional,
+                "functional_io requires functional execution mode");
 }
 
 AppRun::~AppRun() = default;
@@ -54,8 +58,16 @@ void AppRun::setup() {
   for (const auto& spec : buffer_specs_) {
     buffer_addrs_.push_back(driver_.malloc(spec.bytes));
   }
+  if (functional_io_) {
+    host_bufs_.clear();
+    for (const auto& spec : buffer_specs_) {
+      host_bufs_.emplace_back(spec.bytes, std::uint8_t{0});
+    }
+    if (workload_.fill_inputs) workload_.fill_inputs(n_, host_bufs_);
+  }
 
-  // Upload every input buffer sequentially (timing-only payloads), then run.
+  // Upload every input buffer sequentially (real payloads under
+  // functional_io, timing-only otherwise), then run.
   struct Chain {
     std::shared_ptr<AppRun> run;
     std::size_t index = 0;
@@ -69,7 +81,8 @@ void AppRun::setup() {
       }
       const std::size_t i = index++;
       auto chain = *this;
-      run->driver_.memcpy_h2d(run->buffer_addrs_[i], nullptr, run->buffer_specs_[i].bytes,
+      const void* src = run->functional_io_ ? run->host_bufs_[i].data() : nullptr;
+      run->driver_.memcpy_h2d(run->buffer_addrs_[i], src, run->buffer_specs_[i].bytes,
                               [chain](SimTime) mutable { chain.next(); });
     }
   };
@@ -169,11 +182,21 @@ void AppRun::teardown() {
       }
       const std::size_t i = index++;
       auto chain = *this;
-      run->driver_.memcpy_d2h(nullptr, run->buffer_addrs_[i], run->buffer_specs_[i].bytes,
+      void* dst = run->functional_io_ ? run->host_bufs_[i].data() : nullptr;
+      run->driver_.memcpy_d2h(dst, run->buffer_addrs_[i], run->buffer_specs_[i].bytes,
                               [chain](SimTime end) mutable { chain.next(end); });
     }
   };
   Chain{shared_from_this(), 0}.next(queue_.now());
+}
+
+std::vector<std::uint8_t> AppRun::output_bytes() const {
+  std::vector<std::uint8_t> out;
+  for (std::size_t i = 0; i < buffer_specs_.size() && i < host_bufs_.size(); ++i) {
+    if (!buffer_specs_[i].is_output) continue;
+    out.insert(out.end(), host_bufs_[i].begin(), host_bufs_[i].end());
+  }
+  return out;
 }
 
 void AppRun::complete(SimTime end) {

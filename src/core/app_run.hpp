@@ -37,9 +37,13 @@ class AppRun : public std::enable_shared_from_this<AppRun> {
   /// back-to-back (stream-style asynchronous invocations, the requests the
   /// paper's Re-scheduler reorders per Fig. 4(a)) and the iteration syncs
   /// once at its end; otherwise every call is synchronous.
+  /// With `functional_io` (functional mode only), host staging buffers are
+  /// materialized so the setup/teardown copies move real bytes instead of
+  /// being timing-only; `output_bytes()` then returns the downloaded results.
   AppRun(EventQueue& queue, cuda::DeviceDriver& driver, Processor& cpu,
          const workloads::Workload& workload, std::uint64_t n, ExecMode mode,
-         const workloads::AppTraits* traits_override = nullptr, bool async_launches = false);
+         const workloads::AppTraits* traits_override = nullptr, bool async_launches = false,
+         bool functional_io = false);
   ~AppRun();
 
   AppRun(const AppRun&) = delete;
@@ -52,6 +56,10 @@ class AppRun : public std::enable_shared_from_this<AppRun> {
   SimTime finished_at() const { return finished_at_; }
   bool finished() const { return finished_; }
   std::uint64_t kernels_launched() const { return kernels_launched_; }
+
+  /// Concatenated bytes of the output buffers downloaded at teardown.
+  /// Empty unless the run was constructed with `functional_io`.
+  std::vector<std::uint8_t> output_bytes() const;
 
  private:
   void setup();
@@ -72,9 +80,14 @@ class AppRun : public std::enable_shared_from_this<AppRun> {
   ExecMode mode_;
   workloads::AppTraits traits_;
   bool async_launches_;
+  bool functional_io_;
 
   std::vector<workloads::BufferSpec> buffer_specs_;
   std::vector<std::uint64_t> buffer_addrs_;
+  /// Host staging buffers, one per BufferSpec (functional_io only). Inputs
+  /// are filled before setup's uploads; outputs receive teardown's
+  /// downloads. Must outlive in-flight copies — jobs hold raw pointers.
+  std::vector<std::vector<std::uint8_t>> host_bufs_;
   std::uint32_t iter_ = 0;
   std::uint32_t launch_in_iter_ = 0;
   std::uint64_t kernels_launched_ = 0;

@@ -104,7 +104,8 @@ ScenarioResult run_scenario(const ScenarioConfig& config, const std::vector<AppI
         apps[i].traits.has_value() ? &*apps[i].traits : nullptr;
     runs.push_back(std::make_shared<AppRun>(queue, *drivers[i], *cpus[i], *apps[i].workload,
                                             apps[i].n, config.mode, traits,
-                                            config.async_launches));
+                                            config.async_launches,
+                                            config.functional_io && functional));
   }
   for (auto& run : runs) {
     run->start({});
@@ -116,6 +117,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config, const std::vector<AppI
     SIGVP_ASSERT(run->finished(), "event queue drained but an app never finished");
     result.app_done_us.push_back(run->finished_at());
     result.makespan_us = std::max(result.makespan_us, run->finished_at());
+    if (config.functional_io && functional) result.app_outputs.push_back(run->output_bytes());
   }
   if (dispatcher) {
     result.jobs_dispatched = dispatcher->jobs_dispatched();

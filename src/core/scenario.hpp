@@ -52,6 +52,15 @@ struct ScenarioConfig {
   /// asynchronous reordering (paper Fig. 4(a)) operates on; the optimized
   /// ΣVP scenario of Fig. 11 enables it together with interleave/coalesce.
   bool async_launches = false;
+
+  /// Functional mode only: carry real data through the full scenario path.
+  /// Each app fills host input buffers (workload.fill_inputs when present,
+  /// zeros otherwise), the setup h2d copies upload the actual bytes, and the
+  /// teardown d2h copies read the device results back; ScenarioResult then
+  /// exposes each app's output bytes. This is what makes cross-backend
+  /// differential testing possible: kSigmaVp and kEmulationOnVp must return
+  /// byte-identical outputs for the same inputs.
+  bool functional_io = false;
 };
 
 struct ScenarioResult {
@@ -69,6 +78,10 @@ struct ScenarioResult {
   double gpu_dynamic_energy_j = 0.0;
   SimTime gpu_compute_busy_us = 0.0;
   SimTime gpu_copy_busy_us = 0.0;
+
+  /// Per app: the concatenated bytes of its output buffers after teardown.
+  /// Populated only when `ScenarioConfig::functional_io` is set.
+  std::vector<std::vector<std::uint8_t>> app_outputs;
 };
 
 /// Builds the full system for `config`, runs every app instance to

@@ -1,0 +1,109 @@
+#include "run/json_writer.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace sigvp::run {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Shortest round-trippable representation; JSON has no NaN/Inf, so encode
+/// them as null (no simulated quantity should produce them).
+void append_number(std::ostringstream& os, double v) {
+  if (v != v || v == 1.0 / 0.0 || v == -1.0 / 0.0) {
+    os << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+void append_summary(std::ostringstream& os, const SampleSummary& s) {
+  os << "{\"count\": " << s.count << ", \"min_us\": ";
+  append_number(os, s.min);
+  os << ", \"mean_us\": ";
+  append_number(os, s.mean);
+  os << ", \"p50_us\": ";
+  append_number(os, s.p50);
+  os << ", \"p95_us\": ";
+  append_number(os, s.p95);
+  os << ", \"max_us\": ";
+  append_number(os, s.max);
+  os << "}";
+}
+
+}  // namespace
+
+std::string sweep_to_json(const SweepResult& sweep, const std::string& bench_name) {
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"" << json_escape(bench_name) << "\",\n";
+  os << "  \"workers\": " << sweep.workers << ",\n";
+  os << "  \"wall_ms\": ";
+  append_number(os, sweep.wall_ms);
+  os << ",\n  \"summary\": ";
+  append_summary(os, sweep.summarize());
+  os << ",\n  \"jobs\": [\n";
+  for (std::size_t i = 0; i < sweep.jobs.size(); ++i) {
+    const SweepJobResult& j = sweep.jobs[i];
+    const ScenarioResult& r = j.result;
+    os << "    {\"name\": \"" << json_escape(j.name) << "\", \"group\": \""
+       << json_escape(j.group) << "\", \"makespan_us\": ";
+    append_number(os, r.makespan_us);
+    os << ", \"app_done_us\": [";
+    for (std::size_t a = 0; a < r.app_done_us.size(); ++a) {
+      if (a != 0) os << ", ";
+      append_number(os, r.app_done_us[a]);
+    }
+    os << "], \"jobs_dispatched\": " << r.jobs_dispatched
+       << ", \"reorders\": " << r.reorders
+       << ", \"coalesced_groups\": " << r.coalesced_groups
+       << ", \"coalesced_jobs\": " << r.coalesced_jobs
+       << ", \"ipc_messages\": " << r.ipc_messages << ", \"gpu_dynamic_energy_j\": ";
+    append_number(os, r.gpu_dynamic_energy_j);
+    os << ", \"gpu_compute_busy_us\": ";
+    append_number(os, r.gpu_compute_busy_us);
+    os << ", \"gpu_copy_busy_us\": ";
+    append_number(os, r.gpu_copy_busy_us);
+    os << "}";
+    if (i + 1 != sweep.jobs.size()) os << ",";
+    os << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+void write_sweep_json(const SweepResult& sweep, const std::string& bench_name,
+                      const std::string& path) {
+  std::ofstream f(path);
+  SIGVP_REQUIRE(f.good(), "cannot open JSON results file: " + path);
+  f << sweep_to_json(sweep, bench_name);
+  SIGVP_REQUIRE(f.good(), "failed writing JSON results file: " + path);
+}
+
+}  // namespace sigvp::run

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+
+#include "run/sweep.hpp"
+
+namespace sigvp::run {
+
+/// Serializes a sweep to the machine-readable bench trajectory format.
+///
+/// Schema (stable; documented in README "Parallel scenario sweeps"):
+/// {
+///   "bench": "<name>", "workers": N, "wall_ms": W,
+///   "summary": {"count": n, "min_us": .., "mean_us": .., "p50_us": ..,
+///               "p95_us": .., "max_us": ..},
+///   "jobs": [{"name": .., "group": .., "makespan_us": ..,
+///             "app_done_us": [..], "jobs_dispatched": .., "reorders": ..,
+///             "coalesced_groups": .., "coalesced_jobs": ..,
+///             "ipc_messages": .., "gpu_dynamic_energy_j": ..,
+///             "gpu_compute_busy_us": .., "gpu_copy_busy_us": ..}, ...]
+/// }
+std::string sweep_to_json(const SweepResult& sweep, const std::string& bench_name);
+
+/// Writes `sweep_to_json` to `path` (e.g. "BENCH_fig11_suite.json").
+void write_sweep_json(const SweepResult& sweep, const std::string& bench_name,
+                      const std::string& path);
+
+}  // namespace sigvp::run

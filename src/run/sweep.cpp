@@ -1,0 +1,85 @@
+#include "run/sweep.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "run/thread_pool.hpp"
+#include "util/check.hpp"
+
+namespace sigvp::run {
+
+const SweepJobResult& SweepResult::find(const std::string& name) const {
+  for (const SweepJobResult& j : jobs) {
+    if (j.name == name) return j;
+  }
+  throw ContractError("no sweep job named '" + name + "'");
+}
+
+double SweepResult::speedup(const std::string& job, const std::string& baseline) const {
+  const double base = find(baseline).result.makespan_us;
+  const double mine = find(job).result.makespan_us;
+  SIGVP_REQUIRE(mine > 0.0, "speedup against a zero-makespan job");
+  return base / mine;
+}
+
+SampleSummary SweepResult::summarize() const { return summarize_group(""); }
+
+SampleSummary SweepResult::summarize_group(const std::string& group) const {
+  std::vector<double> makespans;
+  for (const SweepJobResult& j : jobs) {
+    if (group.empty() || j.group == group) makespans.push_back(j.result.makespan_us);
+  }
+  SIGVP_REQUIRE(!makespans.empty(),
+                group.empty() ? std::string("summary of an empty sweep")
+                              : "no sweep jobs in group '" + group + "'");
+  return sigvp::summarize(makespans);
+}
+
+SweepRunner::SweepRunner(std::size_t workers)
+    : workers_(workers == 0 ? ThreadPool::default_workers() : workers) {}
+
+SweepResult SweepRunner::run(const std::vector<SweepJob>& jobs) const {
+  for (const SweepJob& a : jobs) {
+    SIGVP_REQUIRE(!a.name.empty(), "sweep job without a name");
+    for (const SweepJob& b : jobs) {
+      SIGVP_REQUIRE(&a == &b || a.name != b.name, "duplicate sweep job name: " + a.name);
+    }
+  }
+
+  SweepResult out;
+  out.workers = workers_;
+  out.jobs.resize(jobs.size());
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  {
+    // Results land in their input slot, so aggregation order — and therefore
+    // every downstream number — is independent of scheduling order.
+    ThreadPool pool(std::min(workers_, std::max<std::size_t>(1, jobs.size())));
+    parallel_for(pool, jobs.size(), [&jobs, &out](std::size_t i) {
+      out.jobs[i].name = jobs[i].name;
+      out.jobs[i].group = jobs[i].group;
+      out.jobs[i].result = run_scenario(jobs[i].config, jobs[i].apps);
+    });
+  }
+  out.wall_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                          wall_start)
+                    .count();
+  return out;
+}
+
+SweepCli parse_sweep_cli(int argc, char** argv, const std::string& default_json) {
+  SweepCli cli;
+  cli.json_path = default_json;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--workers" && i + 1 < argc) {
+      cli.workers = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--json" && i + 1 < argc) {
+      cli.json_path = argv[++i];
+    }
+  }
+  return cli;
+}
+
+}  // namespace sigvp::run

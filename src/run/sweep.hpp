@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "util/stats.hpp"
+
+namespace sigvp::run {
+
+/// One independent design point of a sweep: a scenario configuration plus
+/// the app instances to run under it. `name` must be unique within a sweep;
+/// `group` is a free-form aggregation key (typically the app or the backend)
+/// the summary statistics are computed over.
+struct SweepJob {
+  std::string name;
+  std::string group;
+  ScenarioConfig config;
+  std::vector<AppInstance> apps;
+};
+
+struct SweepJobResult {
+  std::string name;
+  std::string group;
+  ScenarioResult result;
+};
+
+/// Results of a sweep, in the input job order regardless of worker count.
+struct SweepResult {
+  std::vector<SweepJobResult> jobs;
+  std::size_t workers = 1;
+  double wall_ms = 0.0;  // host wall-clock of the whole sweep
+
+  const SweepJobResult& find(const std::string& name) const;
+
+  /// makespan(baseline) / makespan(job) — the speedup of `job` over the
+  /// named baseline job.
+  double speedup(const std::string& job, const std::string& baseline) const;
+
+  /// min/mean/p50/p95/max over the makespans of every job, or of the jobs
+  /// in one group.
+  SampleSummary summarize() const;
+  SampleSummary summarize_group(const std::string& group) const;
+};
+
+/// Shards a vector of scenario jobs across a fixed-size worker pool.
+///
+/// Determinism contract: every job owns its private EventQueue, GPU device,
+/// IPC manager and dispatcher (all built inside `run_scenario`), so a job's
+/// ScenarioResult is a pure function of its SweepJob — bit-identical across
+/// runs and across worker counts. Only host wall-clock changes with N.
+class SweepRunner {
+ public:
+  /// `workers == 0` picks the host's hardware concurrency.
+  explicit SweepRunner(std::size_t workers = 0);
+
+  std::size_t workers() const { return workers_; }
+
+  /// Runs every job to completion and returns results in input order.
+  /// The first scenario exception (lowest job index) is rethrown after all
+  /// workers have drained.
+  SweepResult run(const std::vector<SweepJob>& jobs) const;
+
+ private:
+  std::size_t workers_;
+};
+
+/// Shared CLI handling for the sweep-shaped benches: `--workers N`
+/// (0 = hardware concurrency, the default) and `--json PATH` to override
+/// the bench's default `BENCH_<name>.json` output location.
+struct SweepCli {
+  std::size_t workers = 0;
+  std::string json_path;
+};
+
+SweepCli parse_sweep_cli(int argc, char** argv, const std::string& default_json);
+
+}  // namespace sigvp::run

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sigvp::run {
+
+/// Fixed-size pool of host worker threads.
+///
+/// The simulation itself is single-threaded by design (one deterministic
+/// EventQueue per scenario); the pool provides *host-side* parallelism across
+/// independent scenario runs — the sharding layer every sweep-shaped workload
+/// in this repository (Fig. 11 suite, design-space exploration, ablations)
+/// funnels through. Tasks are drained FIFO; worker count is fixed at
+/// construction.
+class ThreadPool {
+ public:
+  /// `workers == 0` picks `default_workers()`.
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return threads_.size(); }
+
+  /// Enqueues a task. Tasks must not throw — wrap fallible work yourself
+  /// (parallel_for does) so exceptions can be reported to the caller.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+  /// Host hardware concurrency, never less than 1.
+  static std::size_t default_workers();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> tasks_;
+  std::size_t in_flight_ = 0;  // queued + executing
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Runs `fn(0) ... fn(count-1)` on the pool and waits for all of them.
+/// Exceptions are captured; the first one (lowest index) is rethrown after
+/// every task has finished, so no work is silently lost mid-sweep.
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace sigvp::run

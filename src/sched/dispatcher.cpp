@@ -25,6 +25,8 @@ Dispatcher::Dispatcher(EventQueue& queue, GpuDevice& device, DispatchConfig conf
 void Dispatcher::register_vp() {
   vp_streams_.push_back(device_.create_stream());
   next_seq_.push_back(0);
+  vp_inflight_.push_back(0);
+  vp_group_inflight_.push_back(0);
 }
 
 void Dispatcher::submit(Job job) {
@@ -40,12 +42,25 @@ bool Dispatcher::is_ready(const Job& job) const {
   return job.seq_in_vp == next_seq_[job.vp_id];
 }
 
+bool Dispatcher::can_join_group(const Job& job) const {
+  // A peer may join a coalesced group only when NOTHING of its VP is still
+  // in flight: merged groups execute on the coalescer's service stream, so
+  // they bypass the per-VP stream chaining that orders single dispatches. A
+  // merged kernel whose predecessor (e.g. a copy) is still pending would
+  // complete out of its VP's sequence order — the partial-order violation
+  // the scheduler property tests hunt for. The dispatcher-side in-flight
+  // counter (not the device stream tail) is authoritative here because a
+  // dispatched job only reaches its stream after the service delay.
+  return is_ready(job) && vp_inflight_[job.vp_id] == 0 &&
+         device_.stream_idle_at(vp_streams_[job.vp_id]) <= events_.now();
+}
+
 std::uint32_t Dispatcher::ready_peers(const Job& job) const {
   std::uint32_t peers = 0;
   for (const Job& other : queue_) {
     if (&other == &job) continue;
     if (other.kind == JobKind::kKernel && other.launch.coalesce.eligible &&
-        other.launch.coalesce.key == job.launch.coalesce.key && is_ready(other)) {
+        other.launch.coalesce.key == job.launch.coalesce.key && can_join_group(other)) {
       ++peers;
     }
   }
@@ -100,6 +115,10 @@ std::size_t Dispatcher::pick_next() const {
   for (std::size_t i = 0; i < queue_.size(); ++i) {
     const Job& job = queue_[i];
     if (!is_ready(job) || held_for_coalescing(job)) continue;
+    // A coalesced group member of this VP may still be running on the
+    // coalescer's service stream; the VP stream would not chain behind it,
+    // so the VP's next op must wait for the group's completion.
+    if (vp_group_inflight_[job.vp_id] > 0) continue;
     const SimTime engine_free = job.kind == JobKind::kKernel
                                     ? device_.compute_engine_free_at()
                                     : (job.kind == JobKind::kMemcpyH2D
@@ -124,7 +143,12 @@ void Dispatcher::pump() {
 }
 
 void Dispatcher::dispatch_at(std::size_t index) {
-  if (index > 0) ++reorders_;
+  // A dispatch from behind the queue head is the Re-scheduler's asynchronous
+  // cross-VP reordering (paper Fig. 4(a)) — only meaningful with Kernel
+  // Interleaving. In the serial baseline the head can only be bypassed while
+  // it waits out a coalescing window, which is a hold, not a reorder; the
+  // `interleave == false ⇒ reorders == 0` invariant is property-tested.
+  if (index > 0 && config_.interleave) ++reorders_;
 
   Job job = std::move(queue_[index]);
   queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
@@ -136,7 +160,7 @@ void Dispatcher::dispatch_at(std::size_t index) {
     for (auto it = queue_.begin(); it != queue_.end();) {
       const bool match = it->kind == JobKind::kKernel && it->launch.coalesce.eligible &&
                          it->launch.coalesce.key == group.front().launch.coalesce.key &&
-                         is_ready(*it);
+                         can_join_group(*it);
       if (match) {
         group.push_back(std::move(*it));
         it = queue_.erase(it);
@@ -162,6 +186,7 @@ void Dispatcher::dispatch_at(std::size_t index) {
 
 void Dispatcher::dispatch_single(Job job) {
   ++next_seq_[job.vp_id];
+  ++vp_inflight_[job.vp_id];
   ++in_flight_;
   ++jobs_dispatched_;
   SIGVP_TRACE("dispatcher") << "dispatch job " << job.id << " vp" << job.vp_id << " kind="
@@ -177,27 +202,28 @@ void Dispatcher::dispatch_single(Job job) {
 
 void Dispatcher::submit_to_device(Job job) {
   const GpuDevice::StreamId stream = vp_streams_[job.vp_id];
+  const std::uint32_t vp = job.vp_id;
   switch (job.kind) {
     case JobKind::kMemcpyH2D:
       device_.memcpy_h2d(stream, job.device_addr, job.host_src, job.bytes,
-                         [this, cb = std::move(job.on_complete)](SimTime end) {
+                         [this, vp, cb = std::move(job.on_complete)](SimTime end) {
                            if (cb) cb(end, nullptr);
-                           on_job_finished();
+                           on_job_finished(vp);
                          });
       break;
     case JobKind::kMemcpyD2H:
       device_.memcpy_d2h(stream, job.host_dst, job.device_addr, job.bytes,
-                         [this, cb = std::move(job.on_complete)](SimTime end) {
+                         [this, vp, cb = std::move(job.on_complete)](SimTime end) {
                            if (cb) cb(end, nullptr);
-                           on_job_finished();
+                           on_job_finished(vp);
                          });
       break;
     case JobKind::kKernel:
       device_.launch(stream, job.launch.request,
-                     [this, cb = std::move(job.on_complete)](SimTime end,
-                                                             const KernelExecStats& stats) {
+                     [this, vp, cb = std::move(job.on_complete)](
+                         SimTime end, const KernelExecStats& stats) {
                        if (cb) cb(end, &stats);
-                       on_job_finished();
+                       on_job_finished(vp);
                      });
       break;
   }
@@ -208,11 +234,16 @@ void Dispatcher::dispatch_group(std::vector<Job> group) {
   jobs_dispatched_ += group.size();
   for (Job& j : group) {
     ++next_seq_[j.vp_id];
+    ++vp_inflight_[j.vp_id];
+    ++vp_group_inflight_[j.vp_id];
     // Chain the dispatcher's accounting after the job's own completion.
     auto original = std::move(j.on_complete);
-    j.on_complete = [this, original](SimTime end, const KernelExecStats* stats) {
+    const std::uint32_t vp = j.vp_id;
+    j.on_complete = [this, vp, original](SimTime end, const KernelExecStats* stats) {
       if (original) original(end, stats);
-      on_job_finished();
+      SIGVP_ASSERT(vp_group_inflight_[vp] > 0, "group completion for an idle VP");
+      --vp_group_inflight_[vp];
+      on_job_finished(vp);
     };
   }
   // One host-side service charge for the whole merged group — the core of
@@ -225,9 +256,11 @@ void Dispatcher::dispatch_group(std::vector<Job> group) {
                   });
 }
 
-void Dispatcher::on_job_finished() {
+void Dispatcher::on_job_finished(std::uint32_t vp_id) {
   SIGVP_ASSERT(in_flight_ > 0, "completion without a job in flight");
+  SIGVP_ASSERT(vp_inflight_[vp_id] > 0, "completion for an idle VP");
   --in_flight_;
+  --vp_inflight_[vp_id];
   pump();
 }
 

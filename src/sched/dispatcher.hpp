@@ -79,6 +79,12 @@ class Dispatcher {
  private:
   void pump();
   bool is_ready(const Job& job) const;
+  /// True when `job` could start independently right now: sequence-ready,
+  /// nothing of its VP in flight, VP stream drained. Gate for joining a
+  /// coalesced group — merged groups run on the coalescer's service stream,
+  /// outside the per-VP stream chaining, so a member whose predecessor is
+  /// still in flight would complete out of its VP's sequence order.
+  bool can_join_group(const Job& job) const;
   /// True when a coalescable job should keep waiting for peers.
   bool held_for_coalescing(const Job& job) const;
   std::uint32_t ready_peers(const Job& job) const;
@@ -91,7 +97,7 @@ class Dispatcher {
   void dispatch_single(Job job);
   void dispatch_group(std::vector<Job> group);
   void submit_to_device(Job job);
-  void on_job_finished();
+  void on_job_finished(std::uint32_t vp_id);
 
   EventQueue& events_;
   GpuDevice& device_;
@@ -103,6 +109,11 @@ class Dispatcher {
   std::deque<Job> queue_;
   std::vector<GpuDevice::StreamId> vp_streams_;
   std::vector<std::uint64_t> next_seq_;  // per VP: next sequence number to dispatch
+  std::vector<std::uint32_t> vp_inflight_;  // per VP: dispatched, not yet completed
+  /// Per VP: in-flight jobs merged into a coalesced group. Group launches
+  /// run on the coalescer's service stream, outside the VP stream's FIFO
+  /// chaining, so follow-up ops of the same VP must hold until they finish.
+  std::vector<std::uint32_t> vp_group_inflight_;
   std::uint32_t in_flight_ = 0;
   std::uint64_t jobs_dispatched_ = 0;
   std::uint64_t reorders_ = 0;

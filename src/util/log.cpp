@@ -24,7 +24,12 @@ Logger& Logger::instance() {
 void Logger::write(LogLevel level, const std::string& component, const std::string& message) {
   if (!enabled(level)) return;
   std::ostream& os = (level >= LogLevel::kWarn) ? std::cerr : std::clog;
-  os << "[" << level_name(level) << "] [" << component << "] " << message << "\n";
+  // Assemble off-lock, emit the finished line under the mutex so concurrent
+  // sweep workers never interleave fragments of different lines.
+  std::ostringstream line;
+  line << "[" << level_name(level) << "] [" << component << "] " << message << "\n";
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  os << line.str();
 }
 
 }  // namespace sigvp

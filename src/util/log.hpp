@@ -1,6 +1,8 @@
 #pragma once
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -10,19 +12,27 @@ enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
 /// Process-wide logging configuration. Benches set kWarn to keep tables clean;
 /// tests may raise verbosity to trace scheduler decisions.
+///
+/// Thread-safe: the sweep runner executes scenarios on host worker threads
+/// that all log through this singleton, so the level is atomic and lines are
+/// written whole under a mutex (no interleaved fragments).
 class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
-  bool enabled(LogLevel level) const { return level >= level_ && level_ != LogLevel::kOff; }
+  void set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  bool enabled(LogLevel level) const {
+    const LogLevel current = this->level();
+    return level >= current && current != LogLevel::kOff;
+  }
 
   void write(LogLevel level, const std::string& component, const std::string& message);
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  std::mutex write_mutex_;
 };
 
 namespace detail {

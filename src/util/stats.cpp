@@ -1,5 +1,6 @@
 #include "util/stats.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/check.hpp"
@@ -37,6 +38,32 @@ double mean_abs_pct_error(const std::vector<double>& observed,
     total += std::abs(estimates[i] - observed[i]) / std::abs(observed[i]);
   }
   return total / static_cast<double>(observed.size());
+}
+
+double percentile(std::vector<double> values, double p) {
+  SIGVP_REQUIRE(!values.empty(), "percentile of an empty sample");
+  SIGVP_REQUIRE(p >= 0.0 && p <= 100.0, "percentile rank must be in [0, 100]");
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  if (lo + 1 >= values.size()) return values.back();
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[lo + 1] - values[lo]);
+}
+
+SampleSummary summarize(const std::vector<double>& values) {
+  SIGVP_REQUIRE(!values.empty(), "summary of an empty sample");
+  RunningStats rs;
+  for (double v : values) rs.add(v);
+  SampleSummary s;
+  s.count = rs.count();
+  s.min = rs.min();
+  s.mean = rs.mean();
+  s.p50 = percentile(values, 50.0);
+  s.p95 = percentile(values, 95.0);
+  s.max = rs.max();
+  return s;
 }
 
 }  // namespace sigvp

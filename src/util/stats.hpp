@@ -30,4 +30,21 @@ class RunningStats {
 double mean_abs_pct_error(const std::vector<double>& observed,
                           const std::vector<double>& estimates);
 
+/// p-th percentile (p in [0, 100]) of `values` by linear interpolation
+/// between closest ranks; throws on an empty input.
+double percentile(std::vector<double> values, double p);
+
+/// Five-number summary of a sample — the aggregate the sweep runner reports
+/// per job group (min/mean/p50/p95/max of the scenario makespans).
+struct SampleSummary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+SampleSummary summarize(const std::vector<double>& values);
+
 }  // namespace sigvp

@@ -75,6 +75,10 @@ Workload make_vector_add() {
     return linear_coalesce("vectorAdd.f32", n_,
                            {{0, 4, false}, {1, 4, false}, {2, 4, true}}, 3);
   };
+  w.fill_inputs = [](std::uint64_t, std::vector<std::vector<std::uint8_t>>& bufs) {
+    fill_f32_pattern(bufs[0], -4.0f, 4.0f, 0x11);
+    fill_f32_pattern(bufs[1], -4.0f, 4.0f, 0x22);
+  };
   w.traits.coalescable = true;
   w.traits.iterations = 40;
   w.traits.launches_per_iter = 4;
@@ -184,6 +188,11 @@ Workload make_black_scholes() {
     return linear_coalesce(
         "BlackScholes.f32", n_,
         {{0, 4, false}, {1, 4, false}, {2, 4, false}, {3, 4, true}, {4, 4, true}}, 5);
+  };
+  w.fill_inputs = [](std::uint64_t, std::vector<std::vector<std::uint8_t>>& bufs) {
+    fill_f32_pattern(bufs[0], 15.0f, 80.0f, 0x31);  // spot
+    fill_f32_pattern(bufs[1], 25.0f, 55.0f, 0x32);  // strike
+    fill_f32_pattern(bufs[2], 0.1f, 1.5f, 0x33);    // expiry
   };
   w.traits.coalescable = true;
   w.traits.iterations = 40;

@@ -150,6 +150,10 @@ Workload make_matrix_mul() {
     // the raw load count; column revisits across blocks are distant.
     return MemoryBehavior{3 * 8 * m_ * m_, (2 * m_ * m_ * m_) / 8 + m_ * m_, 0.95, 0.95};
   };
+  w.fill_inputs = [](std::uint64_t, std::vector<std::vector<std::uint8_t>>& bufs) {
+    fill_f64_pattern(bufs[0], -1.0, 1.0, 0x41);
+    fill_f64_pattern(bufs[1], -1.0, 1.0, 0x42);
+  };
   w.traits.coalescable = false;  // 2D tiling does not concatenate linearly
   w.traits.iterations = 25;
   w.traits.launches_per_iter = 2;
@@ -425,6 +429,10 @@ Workload make_nbody() {
   w.behavior = [](std::uint64_t n_) {
     // The j-loop load broadcasts across the warp: ~1/32 line probes.
     return MemoryBehavior{8 * n_, n_ * n_ / 32 + 3 * n_, 0.95, 0.9};
+  };
+  w.fill_inputs = [](std::uint64_t, std::vector<std::vector<std::uint8_t>>& bufs) {
+    fill_f32_pattern(bufs[0], -10.0f, 10.0f, 0x51);  // positions
+    fill_f32_pattern(bufs[1], -1.0f, 1.0f, 0x52);    // velocities
   };
   w.traits.coalescable = false;  // all-pairs interaction, not elementwise
   w.traits.iterations = 30;

@@ -198,6 +198,9 @@ Workload make_reduction() {
   w.behavior = [](std::uint64_t n_) {
     return MemoryBehavior{4 * n_ + 4 * (n_ / 256), n_ + n_ / 256, 0.9, 0.97};
   };
+  w.fill_inputs = [](std::uint64_t, std::vector<std::vector<std::uint8_t>>& bufs) {
+    fill_f32_pattern(bufs[0], 0.0f, 2.0f, 0x81);
+  };
   w.traits.coalescable = false;  // per-block partials feed a host-side pass
   w.traits.iterations = 30;
   w.traits.launches_per_iter = 4;

@@ -137,6 +137,9 @@ Workload make_sobel_filter() {
   w.behavior = [](std::uint64_t n_) {
     return MemoryBehavior{2 * n_, 9 * n_, 0.85, 0.9};
   };
+  w.fill_inputs = [](std::uint64_t, std::vector<std::vector<std::uint8_t>>& bufs) {
+    fill_u8_pattern(bufs[0], 0x61);  // grayscale image
+  };
   // 2D stencil: rows interleave across the merged arena incorrectly, so
   // the kernel matcher refuses it (paper lists SobelFilter as not helped).
   w.traits.coalescable = false;
@@ -230,6 +233,9 @@ Workload make_volume_filtering() {
   w.profile = [ir](std::uint64_t n_) { return guarded_profile(ir, dims1d(n_), n_); };
   w.behavior = [](std::uint64_t n_) {
     return MemoryBehavior{8 * n_, 8 * n_, 0.8, 0.85};
+  };
+  w.fill_inputs = [](std::uint64_t, std::vector<std::vector<std::uint8_t>>& bufs) {
+    fill_f32_pattern(bufs[0], 0.0f, 1.0f, 0x71);  // scalar field
   };
   w.traits.coalescable = false;  // 3D neighborhoods break across arena seams
   w.traits.iterations = 25;

@@ -1,8 +1,32 @@
 #include "workloads/workload.hpp"
 
+#include <cstring>
+
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace sigvp::workloads {
+
+void fill_f32_pattern(std::vector<std::uint8_t>& buf, float lo, float hi, std::uint64_t seed) {
+  Rng rng(seed);
+  for (std::size_t off = 0; off + 4 <= buf.size(); off += 4) {
+    const float v = static_cast<float>(rng.uniform(lo, hi));
+    std::memcpy(buf.data() + off, &v, 4);
+  }
+}
+
+void fill_f64_pattern(std::vector<std::uint8_t>& buf, double lo, double hi, std::uint64_t seed) {
+  Rng rng(seed);
+  for (std::size_t off = 0; off + 8 <= buf.size(); off += 8) {
+    const double v = rng.uniform(lo, hi);
+    std::memcpy(buf.data() + off, &v, 8);
+  }
+}
+
+void fill_u8_pattern(std::vector<std::uint8_t>& buf, std::uint64_t seed) {
+  Rng rng(seed);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next_below(256));
+}
 
 std::size_t block_index(const KernelIR& ir, const std::string& label) {
   for (std::size_t i = 0; i < ir.blocks.size(); ++i) {

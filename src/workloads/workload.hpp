@@ -87,6 +87,14 @@ struct Workload {
   AppTraits traits;
 };
 
+/// Deterministic input-fill helpers for `Workload::fill_inputs` — the same
+/// bytes for a given (seed, size) on every backend and platform (seeded
+/// xorshift from util/rng), which is what makes the cross-backend
+/// differential tests byte-exact.
+void fill_f32_pattern(std::vector<std::uint8_t>& buf, float lo, float hi, std::uint64_t seed);
+void fill_f64_pattern(std::vector<std::uint8_t>& buf, double lo, double hi, std::uint64_t seed);
+void fill_u8_pattern(std::vector<std::uint8_t>& buf, std::uint64_t seed);
+
 /// Index of the block labeled `label`; throws if absent.
 std::size_t block_index(const KernelIR& ir, const std::string& label);
 

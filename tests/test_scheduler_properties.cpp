@@ -1,0 +1,222 @@
+// Property tests of the Re-scheduler/Dispatcher: randomized multi-VP job
+// streams (seeded util/rng, so every failure is reproducible from the seed)
+// driven through every interleave x coalesce configuration. Invariants:
+//
+//  1. Every submitted job completes — no job is lost or duplicated.
+//  2. Per-VP partial order: each VP's jobs complete in sequence order, with
+//     non-decreasing completion times (the paper's Re-scheduler contract).
+//  3. interleave == false  =>  reorders() == 0, and with coalescing also
+//     off the global completion order equals the submission order exactly
+//     (the serial multiplexing baseline).
+//  4. Cross-VP reordering only ever shows up in the reorders() counter —
+//     never as a per-VP order violation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sched/dispatcher.hpp"
+#include "util/rng.hpp"
+#include "workloads/suite.hpp"
+
+namespace sigvp {
+namespace {
+
+constexpr std::uint64_t kMem = 256ull * 1024 * 1024;
+constexpr std::uint32_t kVps = 4;
+constexpr std::size_t kJobsPerVp = 10;
+
+struct Rig {
+  EventQueue q;
+  GpuDevice dev;
+  Dispatcher disp;
+
+  explicit Rig(DispatchConfig cfg, std::size_t vps)
+      : dev(q, make_quadro4000(), kMem, "gpu"), disp(q, dev, zero_overhead(cfg)) {
+    for (std::size_t i = 0; i < vps; ++i) disp.register_vp();
+  }
+
+  static DispatchConfig zero_overhead(DispatchConfig cfg) {
+    cfg.dispatch_overhead_us = 0.0;
+    return cfg;
+  }
+};
+
+struct Completion {
+  std::uint32_t vp;
+  std::uint64_t seq;
+  SimTime end;
+};
+
+// One randomized job: an H2D copy, a D2H copy, or a small analytic kernel.
+// With `coalescable`, some jobs become functional vectorAdds carrying the
+// workload's coalescing descriptor, so the coalescer's window/eager-peer
+// machinery participates in the randomized schedule too.
+Job random_job(Rng& rng, Rig& rig, const workloads::Workload& va, std::uint32_t vp,
+               std::uint64_t seq, bool coalescable, std::vector<Completion>* log) {
+  Job j;
+  j.vp_id = vp;
+  j.seq_in_vp = seq;
+  const std::uint64_t roll = rng.next_below(coalescable ? 4 : 3);
+  if (roll == 0 || roll == 1) {
+    j.kind = roll == 0 ? JobKind::kMemcpyH2D : JobKind::kMemcpyD2H;
+    j.bytes = 1024 + rng.next_below(64 * 1024);
+    j.device_addr = rig.dev.malloc(j.bytes);
+  } else if (roll == 2) {
+    j.kind = JobKind::kKernel;
+    j.launch.request.kernel = &va.kernel;  // any kernel body works analytically
+    j.launch.request.dims.block_x = 128;
+    j.launch.request.dims.grid_x = 1 + static_cast<std::uint32_t>(rng.next_below(8));
+    j.launch.request.mode = ExecMode::kAnalytic;
+    j.launch.request.analytic_profile.instr_counts[InstrClass::kFp32] =
+        100'000 + rng.next_below(400'000);
+    j.launch.request.mem_behavior = MemoryBehavior{1 << 12, 500, 0.5, 0.9};
+  } else {
+    // Functional, coalescing-eligible vectorAdd with its own device buffers.
+    const std::uint64_t n = 64;
+    std::vector<std::uint64_t> addrs;
+    for (const auto& spec : va.buffers(n)) addrs.push_back(rig.dev.malloc(spec.bytes));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      rig.dev.memory().write<float>(addrs[0] + 4 * i, static_cast<float>(rng.uniform(-2, 2)));
+      rig.dev.memory().write<float>(addrs[1] + 4 * i, static_cast<float>(rng.uniform(-2, 2)));
+    }
+    j.kind = JobKind::kKernel;
+    j.launch.request.kernel = &va.kernel;
+    j.launch.request.dims = va.dims(n);
+    j.launch.request.args = va.args(addrs, n);
+    j.launch.request.mode = ExecMode::kFunctional;
+    j.launch.coalesce = va.coalesce(n);
+  }
+  j.on_complete = [log, vp, seq](SimTime end, const KernelExecStats*) {
+    log->push_back({vp, seq, end});
+  };
+  return j;
+}
+
+// Submits kVps * kJobsPerVp randomized jobs in a random global order that
+// respects each VP's sequence order, runs the simulation, and returns the
+// completion log plus the submission order.
+struct StreamResult {
+  std::vector<Completion> completions;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> submitted;  // (vp, seq)
+  std::uint64_t reorders = 0;
+  std::uint64_t dispatched = 0;
+  bool idle = false;
+};
+
+StreamResult run_stream(DispatchConfig cfg, std::uint64_t seed) {
+  const workloads::Workload va = workloads::make_vector_add();
+  Rig rig(cfg, kVps);
+  Rng rng(seed);
+  std::vector<Completion> log;
+
+  // Pre-generate each VP's job list, then merge-shuffle.
+  std::vector<std::vector<Job>> per_vp(kVps);
+  for (std::uint32_t vp = 0; vp < kVps; ++vp) {
+    for (std::uint64_t seq = 0; seq < kJobsPerVp; ++seq) {
+      per_vp[vp].push_back(random_job(rng, rig, va, vp, seq, cfg.coalesce, &log));
+    }
+  }
+
+  StreamResult out;
+  std::vector<std::size_t> cursor(kVps, 0);
+  std::size_t remaining = kVps * kJobsPerVp;
+  while (remaining > 0) {
+    std::uint32_t vp = static_cast<std::uint32_t>(rng.next_below(kVps));
+    while (cursor[vp] == kJobsPerVp) vp = (vp + 1) % kVps;
+    out.submitted.emplace_back(vp, cursor[vp]);
+    rig.disp.submit(std::move(per_vp[vp][cursor[vp]]));
+    ++cursor[vp];
+    --remaining;
+  }
+  rig.q.run();
+
+  out.completions = std::move(log);
+  out.reorders = rig.disp.reorders();
+  out.dispatched = rig.disp.jobs_dispatched();
+  out.idle = rig.disp.idle();
+  return out;
+}
+
+void check_invariants(const StreamResult& r, const DispatchConfig& cfg,
+                      std::uint64_t seed) {
+  SCOPED_TRACE("seed=" + std::to_string(seed) +
+               " interleave=" + std::to_string(cfg.interleave) +
+               " coalesce=" + std::to_string(cfg.coalesce));
+
+  // 1. All jobs complete exactly once.
+  ASSERT_EQ(r.completions.size(), kVps * kJobsPerVp);
+  EXPECT_EQ(r.dispatched, kVps * kJobsPerVp);
+  EXPECT_TRUE(r.idle);
+
+  // 2. Per-VP partial order: completion subsequence is exactly seq 0,1,2,...
+  //    with non-decreasing times.
+  for (std::uint32_t vp = 0; vp < kVps; ++vp) {
+    std::uint64_t expect_seq = 0;
+    SimTime last_end = -1.0;
+    for (const Completion& c : r.completions) {
+      if (c.vp != vp) continue;
+      EXPECT_EQ(c.seq, expect_seq) << "vp " << vp << " completed out of order";
+      EXPECT_GE(c.end, last_end) << "vp " << vp << " time went backwards";
+      ++expect_seq;
+      last_end = c.end;
+    }
+    EXPECT_EQ(expect_seq, kJobsPerVp) << "vp " << vp << " lost jobs";
+  }
+
+  // 3. Without interleaving there is no Fig. 4(a) reordering, ever.
+  if (!cfg.interleave) {
+    EXPECT_EQ(r.reorders, 0u);
+    if (!cfg.coalesce) {
+      // Pure serial baseline: completions replay the submission order.
+      ASSERT_EQ(r.submitted.size(), r.completions.size());
+      for (std::size_t i = 0; i < r.completions.size(); ++i) {
+        EXPECT_EQ(r.completions[i].vp, r.submitted[i].first) << "position " << i;
+        EXPECT_EQ(r.completions[i].seq, r.submitted[i].second) << "position " << i;
+      }
+    }
+  }
+}
+
+TEST(SchedulerProperties, RandomStreamsSerialBaseline) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    const DispatchConfig cfg{false, false};
+    check_invariants(run_stream(cfg, seed), cfg, seed);
+  }
+}
+
+TEST(SchedulerProperties, RandomStreamsInterleaveOnly) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    const DispatchConfig cfg{true, false};
+    check_invariants(run_stream(cfg, seed), cfg, seed);
+  }
+}
+
+TEST(SchedulerProperties, RandomStreamsCoalesceOnly) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    DispatchConfig cfg{false, true};
+    cfg.coalesce_window_us = 30.0;
+    cfg.coalesce_eager_peers = 2;
+    check_invariants(run_stream(cfg, seed), cfg, seed);
+  }
+}
+
+TEST(SchedulerProperties, RandomStreamsBothOptimizations) {
+  std::uint64_t total_reorders = 0;
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull, 6ull}) {
+    DispatchConfig cfg{true, true};
+    cfg.coalesce_window_us = 30.0;
+    cfg.coalesce_eager_peers = 2;
+    const StreamResult r = run_stream(cfg, seed);
+    check_invariants(r, cfg, seed);
+    total_reorders += r.reorders;
+  }
+  // Randomized mixed copy/kernel streams across 4 VPs must hit the
+  // cross-VP reordering path at least once over the seed set; a permanently
+  // zero counter would mean interleaving silently stopped reordering.
+  EXPECT_GT(total_reorders, 0u);
+}
+
+}  // namespace
+}  // namespace sigvp
