@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "core/app_run.hpp"
+#include "fault/health.hpp"
 #include "ipc/ipc_manager.hpp"
 #include "util/check.hpp"
 #include "vp/emulation_driver.hpp"
@@ -56,6 +57,27 @@ ScenarioResult run_scenario(const ScenarioConfig& config, const std::vector<AppI
     ipc->set_sink([&d = *dispatcher](Job job) { d.submit(std::move(job)); });
   }
 
+  // Fault injection + tolerance (ΣVP only). A zero-fault config builds none
+  // of this, so the legacy code paths stay byte-identical.
+  const bool faults_on = config.backend == Backend::kSigmaVp && config.fault.enabled();
+  std::unique_ptr<FaultPlan> fault_plan;
+  std::unique_ptr<FaultStats> fault_stats;
+  std::unique_ptr<HealthPolicy> health;
+  std::vector<std::unique_ptr<EmulationDriver>> fallback_drivers;
+  std::vector<SigmaVpDriver*> sigma_drivers;
+  if (faults_on) {
+    fault_plan = std::make_unique<FaultPlan>(config.fault);
+    fault_stats = std::make_unique<FaultStats>();
+    fault_stats->active = true;
+    health = std::make_unique<HealthPolicy>(config.recovery, *fault_stats);
+    device->set_fault(fault_plan.get(), fault_stats.get());
+    ipc->set_fault(fault_plan.get(), fault_stats.get(), health.get(), config.recovery);
+    dispatcher->set_fault(fault_plan.get(), fault_stats.get(), health.get(), config.recovery);
+    for (SimTime t : config.fault.device_reset_at_us) {
+      queue.schedule_at(t, [&d = *dispatcher] { d.inject_device_reset(); });
+    }
+  }
+
   // Per-app CPU contexts and drivers. On the paper's 32-core host each VP
   // gets its own core, so CPU contexts run concurrently in simulated time.
   std::vector<std::unique_ptr<Processor>> cpus;
@@ -90,11 +112,42 @@ ScenarioResult run_scenario(const ScenarioConfig& config, const std::vector<AppI
                                                    calib.vp.guest_ips(calib.host_cpu)));
         const std::uint32_t ipc_id = ipc->register_vp(tag);
         dispatcher->register_vp();
-        drivers.push_back(
-            std::make_unique<SigmaVpDriver>(*cpus.back(), *ipc, *device, ipc_id, calib.vp));
+        auto drv =
+            std::make_unique<SigmaVpDriver>(*cpus.back(), *ipc, *device, ipc_id, calib.vp);
+        if (faults_on) {
+          health->register_vp();
+          // Graceful-degradation path: an emulation driver on the guest CPU
+          // that borrows the real device's address space, so jobs escalated
+          // mid-run keep operating on valid device pointers and data.
+          fallback_drivers.push_back(std::make_unique<EmulationDriver>(
+              *cpus.back(), calib.emulation_on_vp(functional), device->memory()));
+          drv->enable_fallback(fallback_drivers.back().get());
+          sigma_drivers.push_back(drv.get());
+        }
+        drivers.push_back(std::move(drv));
         break;
       }
     }
+  }
+
+  if (faults_on) {
+    // One escalation funnel for both escalation sources (IPC retry-budget
+    // exhaustion and dispatcher launch-retry exhaustion / failed-VP purge):
+    // hand the job to its driver's seq-ordered fallback queue.
+    auto escalate = [&stats = *fault_stats, &sigma = sigma_drivers](std::uint32_t vp_id,
+                                                                    Job job) {
+      ++stats.fallback_jobs;
+      sigma.at(vp_id)->run_fallback_job(std::move(job));
+    };
+    ipc->set_escalation(escalate);
+    dispatcher->set_escalation(escalate);
+    // Every in-order completion release may unblock the next parked
+    // fallback job of that VP.
+    ipc->set_release_listener(
+        [&sigma = sigma_drivers](std::uint32_t vp_id) { sigma.at(vp_id)->pump_fallback(); });
+    // When a VP is declared failed, its queued (not yet dispatched) jobs
+    // escalate with it so nothing is stranded behind the failure.
+    health->on_failed = [&d = *dispatcher](std::uint32_t vp_id) { d.purge_vp(vp_id); };
   }
 
   // Launch every application and run the timeline to completion.
@@ -111,6 +164,14 @@ ScenarioResult run_scenario(const ScenarioConfig& config, const std::vector<AppI
     run->start({});
   }
   queue.run();
+
+  // Stall detector: the event queue drained, so if the dispatcher still
+  // holds queued or in-flight jobs the system deadlocked — fail loudly with
+  // a per-VP diagnostic instead of reporting a bogus "finished" scenario.
+  if (dispatcher && !dispatcher->idle()) {
+    SIGVP_ASSERT(false, "event queue drained with the dispatcher stalled — " +
+                            dispatcher->stall_report());
+  }
 
   ScenarioResult result;
   for (const auto& run : runs) {
@@ -131,6 +192,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config, const std::vector<AppI
     result.gpu_compute_busy_us = device->compute_busy_us();
     result.gpu_copy_busy_us = device->copy_busy_us();
   }
+  if (faults_on) result.fault = *fault_stats;
   return result;
 }
 

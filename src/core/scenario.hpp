@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "core/calibration.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/fault_stats.hpp"
 #include "gpu/arch.hpp"
 #include "gpu/device.hpp"
 #include "sched/dispatcher.hpp"
@@ -53,6 +55,13 @@ struct ScenarioConfig {
   /// ΣVP scenario of Fig. 11 enables it together with interleave/coalesce.
   bool async_launches = false;
 
+  /// Deterministic fault-injection plan (ΣVP backend only). The default —
+  /// a zero-fault plan — leaves every code path byte-identical to a build
+  /// without the fault layer; an enabled plan arms the lossy transport, the
+  /// flaky device and the recovery machinery configured by `recovery`.
+  FaultConfig fault;
+  RecoveryConfig recovery;
+
   /// Functional mode only: carry real data through the full scenario path.
   /// Each app fills host input buffers (workload.fill_inputs when present,
   /// zeros otherwise), the setup h2d copies upload the actual bytes, and the
@@ -78,6 +87,10 @@ struct ScenarioResult {
   double gpu_dynamic_energy_j = 0.0;
   SimTime gpu_compute_busy_us = 0.0;
   SimTime gpu_copy_busy_us = 0.0;
+
+  /// Fault-injection and recovery counters; `fault.active` is false (and
+  /// every counter zero) unless the scenario ran with an enabled FaultConfig.
+  FaultStats fault;
 
   /// Per app: the concatenated bytes of its output buffers after teardown.
   /// Populated only when `ScenarioConfig::functional_io` is set.

@@ -1,0 +1,26 @@
+#include "fault/fault_plan.hpp"
+
+namespace sigvp {
+
+namespace {
+
+/// SplitMix64 finalizer — the same mixer Rng uses for seeding, applied here
+/// as a stateless counter-based hash so fault decisions are independent of
+/// the order the components query the plan in.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+double FaultPlan::roll01(FaultSite site, std::uint64_t index) const {
+  const std::uint64_t h =
+      mix64(mix64(cfg_.seed + static_cast<std::uint64_t>(site) * 0x9e3779b97f4a7c15ULL) ^
+            mix64(index));
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace sigvp

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace sigvp {
+
+/// Counters of everything the fault layer injected and everything the
+/// tolerance layer did to survive it. One instance per scenario run, shared
+/// by the IPC manager, the device model, the dispatcher and the health
+/// policy (all single-threaded on the scenario's private event queue).
+///
+/// `active` records whether a non-trivial FaultPlan was installed; the JSON
+/// writer uses it to keep zero-fault bench output byte-identical to a build
+/// without the fault layer.
+struct FaultStats {
+  bool active = false;
+
+  // --- injected faults --------------------------------------------------------
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_duplicated = 0;
+  std::uint64_t latency_spikes = 0;
+  std::uint64_t acks_dropped = 0;
+  std::uint64_t launch_failures = 0;   // transient kernel-launch aborts
+  std::uint64_t engine_hangs = 0;
+  std::uint64_t device_resets = 0;
+  std::uint64_t ops_killed_by_reset = 0;  // in-flight device ops killed
+  std::uint64_t vp_stalls = 0;         // VP endpoints that wedged
+
+  // --- recovery actions -------------------------------------------------------
+  std::uint64_t retransmits = 0;       // watchdog-triggered message resends
+  std::uint64_t duplicates_suppressed = 0;  // redeliveries caught by id dedup
+  std::uint64_t launch_retries = 0;    // jobs re-queued after a transient abort
+  std::uint64_t reset_requeues = 0;    // jobs re-queued after a device reset
+  std::uint64_t group_resplits = 0;    // coalesced groups split back to singles
+  std::uint64_t vps_quarantined = 0;
+  std::uint64_t vp_restarts = 0;       // stall-watchdog forced endpoint restarts
+  std::uint64_t fallbacks = 0;         // VPs degraded to the emulation path
+  std::uint64_t fallback_jobs = 0;     // jobs served by the emulation fallback
+  std::uint64_t unrecovered_jobs = 0;  // jobs lost for good (must stay 0)
+
+  /// Summed / worst-case time between a detected fault and the completed
+  /// recovery action (retransmit landing, requeue dispatched, endpoint
+  /// restarted). recovery_events divides the sum into a mean.
+  SimTime recovery_latency_total_us = 0.0;
+  SimTime recovery_latency_max_us = 0.0;
+  std::uint64_t recovery_events = 0;
+
+  void note_recovery(SimTime latency_us) {
+    recovery_latency_total_us += latency_us;
+    if (latency_us > recovery_latency_max_us) recovery_latency_max_us = latency_us;
+    ++recovery_events;
+  }
+
+  SimTime recovery_latency_mean_us() const {
+    return recovery_events == 0 ? 0.0
+                                : recovery_latency_total_us /
+                                      static_cast<double>(recovery_events);
+  }
+
+  bool operator==(const FaultStats&) const = default;
+};
+
+}  // namespace sigvp

@@ -1,0 +1,35 @@
+#include "fault/health.hpp"
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace sigvp {
+
+void HealthPolicy::report_incident(std::uint32_t vp_id) {
+  SIGVP_REQUIRE(vp_id < incidents_.size(), "health report for unregistered VP");
+  ++incidents_[vp_id];
+  if (!quarantined_[vp_id] && incidents_[vp_id] >= recovery_.quarantine_threshold) {
+    quarantined_[vp_id] = true;
+    ++stats_.vps_quarantined;
+    SIGVP_DEBUG("health") << "vp" << vp_id << " quarantined after " << incidents_[vp_id]
+                          << " incidents";
+    if (on_quarantine) on_quarantine(vp_id);
+  }
+}
+
+bool HealthPolicy::mark_failed(std::uint32_t vp_id) {
+  SIGVP_REQUIRE(vp_id < failed_.size(), "health failure for unregistered VP");
+  if (failed_[vp_id]) return false;
+  failed_[vp_id] = true;
+  if (!quarantined_[vp_id]) {
+    quarantined_[vp_id] = true;
+    ++stats_.vps_quarantined;
+    if (on_quarantine) on_quarantine(vp_id);
+  }
+  ++stats_.fallbacks;
+  SIGVP_DEBUG("health") << "vp" << vp_id << " failed; degrading to emulation fallback";
+  if (on_failed) on_failed(vp_id);
+  return true;
+}
+
+}  // namespace sigvp

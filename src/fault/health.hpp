@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "fault/fault_stats.hpp"
+
+namespace sigvp {
+
+/// Per-VP health bookkeeping of the fault-tolerant host stack.
+///
+/// Two escalation levels, driven by incident reports from the IPC manager
+/// (watchdog timeouts, forced endpoint restarts) and the dispatcher
+/// (transient launch aborts, reset kills):
+///
+///  - quarantine: a VP whose incident count reaches
+///    `RecoveryConfig::quarantine_threshold` loses Kernel Coalescing
+///    eligibility — its jobs still run, but no longer merge with healthy
+///    VPs' requests (a flaky VP must not drag peers into its retries);
+///  - failure: a VP whose message or launch retries exhaust the bounded
+///    retry budget is marked failed — the scenario wiring reroutes its
+///    traffic to the EmulationDriver fallback so the fleet keeps making
+///    progress (graceful degradation).
+///
+/// The policy holds no simulation-time state; it is plain bookkeeping the
+/// surrounding components consult synchronously.
+class HealthPolicy {
+ public:
+  HealthPolicy(RecoveryConfig recovery, FaultStats& stats)
+      : recovery_(recovery), stats_(stats) {}
+
+  void register_vp() {
+    incidents_.push_back(0);
+    quarantined_.push_back(false);
+    failed_.push_back(false);
+  }
+  std::size_t num_vps() const { return incidents_.size(); }
+
+  /// Records one recovery incident against `vp_id`; quarantines the VP when
+  /// the threshold is reached and fires `on_quarantine` once.
+  void report_incident(std::uint32_t vp_id);
+
+  /// Marks `vp_id` permanently failed (retry budget exhausted). Implies
+  /// quarantine. Fires `on_failed` once; returns true on the first call.
+  bool mark_failed(std::uint32_t vp_id);
+
+  bool quarantined(std::uint32_t vp_id) const { return quarantined_.at(vp_id); }
+  bool failed(std::uint32_t vp_id) const { return failed_.at(vp_id); }
+  std::uint32_t incidents(std::uint32_t vp_id) const { return incidents_.at(vp_id); }
+
+  const RecoveryConfig& recovery() const { return recovery_; }
+
+  /// Notification hooks (optional). `on_quarantine` lets the dispatcher drop
+  /// the VP from coalescing; `on_failed` lets the driver switch to fallback.
+  std::function<void(std::uint32_t)> on_quarantine;
+  std::function<void(std::uint32_t)> on_failed;
+
+ private:
+  RecoveryConfig recovery_;
+  FaultStats& stats_;
+  std::vector<std::uint32_t> incidents_;
+  std::vector<bool> quarantined_;  // deque<bool> semantics are fine: single-threaded
+  std::vector<bool> failed_;
+};
+
+}  // namespace sigvp

@@ -59,6 +59,20 @@ SimTime GpuDevice::copy_duration(std::uint64_t bytes) const {
   return arch_.copy_latency_us + transfer_us;
 }
 
+void GpuDevice::complete_tracked(SimTime end, std::function<void()> fire) {
+  if (!fault_tracking()) {
+    if (fire) queue_.schedule_at(end, std::move(fire));
+    return;
+  }
+  const std::uint64_t id = next_op_id_++;
+  last_op_id_ = id;
+  live_ops_.emplace(id, end);
+  queue_.schedule_at(end, [this, id, fire = std::move(fire)] {
+    if (live_ops_.erase(id) == 0) return;  // killed by a device reset
+    if (fire) fire();
+  });
+}
+
 SimTime GpuDevice::memcpy_h2d(StreamId stream, std::uint64_t dst, const void* src,
                               std::uint64_t bytes, CopyCallback cb) {
   SIGVP_REQUIRE(stream < streams_.size(), "unknown stream");
@@ -66,7 +80,9 @@ SimTime GpuDevice::memcpy_h2d(StreamId stream, std::uint64_t dst, const void* sr
   const SimTime end = schedule_on(copy_in_engine_, streams_[stream], copy_duration(bytes));
   copy_busy_ += copy_duration(bytes);
   ++copies_submitted_;
-  if (cb) queue_.schedule_at(end, [end, cb = std::move(cb)] { cb(end); });
+  std::function<void()> fire;
+  if (cb) fire = [end, cb = std::move(cb)] { cb(end); };
+  complete_tracked(end, std::move(fire));
   return end;
 }
 
@@ -77,7 +93,9 @@ SimTime GpuDevice::memcpy_d2h(StreamId stream, void* dst, std::uint64_t src, std
   const SimTime end = schedule_on(copy_out_engine_, streams_[stream], copy_duration(bytes));
   copy_busy_ += copy_duration(bytes);
   ++copies_submitted_;
-  if (cb) queue_.schedule_at(end, [end, cb = std::move(cb)] { cb(end); });
+  std::function<void()> fire;
+  if (cb) fire = [end, cb = std::move(cb)] { cb(end); };
+  complete_tracked(end, std::move(fire));
   return end;
 }
 
@@ -92,7 +110,9 @@ SimTime GpuDevice::memcpy_d2d(StreamId stream, std::uint64_t dst, std::uint64_t 
   const SimTime end = schedule_on(copy_out_engine_, streams_[stream], duration);
   copy_busy_ += duration;
   ++copies_submitted_;
-  if (cb) queue_.schedule_at(end, [end, cb = std::move(cb)] { cb(end); });
+  std::function<void()> fire;
+  if (cb) fire = [end, cb = std::move(cb)] { cb(end); };
+  complete_tracked(end, std::move(fire));
   return end;
 }
 
@@ -109,13 +129,33 @@ SimTime GpuDevice::memcpy_d2d_batch(StreamId stream, const std::vector<CopyDesc>
   const SimTime end = schedule_on(copy_out_engine_, streams_[stream], duration);
   copy_busy_ += duration;
   ++copies_submitted_;
-  if (cb) queue_.schedule_at(end, [end, cb = std::move(cb)] { cb(end); });
+  std::function<void()> fire;
+  if (cb) fire = [end, cb = std::move(cb)] { cb(end); };
+  complete_tracked(end, std::move(fire));
   return end;
 }
 
-SimTime GpuDevice::launch(StreamId stream, const LaunchRequest& request, KernelCallback cb) {
+SimTime GpuDevice::launch(StreamId stream, const LaunchRequest& request, KernelCallback cb,
+                          LaunchFailCallback on_fault) {
   SIGVP_REQUIRE(stream < streams_.size(), "unknown stream");
   SIGVP_REQUIRE(request.kernel != nullptr, "launch without a kernel");
+
+  // One fault-decision index per launch, consumed for both the transient
+  // failure roll and the engine-hang roll. Injected failures are offered
+  // only to call sites that can recover (they passed `on_fault`).
+  std::uint64_t roll = 0;
+  if (fault_tracking()) roll = launch_roll_index_++;
+  last_launch_faulted_ = fault_tracking() && on_fault && fault_plan_->fail_launch(roll);
+  if (last_launch_faulted_) {
+    const SimTime end = schedule_on(compute_engine_, streams_[stream],
+                                    fault_plan_->config().launch_fail_latency_us);
+    compute_busy_ += fault_plan_->config().launch_fail_latency_us;
+    ++fault_stats_->launch_failures;
+    SIGVP_DEBUG("gpu") << name_ << " TRANSIENT LAUNCH FAILURE of "
+                       << request.kernel->name << " at t=" << queue_.now();
+    complete_tracked(end, [end, on_fault = std::move(on_fault)] { on_fault(end); });
+    return end;
+  }
 
   KernelExecStats stats;
   if (request.mode == ExecMode::kFunctional) {
@@ -127,8 +167,16 @@ SimTime GpuDevice::launch(StreamId stream, const LaunchRequest& request, KernelC
                               request.mem_behavior);
   }
 
-  const SimTime end = schedule_on(compute_engine_, streams_[stream], stats.duration_us);
-  compute_busy_ += stats.duration_us;
+  SimTime duration = stats.duration_us;
+  if (fault_tracking()) {
+    const SimTime hang = fault_plan_->engine_hang(roll);
+    if (hang > 0.0) {
+      duration += hang;
+      ++fault_stats_->engine_hangs;
+    }
+  }
+  const SimTime end = schedule_on(compute_engine_, streams_[stream], duration);
+  compute_busy_ += duration;
   dynamic_energy_j_ += stats.dynamic_energy_j;
   ++kernels_launched_;
   last_kernel_stats_ = stats;
@@ -137,10 +185,47 @@ SimTime GpuDevice::launch(StreamId stream, const LaunchRequest& request, KernelC
                      << stats.num_blocks << " cycles=" << stats.total_cycles
                      << " dur=" << stats.duration_us << "us end=" << end << "us";
 
-  if (cb) {
-    queue_.schedule_at(end, [end, stats, cb = std::move(cb)] { cb(end, stats); });
-  }
+  std::function<void()> fire;
+  if (cb) fire = [end, stats, cb = std::move(cb)] { cb(end, stats); };
+  complete_tracked(end, std::move(fire));
   return end;
+}
+
+void GpuDevice::set_fault(const FaultPlan* plan, FaultStats* stats) {
+  SIGVP_REQUIRE(plan == nullptr || stats != nullptr, "fault plan without a stats sink");
+  fault_plan_ = plan;
+  fault_stats_ = stats;
+}
+
+SimTime GpuDevice::reset(SimTime recovery_latency_us) {
+  SIGVP_REQUIRE(fault_tracking(), "device reset requires an active fault plan");
+  SIGVP_REQUIRE(recovery_latency_us >= 0.0, "negative reset latency");
+  const SimTime back = queue_.now() + recovery_latency_us;
+  ++fault_stats_->device_resets;
+
+  // Kill every in-flight op in submission order. Swapping the map first
+  // makes the already-scheduled completion events no-ops, and lets kill
+  // handlers submit fresh (tracked) work without invalidating iteration.
+  std::map<std::uint64_t, SimTime> killed;
+  killed.swap(live_ops_);
+  fault_stats_->ops_killed_by_reset += killed.size();
+  SIGVP_DEBUG("gpu") << name_ << " DEVICE RESET at t=" << queue_.now() << ": killed "
+                     << killed.size() << " in-flight ops, back at t=" << back;
+
+  // The reset wipes all queued work, so both engines and every stream
+  // restart together once the device comes back.
+  copy_in_engine_.free_at = back;
+  copy_out_engine_.free_at = back;
+  compute_engine_.free_at = back;
+  for (Stream& s : streams_) s.tail = back;
+
+  if (kill_handler_) {
+    for (const auto& [id, end] : killed) {
+      (void)end;
+      kill_handler_(id);
+    }
+  }
+  return back;
 }
 
 SimTime GpuDevice::device_idle_at() const {

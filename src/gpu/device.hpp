@@ -2,9 +2,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "fault/fault_plan.hpp"
+#include "fault/fault_stats.hpp"
 #include "gpu/arch.hpp"
 #include "gpu/cost_model.hpp"
 #include "gpu/offline.hpp"
@@ -59,6 +62,7 @@ class GpuDevice {
   using StreamId = std::uint32_t;
   using CopyCallback = std::function<void(SimTime end)>;
   using KernelCallback = std::function<void(SimTime end, const KernelExecStats& stats)>;
+  using LaunchFailCallback = std::function<void(SimTime end)>;
 
   GpuDevice(EventQueue& queue, GpuArch arch, std::uint64_t mem_bytes, std::string name);
 
@@ -97,7 +101,43 @@ class GpuDevice {
   SimTime memcpy_d2d_batch(StreamId stream, const std::vector<CopyDesc>& descs,
                            CopyCallback cb = {});
   /// Kernel launch; returns completion time, callback receives the stats.
-  SimTime launch(StreamId stream, const LaunchRequest& request, KernelCallback cb = {});
+  /// With an active fault plan AND a non-empty `on_fault`, the launch may be
+  /// aborted by an injected transient failure: the compute engine is held
+  /// for the abort latency, no functional work happens, and `on_fault`
+  /// fires instead of `cb`. Call sites that cannot recover (no `on_fault`)
+  /// are never given injected failures.
+  SimTime launch(StreamId stream, const LaunchRequest& request, KernelCallback cb = {},
+                 LaunchFailCallback on_fault = {});
+
+  // --- fault injection ---------------------------------------------------------
+  /// Installs the scenario's fault oracle. Also enables in-flight op
+  /// tracking, which `reset()` needs to kill pending completions. With no
+  /// plan (or a zero-fault plan) every code path is byte-identical to a
+  /// build without the fault layer.
+  void set_fault(const FaultPlan* plan, FaultStats* stats);
+
+  /// Handler invoked once per in-flight op killed by `reset()`, with the op
+  /// id returned by `last_op_id()` at submission time. The op's normal
+  /// completion callback is suppressed.
+  using KillHandler = std::function<void(std::uint64_t op_id)>;
+  void set_kill_handler(KillHandler handler) { kill_handler_ = std::move(handler); }
+
+  /// Id of the most recently submitted tracked op (0 before any, or when
+  /// fault tracking is off). Submission is single-threaded per scenario, so
+  /// "submit, then read last_op_id()" is race-free.
+  std::uint64_t last_op_id() const { return last_op_id_; }
+  std::size_t ops_in_flight() const { return live_ops_.size(); }
+
+  /// True when the most recent `launch()` was aborted by an injected
+  /// transient failure (synchronous check — the coalescer uses it to skip
+  /// submitting scatters for a group whose merged launch will abort).
+  bool last_launch_faulted() const { return last_launch_faulted_; }
+
+  /// Full device reset (fault injection): every in-flight op is killed (its
+  /// kill handler fires now, its completion never does), and both copy
+  /// engines, the compute engine and all stream tails become available only
+  /// at now + `recovery_latency_us`. Returns that recovery time.
+  SimTime reset(SimTime recovery_latency_us);
 
   /// Time at which every submitted op (all streams, both engines) is done.
   SimTime device_idle_at() const;
@@ -136,6 +176,11 @@ class GpuDevice {
 
   SimTime schedule_on(EngineState& engine, Stream& stream, SimTime duration);
   SimTime copy_duration(std::uint64_t bytes) const;
+  bool fault_tracking() const { return fault_plan_ != nullptr && fault_plan_->enabled(); }
+  /// Registers a tracked op ending at `end` and schedules `fire` there,
+  /// suppressed if the op is killed by a reset first. No-op wrapper (plain
+  /// schedule_at) when fault tracking is off and `fire` is non-empty.
+  void complete_tracked(SimTime end, std::function<void()> fire);
 
   EventQueue& queue_;
   GpuArch arch_;
@@ -154,6 +199,18 @@ class GpuDevice {
   std::uint64_t kernels_launched_ = 0;
   std::uint64_t copies_submitted_ = 0;
   KernelExecStats last_kernel_stats_;
+
+  // --- fault-injection state (inert without an active plan) --------------------
+  const FaultPlan* fault_plan_ = nullptr;
+  FaultStats* fault_stats_ = nullptr;
+  KillHandler kill_handler_;
+  /// Live tracked ops, id → scheduled end time. std::map keeps reset's kill
+  /// order deterministic (ascending op id == submission order).
+  std::map<std::uint64_t, SimTime> live_ops_;
+  std::uint64_t next_op_id_ = 1;
+  std::uint64_t last_op_id_ = 0;
+  std::uint64_t launch_roll_index_ = 0;  // fault-decision counter for launches
+  bool last_launch_faulted_ = false;
 };
 
 }  // namespace sigvp

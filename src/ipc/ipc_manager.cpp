@@ -1,5 +1,7 @@
 #include "ipc/ipc_manager.hpp"
 
+#include <cmath>
+#include <memory>
 #include <utility>
 
 #include "util/check.hpp"
@@ -29,8 +31,44 @@ IpcManager::IpcManager(EventQueue& queue, IpcCostModel cost)
 void IpcManager::set_sink(DeliverFn sink) { sink_ = std::move(sink); }
 
 std::uint32_t IpcManager::register_vp(const std::string& name) {
-  vps_.push_back(VpEndpoint{name, false, {}});
+  vps_.push_back(VpEndpoint{});
+  vps_.back().name = name;
   return static_cast<std::uint32_t>(vps_.size() - 1);
+}
+
+void IpcManager::set_fault(const FaultPlan* plan, FaultStats* stats, HealthPolicy* health,
+                           RecoveryConfig recovery) {
+  SIGVP_REQUIRE(plan == nullptr || (stats != nullptr && health != nullptr),
+                "fault plan without stats/health sinks");
+  fault_plan_ = plan;
+  fault_stats_ = stats;
+  health_ = health;
+  recovery_ = recovery;
+}
+
+void IpcManager::set_escalation(std::function<void(std::uint32_t, Job)> escalate) {
+  escalate_ = std::move(escalate);
+}
+
+bool IpcManager::vp_failed(std::uint32_t vp_id) const {
+  SIGVP_REQUIRE(vp_id < vps_.size(), "unknown VP endpoint");
+  return fault_active() && health_ != nullptr && health_->failed(vp_id);
+}
+
+bool IpcManager::fallback_turn(std::uint32_t vp_id, std::uint64_t seq) const {
+  SIGVP_REQUIRE(vp_id < vps_.size(), "unknown VP endpoint");
+  const VpEndpoint& vp = vps_[vp_id];
+  return vp.outstanding.empty() || *vp.outstanding.begin() == seq;
+}
+
+bool IpcManager::seq_released(std::uint32_t vp_id, std::uint64_t seq) const {
+  SIGVP_REQUIRE(vp_id < vps_.size(), "unknown VP endpoint");
+  const VpEndpoint& vp = vps_[vp_id];
+  return vp.outstanding.find(seq) == vp.outstanding.end();
+}
+
+void IpcManager::set_release_listener(std::function<void(std::uint32_t)> listener) {
+  release_listener_ = std::move(listener);
 }
 
 void IpcManager::send_job(std::uint32_t vp_id, Job job, std::uint64_t payload_bytes) {
@@ -39,6 +77,11 @@ void IpcManager::send_job(std::uint32_t vp_id, Job job, std::uint64_t payload_by
 
   job.id = next_job_id_++;
   job.vp_id = vp_id;
+
+  if (fault_active()) {
+    send_job_faulty(vp_id, std::move(job), payload_bytes);
+    return;
+  }
 
   const SimTime request_cost = cost_.message_cost(payload_bytes);
   ++messages_sent_;
@@ -69,13 +112,245 @@ void IpcManager::send_job(std::uint32_t vp_id, Job job, std::uint64_t payload_by
   });
 }
 
-void IpcManager::notify_vp(std::uint32_t vp_id, std::function<void()> deliver) {
+// --- fault-tolerant transport --------------------------------------------------
+
+void IpcManager::attempt_transfer(const std::shared_ptr<Transfer>& xfer) {
+  const SimTime cost = cost_.message_cost(xfer->payload_bytes);
+  ++messages_sent_;
+  transport_time_total_ += cost;
+  ++xfer->attempts;
+
+  const std::uint64_t roll = msg_roll_index_++;
+  const bool dropped = fault_plan_->drop_message(xfer->response, roll);
+  const SimTime spike = dropped ? 0.0 : fault_plan_->message_delay(xfer->response, roll);
+  const bool duplicated = !dropped && fault_plan_->duplicate_message(xfer->response, roll);
+
+  // Receiver side: run the payload once (redeliveries and duplicates are
+  // suppressed by message id), then return an ack. A lost ack leaves the
+  // sender's watchdog armed, so the message is retransmitted and the dedup
+  // absorbs it — exactly-once delivery on an at-least-once transport.
+  auto arrive = [this, xfer] {
+    if (xfer->delivered) {
+      ++fault_stats_->duplicates_suppressed;
+    } else {
+      xfer->delivered = true;
+      xfer->deliver();
+    }
+    const SimTime ack_cost = cost_.message_cost(0);
+    ++messages_sent_;
+    transport_time_total_ += ack_cost;
+    const std::uint64_t ack_roll = msg_roll_index_++;
+    if (fault_plan_->drop_ack(ack_roll)) {
+      ++fault_stats_->acks_dropped;
+      return;
+    }
+    queue_.schedule_after(ack_cost, [this, xfer] {
+      if (xfer->acked) return;
+      xfer->acked = true;
+      if (xfer->attempts > 1) {
+        // This message needed the watchdog: recovery latency is the stretch
+        // from the first transmission to the ack that finally landed.
+        fault_stats_->note_recovery(queue_.now() - xfer->first_sent_at);
+      }
+    });
+  };
+
+  if (dropped) {
+    ++fault_stats_->messages_dropped;
+  } else {
+    if (spike > 0.0) ++fault_stats_->latency_spikes;
+    queue_.schedule_after(cost + spike, arrive);
+    if (duplicated) {
+      ++fault_stats_->messages_duplicated;
+      // The duplicate trails the original by one control-message time.
+      queue_.schedule_after(cost + spike + cost_.message_cost(0), arrive);
+    }
+  }
+
+  // Watchdog for this attempt, with exponential backoff.
+  const SimTime timeout =
+      recovery_.ack_timeout_us *
+      std::pow(recovery_.backoff_mult, static_cast<double>(xfer->attempts - 1));
+  queue_.schedule_after(timeout, [this, xfer] {
+    if (xfer->acked) return;
+    if (health_) health_->report_incident(xfer->vp_id);
+    if (xfer->attempts > recovery_.max_retries) {
+      SIGVP_DEBUG("ipc") << (xfer->response ? "response" : "request") << " to/from vp"
+                         << xfer->vp_id << " undeliverable after " << xfer->attempts
+                         << " attempts";
+      xfer->acked = true;  // disarm: no further retransmissions
+      fault_stats_->note_recovery(queue_.now() - xfer->first_sent_at);
+      xfer->give_up();
+      return;
+    }
+    ++fault_stats_->retransmits;
+    attempt_transfer(xfer);
+  });
+}
+
+void IpcManager::start_transfer(std::uint32_t vp_id, bool response,
+                                std::uint64_t payload_bytes, std::function<void()> deliver,
+                                std::function<void()> give_up) {
+  auto xfer = std::make_shared<Transfer>();
+  xfer->vp_id = vp_id;
+  xfer->response = response;
+  xfer->payload_bytes = payload_bytes;
+  xfer->first_sent_at = queue_.now();
+  xfer->deliver = std::move(deliver);
+  xfer->give_up = std::move(give_up);
+  attempt_transfer(xfer);
+}
+
+void IpcManager::send_job_faulty(std::uint32_t vp_id, Job job, std::uint64_t payload_bytes) {
+  const std::uint64_t seq = job.seq_in_vp;
+  vps_[vp_id].outstanding.insert(seq);
+
+  // Wrap the completion. The response leg is itself a reliable transfer, and
+  // every completion — transported, degraded or fallback-served — funnels
+  // through the per-VP in-order release buffer, so retried, duplicated or
+  // latency-spiked responses can never invert the VP's completion order.
+  auto original = std::move(job.on_complete);
+  const std::uint32_t vp = vp_id;
+  job.on_complete = [this, vp, seq, original](SimTime, const KernelExecStats* stats) {
+    KernelExecStats stats_copy;
+    const bool has_stats = stats != nullptr;
+    if (has_stats) stats_copy = *stats;
+    auto notify = [this, vp, original, has_stats, stats_copy] {
+      notify_vp(vp, [this, original, has_stats, stats_copy] {
+        if (original) original(queue_.now(), has_stats ? &stats_copy : nullptr);
+      });
+    };
+    if (health_ != nullptr && health_->failed(vp)) {
+      // The VP's transport is already declared dead (fallback mode): skip
+      // the transfer machinery, keep the in-order gate.
+      complete_in_order(vp, seq, std::move(notify));
+      return;
+    }
+    auto deliver = [this, vp, seq, notify] { complete_in_order(vp, seq, notify); };
+    // An undeliverable completion means the VP endpoint can no longer be
+    // reached over IPC: degrade the VP and hand the completion over
+    // directly (the restarted endpoint resyncs state from the host side) —
+    // a job is never lost, only late.
+    auto give_up = [this, vp, deliver] {
+      if (health_) health_->mark_failed(vp);
+      deliver();
+    };
+    start_transfer(vp, /*response=*/true, 0, std::move(deliver), std::move(give_up));
+  };
+
+  // A failed VP's traffic short-circuits to the emulation fallback: the
+  // transport to/from it is considered dead, but the fleet keeps going.
+  if (health_ != nullptr && health_->failed(vp_id) && escalate_) {
+    escalate_(vp_id, std::move(job));
+    return;
+  }
+
+  // Request leg. The job is boxed so watchdog retransmissions and the
+  // escalation path can both reach it; delivery hands the sink a copy.
+  auto boxed = std::make_shared<Job>(std::move(job));
+  auto deliver = [this, vp_id, boxed] {
+    if (health_ != nullptr && health_->failed(vp_id) && escalate_) {
+      // The VP failed while this request was in flight; its queued peers
+      // were already rerouted, so this one must follow them, not the sink.
+      escalate_(vp_id, Job(*boxed));
+      return;
+    }
+    Job copy = *boxed;
+    copy.enqueue_time = queue_.now();
+    SIGVP_TRACE("ipc") << "deliver job " << copy.id << " from vp" << copy.vp_id
+                       << " at t=" << queue_.now();
+    sink_(std::move(copy));
+  };
+  auto give_up = [this, vp_id, boxed] {
+    if (health_ != nullptr && escalate_) {
+      // Degrade first (purging the dispatcher's queued jobs of this VP into
+      // the fallback), then escalate the stuck job itself; the fallback
+      // drain re-sorts everything by sequence number.
+      health_->mark_failed(vp_id);
+      escalate_(vp_id, std::move(*boxed));
+      return;
+    }
+    ++fault_stats_->unrecovered_jobs;  // no fallback wired: the job is lost
+  };
+  start_transfer(vp_id, /*response=*/false, payload_bytes, std::move(deliver),
+                 std::move(give_up));
+}
+
+void IpcManager::complete_in_order(std::uint32_t vp_id, std::uint64_t seq,
+                                   std::function<void()> deliver) {
   VpEndpoint& vp = vps_[vp_id];
-  if (vp.stopped) {
+  if (vp.outstanding.find(seq) == vp.outstanding.end()) {
+    // Already released: a watchdog gave up on a response whose original
+    // delivery actually landed (the classic two-generals ambiguity).
+    ++fault_stats_->duplicates_suppressed;
+    return;
+  }
+  if (!vp.ready.emplace(seq, std::move(deliver)).second) {
+    ++fault_stats_->duplicates_suppressed;  // second completion while parked
+    return;
+  }
+  while (!vp.outstanding.empty()) {
+    const std::uint64_t head = *vp.outstanding.begin();
+    auto it = vp.ready.find(head);
+    if (it == vp.ready.end()) break;
+    auto fire = std::move(it->second);
+    vp.ready.erase(it);
+    vp.outstanding.erase(vp.outstanding.begin());
+    fire();
+    if (release_listener_) release_listener_(vp_id);
+  }
+}
+
+// --- delivery gating (VP control + injected stalls) -----------------------------
+
+void IpcManager::notify_vp(std::uint32_t vp_id, std::function<void()> deliver) {
+  SIGVP_ASSERT(vp_id < vps_.size(), "notification for unknown VP endpoint");
+  VpEndpoint& vp = vps_[vp_id];
+
+  // Injected VP stall: after the configured number of consumed completions
+  // the endpoint wedges — it stops consuming notifications until the stall
+  // watchdog force-restarts it.
+  if (fault_active() && !vp.stall_fired &&
+      fault_plan_->config().stall_vp == static_cast<std::int32_t>(vp_id) &&
+      vp.completions_delivered >= fault_plan_->config().stall_after_completions) {
+    vp.stall_fired = true;
+    vp.wedged = true;
+    ++fault_stats_->vp_stalls;
+    SIGVP_DEBUG("ipc") << "vp" << vp_id << " wedged (stopped consuming completions) at t="
+                       << queue_.now();
+    wedge_watchdog(vp_id);
+  }
+
+  if (vp.stopped || vp.wedged) {
     vp.held.push_back(std::move(deliver));
     return;
   }
+  ++vp.completions_delivered;
   deliver();
+}
+
+void IpcManager::wedge_watchdog(std::uint32_t vp_id) {
+  const SimTime wedged_at = queue_.now();
+  queue_.schedule_after(recovery_.vp_stall_timeout_us, [this, vp_id, wedged_at] {
+    VpEndpoint& vp = vps_[vp_id];
+    if (!vp.wedged) return;
+    vp.wedged = false;
+    ++fault_stats_->vp_restarts;
+    fault_stats_->note_recovery(queue_.now() - wedged_at);
+    if (health_) health_->report_incident(vp_id);
+    SIGVP_DEBUG("ipc") << "vp" << vp_id << " force-restarted by the stall watchdog at t="
+                       << queue_.now();
+    flush_held(vp);
+  });
+}
+
+void IpcManager::flush_held(VpEndpoint& vp) {
+  while (!vp.held.empty() && !vp.stopped && !vp.wedged) {
+    auto deliver = std::move(vp.held.front());
+    vp.held.pop_front();
+    ++vp.completions_delivered;
+    deliver();
+  }
 }
 
 void IpcManager::stop_vp(std::uint32_t vp_id) {
@@ -88,11 +363,7 @@ void IpcManager::resume_vp(std::uint32_t vp_id) {
   VpEndpoint& vp = vps_[vp_id];
   if (!vp.stopped) return;
   vp.stopped = false;
-  while (!vp.held.empty() && !vp.stopped) {
-    auto deliver = std::move(vp.held.front());
-    vp.held.pop_front();
-    deliver();
-  }
+  flush_held(vp);
 }
 
 bool IpcManager::is_stopped(std::uint32_t vp_id) const {

@@ -3,9 +3,15 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
+#include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "fault/fault_plan.hpp"
+#include "fault/fault_stats.hpp"
+#include "fault/health.hpp"
 #include "ipc/job.hpp"
 #include "sim/event_queue.hpp"
 
@@ -40,6 +46,16 @@ struct IpcCostModel {
 ///
 /// The manager is decoupled from the Re-scheduler through a delivery sink,
 /// so the scheduling policy is pluggable.
+///
+/// With an active FaultPlan (see set_fault) the transport becomes lossy —
+/// messages drop, duplicate and suffer latency spikes — and the manager
+/// compensates with a reliable-delivery layer: every logical message is
+/// acknowledged by its receiver, a watchdog retransmits on ack timeout with
+/// exponential backoff, redeliveries are deduplicated by message id, and a
+/// message whose bounded retry budget is exhausted escalates the VP to the
+/// emulation fallback (graceful degradation). Without a fault plan none of
+/// this machinery exists at runtime: the code path, message counts and
+/// timing are byte-identical to the pre-fault-layer implementation.
 class IpcManager {
  public:
   using DeliverFn = std::function<void(Job)>;
@@ -66,6 +82,33 @@ class IpcManager {
   void resume_vp(std::uint32_t vp_id);
   bool is_stopped(std::uint32_t vp_id) const;
 
+  // --- fault tolerance --------------------------------------------------------
+  /// Installs the scenario's fault oracle plus the recovery policy. All four
+  /// must outlive the manager. Passing a null plan (the default state)
+  /// disables the reliable-delivery layer entirely.
+  void set_fault(const FaultPlan* plan, FaultStats* stats, HealthPolicy* health,
+                 RecoveryConfig recovery);
+  /// Handler that serves a job outside the ΣVP path (the EmulationDriver
+  /// fallback) once its VP is failed; receives the job with the response
+  /// wrapping already applied, so its completion still flows back through
+  /// notify_vp gating.
+  void set_escalation(std::function<void(std::uint32_t vp_id, Job job)> escalate);
+  /// True when `vp_id`'s retry budget was exhausted and its traffic has been
+  /// degraded to the fallback path.
+  bool vp_failed(std::uint32_t vp_id) const;
+  /// Fallback drain gate: true when `seq` is the lowest unreleased sequence
+  /// number of `vp_id`, i.e. the only position at which a fallback job may
+  /// execute without breaking the VP's program order.
+  bool fallback_turn(std::uint32_t vp_id, std::uint64_t seq) const;
+  /// True when `seq` of `vp_id` already released its completion to the VP.
+  /// The fallback drain uses it to discard stale duplicate escalations (a
+  /// request the watchdog gave up on may in fact have been delivered — the
+  /// two-generals ambiguity — and completed through the normal path).
+  bool seq_released(std::uint32_t vp_id, std::uint64_t seq) const;
+  /// Invoked after every in-order completion release (any VP); the fallback
+  /// path uses it to re-check its drain gate.
+  void set_release_listener(std::function<void(std::uint32_t vp_id)> listener);
+
   // --- stats ------------------------------------------------------------------
   std::uint64_t messages_sent() const { return messages_sent_; }
   SimTime transport_time_total() const { return transport_time_total_; }
@@ -74,11 +117,51 @@ class IpcManager {
  private:
   struct VpEndpoint {
     std::string name;
-    bool stopped = false;
+    bool stopped = false;                    // VP control (interleaving)
     std::deque<std::function<void()>> held;  // notifications gated by VP control
+    // Fault layer: a wedged endpoint stopped consuming completions (the
+    // injected VP stall); `stall_fired` makes the injection one-shot.
+    bool wedged = false;
+    bool stall_fired = false;
+    std::uint64_t completions_delivered = 0;
+    // Fault layer: in-order completion release. `outstanding` holds the
+    // sequence number of every job sent over the faulty transport and not
+    // yet released back to the VP; `ready` parks completions that arrived
+    // out of order (late retransmissions, latency spikes) until every
+    // earlier sequence number has been released. Submission order ==
+    // completion order, faulty transport or not.
+    std::set<std::uint64_t> outstanding;
+    std::map<std::uint64_t, std::function<void()>> ready;
   };
 
+  /// One logical message in flight over the faulty transport, shared by the
+  /// retransmission watchdog and the (possibly duplicated) arrival events.
+  struct Transfer {
+    std::uint32_t vp_id = 0;
+    bool response = false;  // direction: host→VP completion vs VP→host request
+    std::uint64_t payload_bytes = 0;
+    std::uint32_t attempts = 0;
+    bool delivered = false;  // receiver-side dedup marker
+    bool acked = false;      // sender-side: watchdog disarmed
+    SimTime first_sent_at = 0.0;
+    std::function<void()> deliver;
+    std::function<void()> give_up;
+  };
+
+  bool fault_active() const { return fault_plan_ != nullptr && fault_plan_->enabled(); }
   void notify_vp(std::uint32_t vp_id, std::function<void()> deliver);
+  void flush_held(VpEndpoint& vp);
+  /// Transmits `xfer` once (charging transport), rolls drop/dup/spike faults,
+  /// and arms the ack watchdog for this attempt.
+  void attempt_transfer(const std::shared_ptr<Transfer>& xfer);
+  void start_transfer(std::uint32_t vp_id, bool response, std::uint64_t payload_bytes,
+                      std::function<void()> deliver, std::function<void()> give_up);
+  void send_job_faulty(std::uint32_t vp_id, Job job, std::uint64_t payload_bytes);
+  /// Funnels a completion for (vp_id, seq) into the per-VP release buffer;
+  /// `deliver` runs once, when every earlier outstanding seq has released.
+  void complete_in_order(std::uint32_t vp_id, std::uint64_t seq,
+                         std::function<void()> deliver);
+  void wedge_watchdog(std::uint32_t vp_id);
 
   EventQueue& queue_;
   IpcCostModel cost_;
@@ -87,6 +170,15 @@ class IpcManager {
   std::uint64_t next_job_id_ = 1;
   std::uint64_t messages_sent_ = 0;
   SimTime transport_time_total_ = 0.0;
+
+  // --- fault-layer state (inert without an active plan) ------------------------
+  const FaultPlan* fault_plan_ = nullptr;
+  FaultStats* fault_stats_ = nullptr;
+  HealthPolicy* health_ = nullptr;
+  RecoveryConfig recovery_;
+  std::function<void(std::uint32_t, Job)> escalate_;
+  std::function<void(std::uint32_t)> release_listener_;
+  std::uint64_t msg_roll_index_ = 0;  // fault-decision counter, one per transmission
 };
 
 }  // namespace sigvp

@@ -35,6 +35,10 @@ struct Job {
   std::function<void(SimTime end, const KernelExecStats* stats)> on_complete;
 
   SimTime enqueue_time = 0.0;
+
+  /// Fault layer: transient-launch retries this job has already consumed
+  /// (survives re-queueing; bounds the dispatcher's retry loop).
+  std::uint32_t attempts = 0;
 };
 
 }  // namespace sigvp

@@ -90,6 +90,33 @@ std::string sweep_to_json(const SweepResult& sweep, const std::string& bench_nam
     append_number(os, r.gpu_compute_busy_us);
     os << ", \"gpu_copy_busy_us\": ";
     append_number(os, r.gpu_copy_busy_us);
+    if (r.fault.active) {
+      const FaultStats& f = r.fault;
+      os << ", \"fault\": {\"messages_dropped\": " << f.messages_dropped
+         << ", \"messages_duplicated\": " << f.messages_duplicated
+         << ", \"latency_spikes\": " << f.latency_spikes
+         << ", \"acks_dropped\": " << f.acks_dropped
+         << ", \"launch_failures\": " << f.launch_failures
+         << ", \"engine_hangs\": " << f.engine_hangs
+         << ", \"device_resets\": " << f.device_resets
+         << ", \"ops_killed_by_reset\": " << f.ops_killed_by_reset
+         << ", \"vp_stalls\": " << f.vp_stalls
+         << ", \"retransmits\": " << f.retransmits
+         << ", \"duplicates_suppressed\": " << f.duplicates_suppressed
+         << ", \"launch_retries\": " << f.launch_retries
+         << ", \"reset_requeues\": " << f.reset_requeues
+         << ", \"group_resplits\": " << f.group_resplits
+         << ", \"vps_quarantined\": " << f.vps_quarantined
+         << ", \"vp_restarts\": " << f.vp_restarts
+         << ", \"fallbacks\": " << f.fallbacks
+         << ", \"fallback_jobs\": " << f.fallback_jobs
+         << ", \"unrecovered_jobs\": " << f.unrecovered_jobs
+         << ", \"recovery_latency_mean_us\": ";
+      append_number(os, f.recovery_latency_mean_us());
+      os << ", \"recovery_latency_max_us\": ";
+      append_number(os, f.recovery_latency_max_us);
+      os << "}";
+    }
     os << "}";
     if (i + 1 != sweep.jobs.size()) os << ",";
     os << "\n";

@@ -19,6 +19,11 @@ namespace sigvp::run {
 ///             "ipc_messages": .., "gpu_dynamic_energy_j": ..,
 ///             "gpu_compute_busy_us": .., "gpu_copy_busy_us": ..}, ...]
 /// }
+///
+/// Jobs that ran under an enabled fault plan additionally carry a "fault"
+/// object with the injected/recovery counters (FaultStats). Zero-fault runs
+/// omit the key entirely, keeping their JSON byte-identical to builds
+/// without the fault layer.
 std::string sweep_to_json(const SweepResult& sweep, const std::string& bench_name);
 
 /// Writes `sweep_to_json` to `path` (e.g. "BENCH_fig11_suite.json").

@@ -30,7 +30,7 @@ bool Coalescer::can_merge(const std::vector<Job>& jobs) {
   return true;
 }
 
-SimTime Coalescer::execute(std::vector<Job> jobs) {
+SimTime Coalescer::execute(std::vector<Job> jobs, const GroupFaultHooks* hooks) {
   SIGVP_REQUIRE(can_merge(jobs), "coalescer invoked on a non-mergeable group");
   const cuda::CoalesceInfo& shape = jobs.front().launch.coalesce;
   const LaunchRequest& proto = jobs.front().launch.request;
@@ -111,24 +111,63 @@ SimTime Coalescer::execute(std::vector<Job> jobs) {
 
   // 3. Launch once. The stats box is filled at kernel completion, which in
   //    simulated time precedes every scatter completion scheduled below.
+  //    With recovery hooks installed the launch may be aborted by an
+  //    injected transient failure (on_abort fires, no scatters happen).
   auto stats_box = std::make_shared<KernelExecStats>();
+  GpuDevice::LaunchFailCallback on_fault;
+  if (hooks != nullptr && hooks->on_abort) on_fault = hooks->on_abort;
   device_.launch(stream_, merged,
-                 [stats_box](SimTime, const KernelExecStats& s) { *stats_box = s; });
+                 [stats_box](SimTime, const KernelExecStats& s) { *stats_box = s; },
+                 std::move(on_fault));
+  if (hooks != nullptr && device_.last_launch_faulted()) {
+    if (hooks->on_abort_op) hooks->on_abort_op(device_.last_op_id());
+    const SimTime abort_end = device_.stream_idle_at(stream_);
+    for (const Arena& a : arenas) device_.free(a.base);
+    return abort_end;
+  }
 
-  // 4. Scatter outputs back with one batched DMA per arena; every job's
-  //    results are available when the scatter lands.
-  for (const Arena& a : arenas) {
-    if (!a.is_output) continue;
-    std::vector<GpuDevice::CopyDesc> descs;
+  // 4. Scatter outputs back; every job's results are available when its
+  //    scatter lands. Without hooks the scatter is one batched DMA per
+  //    arena (the cheap shape); with hooks each member gets its own DMA so
+  //    a reset kills members individually.
+  if (hooks == nullptr) {
+    for (const Arena& a : arenas) {
+      if (!a.is_output) continue;
+      std::vector<GpuDevice::CopyDesc> descs;
+      std::uint64_t offset_elems = 0;
+      for (const Job& j : jobs) {
+        const std::uint64_t chunk_elems = j.launch.coalesce.elems;
+        descs.push_back({j.launch.request.args.values[a.arg_index],
+                         a.base + offset_elems * a.bytes_per_elem,
+                         chunk_elems * a.bytes_per_elem});
+        offset_elems += chunk_elems;
+      }
+      device_.memcpy_d2d_batch(stream_, descs);
+    }
+  } else {
     std::uint64_t offset_elems = 0;
-    for (const Job& j : jobs) {
+    for (std::size_t ji = 0; ji < jobs.size(); ++ji) {
+      const Job& j = jobs[ji];
       const std::uint64_t chunk_elems = j.launch.coalesce.elems;
-      descs.push_back({j.launch.request.args.values[a.arg_index],
-                       a.base + offset_elems * a.bytes_per_elem,
-                       chunk_elems * a.bytes_per_elem});
+      std::vector<GpuDevice::CopyDesc> descs;
+      for (const Arena& a : arenas) {
+        if (!a.is_output) continue;
+        descs.push_back({j.launch.request.args.values[a.arg_index],
+                         a.base + offset_elems * a.bytes_per_elem,
+                         chunk_elems * a.bytes_per_elem});
+      }
+      // The member's completion rides its own scatter op (an empty DMA when
+      // the kernel has no output buffers), so a reset that kills the op
+      // also suppresses the completion — the dispatcher re-queues exactly
+      // the members whose results never landed.
+      device_.memcpy_d2d_batch(
+          stream_, descs,
+          [cb = j.on_complete, stats_box](SimTime end) {
+            if (cb) cb(end, stats_box.get());
+          });
+      if (hooks->on_member_op) hooks->on_member_op(ji, device_.last_op_id());
       offset_elems += chunk_elems;
     }
-    device_.memcpy_d2d_batch(stream_, descs);
   }
 
   const SimTime group_end = device_.stream_idle_at(stream_);
@@ -139,11 +178,14 @@ SimTime Coalescer::execute(std::vector<Job> jobs) {
   ++groups_;
   jobs_merged_ += jobs.size();
 
-  for (std::size_t ji = 0; ji < jobs.size(); ++ji) {
-    if (!jobs[ji].on_complete) continue;
-    queue_.schedule_at(job_done[ji], [cb = jobs[ji].on_complete, stats_box, when = job_done[ji]] {
-      cb(when, stats_box.get());
-    });
+  if (hooks == nullptr) {
+    for (std::size_t ji = 0; ji < jobs.size(); ++ji) {
+      if (!jobs[ji].on_complete) continue;
+      queue_.schedule_at(job_done[ji],
+                         [cb = jobs[ji].on_complete, stats_box, when = job_done[ji]] {
+                           cb(when, stats_box.get());
+                         });
+    }
   }
   return group_end;
 }

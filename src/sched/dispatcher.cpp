@@ -1,6 +1,7 @@
 #include "sched/dispatcher.hpp"
 
 #include <limits>
+#include <sstream>
 #include <utility>
 
 #include "util/check.hpp"
@@ -42,6 +43,15 @@ bool Dispatcher::is_ready(const Job& job) const {
   return job.seq_in_vp == next_seq_[job.vp_id];
 }
 
+bool Dispatcher::coalescable(const Job& job) const {
+  if (job.kind != JobKind::kKernel || !job.launch.coalesce.eligible) return false;
+  // Quarantine policy: a VP with too many recovery incidents loses Kernel
+  // Coalescing eligibility — a flaky VP must not drag healthy peers into
+  // its retries.
+  if (fault_active() && health_ != nullptr && health_->quarantined(job.vp_id)) return false;
+  return true;
+}
+
 bool Dispatcher::can_join_group(const Job& job) const {
   // A peer may join a coalesced group only when NOTHING of its VP is still
   // in flight: merged groups execute on the coalescer's service stream, so
@@ -59,8 +69,8 @@ std::uint32_t Dispatcher::ready_peers(const Job& job) const {
   std::uint32_t peers = 0;
   for (const Job& other : queue_) {
     if (&other == &job) continue;
-    if (other.kind == JobKind::kKernel && other.launch.coalesce.eligible &&
-        other.launch.coalesce.key == job.launch.coalesce.key && can_join_group(other)) {
+    if (coalescable(other) && other.launch.coalesce.key == job.launch.coalesce.key &&
+        can_join_group(other)) {
       ++peers;
     }
   }
@@ -68,7 +78,7 @@ std::uint32_t Dispatcher::ready_peers(const Job& job) const {
 }
 
 bool Dispatcher::held_for_coalescing(const Job& job) const {
-  if (!config_.coalesce || job.kind != JobKind::kKernel || !job.launch.coalesce.eligible) {
+  if (!config_.coalesce || !coalescable(job)) {
     return false;
   }
   if (events_.now() - job.enqueue_time >= config_.coalesce_window_us) return false;
@@ -79,7 +89,7 @@ void Dispatcher::arm_window_timer() {
   if (!config_.coalesce) return;
   SimTime earliest = -1.0;
   for (const Job& job : queue_) {
-    if (job.kind != JobKind::kKernel || !job.launch.coalesce.eligible) continue;
+    if (!coalescable(job)) continue;
     const SimTime expiry = job.enqueue_time + config_.coalesce_window_us;
     if (expiry > events_.now() && (earliest < 0.0 || expiry < earliest)) earliest = expiry;
   }
@@ -119,6 +129,11 @@ std::size_t Dispatcher::pick_next() const {
     // coalescer's service stream; the VP stream would not chain behind it,
     // so the VP's next op must wait for the group's completion.
     if (vp_group_inflight_[job.vp_id] > 0) continue;
+    // Fault mode only: hold the VP's next job until the in-flight one has
+    // actually completed, so a transient abort or reset kill can re-queue
+    // it (rolling next_seq_ back) without a later job of the same VP having
+    // slipped past it. Without a fault plan this gate does not exist.
+    if (fault_active() && vp_inflight_[job.vp_id] > 0) continue;
     const SimTime engine_free = job.kind == JobKind::kKernel
                                     ? device_.compute_engine_free_at()
                                     : (job.kind == JobKind::kMemcpyH2D
@@ -153,12 +168,12 @@ void Dispatcher::dispatch_at(std::size_t index) {
   Job job = std::move(queue_[index]);
   queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
 
-  if (config_.coalesce && job.kind == JobKind::kKernel && job.launch.coalesce.eligible) {
+  if (config_.coalesce && coalescable(job)) {
     // Kernel Match: sweep the queue for ready identical requests.
     std::vector<Job> group;
     group.push_back(std::move(job));
     for (auto it = queue_.begin(); it != queue_.end();) {
-      const bool match = it->kind == JobKind::kKernel && it->launch.coalesce.eligible &&
+      const bool match = coalescable(*it) &&
                          it->launch.coalesce.key == group.front().launch.coalesce.key &&
                          can_join_group(*it);
       if (match) {
@@ -201,6 +216,10 @@ void Dispatcher::dispatch_single(Job job) {
 }
 
 void Dispatcher::submit_to_device(Job job) {
+  if (fault_active()) {
+    submit_to_device_tolerant(std::move(job));
+    return;
+  }
   const GpuDevice::StreamId stream = vp_streams_[job.vp_id];
   const std::uint32_t vp = job.vp_id;
   switch (job.kind) {
@@ -232,14 +251,25 @@ void Dispatcher::submit_to_device(Job job) {
 void Dispatcher::dispatch_group(std::vector<Job> group) {
   in_flight_ += static_cast<std::uint32_t>(group.size());
   jobs_dispatched_ += group.size();
-  for (Job& j : group) {
+  // Fault mode: retain pre-wrap member copies so a merged-launch abort or a
+  // reset kill can re-queue members with their original completions.
+  std::shared_ptr<std::vector<Job>> retained;
+  std::shared_ptr<std::vector<std::uint64_t>> member_ops;
+  if (fault_active()) {
+    retained = std::make_shared<std::vector<Job>>(group);
+    member_ops = std::make_shared<std::vector<std::uint64_t>>(group.size(), 0);
+  }
+  for (std::size_t idx = 0; idx < group.size(); ++idx) {
+    Job& j = group[idx];
     ++next_seq_[j.vp_id];
     ++vp_inflight_[j.vp_id];
     ++vp_group_inflight_[j.vp_id];
     // Chain the dispatcher's accounting after the job's own completion.
     auto original = std::move(j.on_complete);
     const std::uint32_t vp = j.vp_id;
-    j.on_complete = [this, vp, original](SimTime end, const KernelExecStats* stats) {
+    j.on_complete = [this, vp, idx, member_ops, original](SimTime end,
+                                                          const KernelExecStats* stats) {
+      if (member_ops) kill_actions_.erase((*member_ops)[idx]);
       if (original) original(end, stats);
       SIGVP_ASSERT(vp_group_inflight_[vp] > 0, "group completion for an idle VP");
       --vp_group_inflight_[vp];
@@ -248,12 +278,44 @@ void Dispatcher::dispatch_group(std::vector<Job> group) {
   }
   // One host-side service charge for the whole merged group — the core of
   // the coalescing gain: N launches, one dispatch + one profiler arming.
-  service_.submit(config_.dispatch_overhead_us,
-                  [this, group = std::make_shared<std::vector<Job>>(std::move(group))](
-                      SimTime) mutable {
-                    coalescer_.execute(std::move(*group));
-                    pump();
-                  });
+  service_.submit(
+      config_.dispatch_overhead_us,
+      [this, retained, member_ops,
+       group = std::make_shared<std::vector<Job>>(std::move(group))](SimTime) mutable {
+        if (!fault_active()) {
+          coalescer_.execute(std::move(*group));
+          pump();
+          return;
+        }
+        // Wire the group's recovery hooks: the merged-launch abort (or a
+        // reset racing it) re-splits the whole group; a reset killing a
+        // member's scatter re-queues just that member.
+        auto abort_op = std::make_shared<std::uint64_t>(0);
+        Coalescer::GroupFaultHooks hooks;
+        hooks.on_abort = [this, retained, abort_op](SimTime) {
+          kill_actions_.erase(*abort_op);
+          resplit_group(retained);
+        };
+        hooks.on_abort_op = [this, retained, abort_op](std::uint64_t op) {
+          *abort_op = op;
+          kill_actions_[op] = [this, retained] { resplit_group(retained); };
+        };
+        hooks.on_member_op = [this, retained, member_ops](std::size_t idx,
+                                                          std::uint64_t op) {
+          (*member_ops)[idx] = op;
+          kill_actions_[op] = [this, retained, idx] {
+            Job j = (*retained)[idx];
+            SIGVP_ASSERT(vp_group_inflight_[j.vp_id] > 0,
+                         "reset kill for a member of an idle VP");
+            --vp_group_inflight_[j.vp_id];
+            rollback_dispatch(j);
+            ++fault_stats_->reset_requeues;
+            requeue(std::move(j));
+          };
+        };
+        coalescer_.execute(std::move(*group), &hooks);
+        pump();
+      });
 }
 
 void Dispatcher::on_job_finished(std::uint32_t vp_id) {
@@ -262,6 +324,187 @@ void Dispatcher::on_job_finished(std::uint32_t vp_id) {
   --in_flight_;
   --vp_inflight_[vp_id];
   pump();
+}
+
+// --- fault tolerance -------------------------------------------------------------
+
+void Dispatcher::set_fault(const FaultPlan* plan, FaultStats* stats, HealthPolicy* health,
+                           RecoveryConfig recovery) {
+  SIGVP_REQUIRE(plan == nullptr || (stats != nullptr && health != nullptr),
+                "fault plan without stats/health sinks");
+  fault_plan_ = plan;
+  fault_stats_ = stats;
+  health_ = health;
+  recovery_ = recovery;
+  if (fault_active()) {
+    device_.set_kill_handler([this](std::uint64_t op_id) { on_op_killed(op_id); });
+  }
+}
+
+void Dispatcher::set_escalation(std::function<void(std::uint32_t, Job)> escalate) {
+  escalate_ = std::move(escalate);
+}
+
+void Dispatcher::inject_device_reset() {
+  SIGVP_REQUIRE(fault_active(), "device reset injection requires an active fault plan");
+  // The reset's kill handler re-queues every killed job (in op submission
+  // order, which is per-VP sequence order). With everything killed there may
+  // be no pending completion left to re-enter pump(), so one is scheduled
+  // for the moment the engines come back.
+  const SimTime recovered_at = device_.reset(fault_plan_->config().device_reset_latency_us);
+  pump();
+  events_.schedule_at(recovered_at, [this] { pump(); });
+}
+
+void Dispatcher::on_op_killed(std::uint64_t op_id) {
+  auto it = kill_actions_.find(op_id);
+  if (it == kill_actions_.end()) return;  // op without a recovery action (gathers, ...)
+  auto action = std::move(it->second);
+  kill_actions_.erase(it);
+  action();
+}
+
+void Dispatcher::rollback_dispatch(const Job& job) {
+  SIGVP_ASSERT(in_flight_ > 0, "rollback without a job in flight");
+  SIGVP_ASSERT(vp_inflight_[job.vp_id] > 0, "rollback for an idle VP");
+  --in_flight_;
+  --vp_inflight_[job.vp_id];
+  // The fault-mode pick_next gate guarantees no later job of this VP was
+  // dispatched while this one was in flight, so rolling the cursor back
+  // preserves the VP's sequence order.
+  SIGVP_ASSERT(next_seq_[job.vp_id] == job.seq_in_vp + 1,
+               "re-queue would break the VP's sequence order");
+  next_seq_[job.vp_id] = job.seq_in_vp;
+}
+
+void Dispatcher::requeue(Job job) {
+  job.enqueue_time = events_.now();
+  queue_.push_back(std::move(job));
+}
+
+void Dispatcher::escalate(Job job) {
+  if (!escalate_) {
+    ++fault_stats_->unrecovered_jobs;  // no fallback wired: the job is lost
+    return;
+  }
+  const std::uint32_t vp = job.vp_id;
+  escalate_(vp, std::move(job));
+}
+
+void Dispatcher::purge_vp(std::uint32_t vp_id) {
+  SIGVP_REQUIRE(vp_id < vp_streams_.size(), "purge for an unregistered VP");
+  // Jobs of one VP sit in the queue in sequence order, so draining the
+  // deque front-to-back escalates them in program order.
+  std::vector<Job> purged;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->vp_id == vp_id) {
+      purged.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (Job& j : purged) escalate(std::move(j));
+}
+
+void Dispatcher::submit_to_device_tolerant(Job job) {
+  const std::uint32_t vp = job.vp_id;
+  if (health_ != nullptr && health_->failed(vp)) {
+    // The VP was degraded while this job sat in service: follow its peers
+    // to the fallback instead of touching the device.
+    --in_flight_;
+    --vp_inflight_[vp];
+    escalate(std::move(job));
+    pump();
+    return;
+  }
+  const GpuDevice::StreamId stream = vp_streams_[vp];
+  auto boxed = std::make_shared<Job>(std::move(job));
+  auto op_box = std::make_shared<std::uint64_t>(0);
+  auto done = [this, vp, boxed, op_box](SimTime end, const KernelExecStats* stats) {
+    kill_actions_.erase(*op_box);
+    if (boxed->on_complete) boxed->on_complete(end, stats);
+    on_job_finished(vp);
+  };
+  switch (boxed->kind) {
+    case JobKind::kMemcpyH2D:
+      device_.memcpy_h2d(stream, boxed->device_addr, boxed->host_src, boxed->bytes,
+                         [done](SimTime end) { done(end, nullptr); });
+      break;
+    case JobKind::kMemcpyD2H:
+      device_.memcpy_d2h(stream, boxed->host_dst, boxed->device_addr, boxed->bytes,
+                         [done](SimTime end) { done(end, nullptr); });
+      break;
+    case JobKind::kKernel:
+      device_.launch(stream, boxed->launch.request,
+                     [done](SimTime end, const KernelExecStats& stats) { done(end, &stats); },
+                     [this, boxed, op_box](SimTime) {
+                       kill_actions_.erase(*op_box);
+                       on_launch_failed(boxed);
+                     });
+      break;
+  }
+  // Submission is single-threaded, so the op just submitted is last_op_id().
+  *op_box = device_.last_op_id();
+  kill_actions_[*op_box] = [this, boxed] {
+    rollback_dispatch(*boxed);
+    ++fault_stats_->reset_requeues;
+    requeue(*boxed);
+  };
+}
+
+void Dispatcher::on_launch_failed(std::shared_ptr<Job> job) {
+  const std::uint32_t vp = job->vp_id;
+  ++job->attempts;
+  if (health_) health_->report_incident(vp);
+  if (job->attempts > recovery_.max_launch_retries) {
+    // Bounded-retry budget exhausted: degrade the VP (purging its queued
+    // successors to the fallback) and escalate this job after them — the
+    // fallback drain re-sorts everything by sequence number.
+    --in_flight_;
+    --vp_inflight_[vp];
+    if (health_) health_->mark_failed(vp);
+    escalate(std::move(*job));
+    pump();
+    return;
+  }
+  ++fault_stats_->launch_retries;
+  rollback_dispatch(*job);
+  requeue(std::move(*job));
+  pump();
+}
+
+void Dispatcher::resplit_group(std::shared_ptr<std::vector<Job>> members) {
+  if (members->empty()) return;  // already re-split by a racing reset kill
+  ++fault_stats_->group_resplits;
+  SIGVP_DEBUG("dispatcher") << "merged launch aborted: re-splitting " << members->size()
+                            << " members to singles at t=" << events_.now();
+  for (Job& j : *members) {
+    SIGVP_ASSERT(vp_group_inflight_[j.vp_id] > 0, "re-split for a member of an idle VP");
+    --vp_group_inflight_[j.vp_id];
+    rollback_dispatch(j);
+    // A group that failed together must not re-merge and fail together
+    // again: members retry as singles.
+    j.launch.coalesce.eligible = false;
+    requeue(std::move(j));
+  }
+  members->clear();
+  pump();
+}
+
+std::string Dispatcher::stall_report() const {
+  std::ostringstream os;
+  os << queue_.size() << " job(s) queued, " << in_flight_ << " in flight:";
+  for (std::size_t vp = 0; vp < vp_streams_.size(); ++vp) {
+    std::size_t queued = 0;
+    for (const Job& j : queue_) {
+      if (j.vp_id == vp) ++queued;
+    }
+    if (queued == 0 && vp_inflight_[vp] == 0) continue;
+    os << " vp" << vp << "={queued: " << queued << ", in_flight: " << vp_inflight_[vp]
+       << ", next_seq: " << next_seq_[vp] << "}";
+  }
+  return os.str();
 }
 
 }  // namespace sigvp

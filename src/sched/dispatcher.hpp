@@ -2,8 +2,15 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "fault/fault_plan.hpp"
+#include "fault/fault_stats.hpp"
+#include "fault/health.hpp"
 #include "gpu/device.hpp"
 #include "ipc/job.hpp"
 #include "sched/coalescer.hpp"
@@ -69,6 +76,28 @@ class Dispatcher {
   /// True when no job is queued or in flight.
   bool idle() const { return queue_.empty() && in_flight_ == 0; }
 
+  // --- fault tolerance --------------------------------------------------------
+  /// Installs the scenario's fault oracle plus the recovery policy (all must
+  /// outlive the dispatcher) and registers the device kill handler that
+  /// re-queues jobs whose in-flight ops a reset destroys. With a null plan
+  /// (the default) every dispatch path is byte-identical to a build without
+  /// the fault layer.
+  void set_fault(const FaultPlan* plan, FaultStats* stats, HealthPolicy* health,
+                 RecoveryConfig recovery);
+  /// Sink for jobs the dispatcher gives up on (retry budget exhausted or VP
+  /// failed): the scenario routes them to the EmulationDriver fallback.
+  void set_escalation(std::function<void(std::uint32_t vp_id, Job job)> escalate);
+  /// Injected full device reset (FaultConfig::device_reset_at_us): every
+  /// in-flight op is killed, its job re-queued in per-VP sequence order, and
+  /// the device is down for the configured recovery latency.
+  void inject_device_reset();
+  /// Removes every queued job of `vp_id` and escalates them in sequence
+  /// order — called when the VP is degraded to the fallback path.
+  void purge_vp(std::uint32_t vp_id);
+  /// Human-readable list of VPs with queued or in-flight jobs, for the
+  /// stall detector's diagnostic when the event queue drains non-idle.
+  std::string stall_report() const;
+
   // --- stats -------------------------------------------------------------------
   std::uint64_t jobs_dispatched() const { return jobs_dispatched_; }
   std::uint64_t reorders() const { return reorders_; }
@@ -98,6 +127,36 @@ class Dispatcher {
   void dispatch_group(std::vector<Job> group);
   void submit_to_device(Job job);
   void on_job_finished(std::uint32_t vp_id);
+
+  // --- fault tolerance (inert without an active plan) --------------------------
+  bool fault_active() const { return fault_plan_ != nullptr && fault_plan_->enabled(); }
+  /// Coalescing eligibility under the health policy: quarantined VPs lose it.
+  bool coalescable(const Job& job) const;
+  /// Fault-mode device submission: registers a kill action for the op so a
+  /// reset re-queues the job, and arms the transient-launch retry path.
+  void submit_to_device_tolerant(Job job);
+  /// Transient merged/single launch abort: bounded retry, then escalation.
+  void on_launch_failed(std::shared_ptr<Job> job);
+  /// Undoes the dispatch-time accounting of `job` so it can be re-queued.
+  void rollback_dispatch(const Job& job);
+  void requeue(Job job);
+  /// Kill handler: a device reset destroyed op `op_id`; re-queue its job.
+  void on_op_killed(std::uint64_t op_id);
+  /// Merged-launch abort: re-queue every retained member as a single
+  /// (coalescing eligibility cleared) — the paper group's partial failure.
+  void resplit_group(std::shared_ptr<std::vector<Job>> members);
+  /// Hands `job` to the escalation sink (fallback path).
+  void escalate(Job job);
+
+  const FaultPlan* fault_plan_ = nullptr;
+  FaultStats* fault_stats_ = nullptr;
+  HealthPolicy* health_ = nullptr;
+  RecoveryConfig recovery_;
+  std::function<void(std::uint32_t, Job)> escalate_;
+  /// Live op id → action restoring the op's job after a reset kill; entries
+  /// are erased on normal completion. Ordered so reset processes kills in
+  /// submission order (ascending op id), matching the device's kill order.
+  std::map<std::uint64_t, std::function<void()>> kill_actions_;
 
   EventQueue& events_;
   GpuDevice& device_;

@@ -14,10 +14,20 @@ constexpr std::uint64_t kHeapBase = 4096;
 EmulationDriver::EmulationDriver(Processor& cpu, EmulationConfig config)
     : cpu_(cpu),
       config_(config),
-      memory_(config.device_mem_bytes, cpu.name() + ".emul-gpu-mem"),
+      owned_memory_(std::make_unique<AddressSpace>(config.device_mem_bytes,
+                                                   cpu.name() + ".emul-gpu-mem")),
+      memory_(owned_memory_.get()),
+      allocator_(kHeapBase, config.device_mem_bytes - kHeapBase) {}
+
+EmulationDriver::EmulationDriver(Processor& cpu, EmulationConfig config, AddressSpace& external)
+    : cpu_(cpu),
+      config_(config),
+      memory_(&external),
       allocator_(kHeapBase, config.device_mem_bytes - kHeapBase) {}
 
 std::uint64_t EmulationDriver::malloc(std::uint64_t bytes) {
+  SIGVP_REQUIRE(owned_memory_ != nullptr,
+                "malloc on a borrowed-memory emulation fallback (the owner allocates)");
   auto addr = allocator_.allocate(bytes);
   SIGVP_REQUIRE(addr.has_value(), "emulated GPU memory exhausted");
   cpu_.run_time(config_.per_call_us);
@@ -25,19 +35,21 @@ std::uint64_t EmulationDriver::malloc(std::uint64_t bytes) {
 }
 
 void EmulationDriver::free(std::uint64_t addr) {
+  SIGVP_REQUIRE(owned_memory_ != nullptr,
+                "free on a borrowed-memory emulation fallback (the owner allocates)");
   allocator_.free(addr);
   cpu_.run_time(config_.per_call_us);
 }
 
 void EmulationDriver::memcpy_h2d(std::uint64_t dst, const void* src, std::uint64_t bytes,
                                  cuda::DoneCallback cb) {
-  if (src != nullptr) memory_.copy_in(dst, src, bytes);
+  if (src != nullptr) memory_->copy_in(dst, src, bytes);
   cpu_.run_time(memcpy_time_us(bytes), std::move(cb));
 }
 
 void EmulationDriver::memcpy_d2h(void* dst, std::uint64_t src, std::uint64_t bytes,
                                  cuda::DoneCallback cb) {
-  if (dst != nullptr) memory_.copy_out(dst, src, bytes);
+  if (dst != nullptr) memory_->copy_out(dst, src, bytes);
   cpu_.run_time(memcpy_time_us(bytes), std::move(cb));
 }
 
@@ -50,7 +62,7 @@ void EmulationDriver::launch(const cuda::LaunchSpec& spec, cuda::KernelDoneCallb
   std::uint64_t sqrts = 0;
   if (config_.functional) {
     Interpreter interp;
-    const DynamicProfile profile = interp.run(*req.kernel, req.dims, req.args, memory_);
+    const DynamicProfile profile = interp.run(*req.kernel, req.dims, req.args, *memory_);
     stats.sigma = profile.instr_counts;
     sfu = profile.sfu_instrs;
     sqrts = profile.sqrt_instrs;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "cuda/driver.hpp"
 #include "mem/address_space.hpp"
@@ -65,6 +66,13 @@ class EmulationDriver final : public cuda::DeviceDriver {
  public:
   EmulationDriver(Processor& cpu, EmulationConfig config);
 
+  /// Borrowed-memory variant (the ΣVP fault-tolerance fallback): operate on
+  /// `external` — typically the host GPU's address space — instead of an
+  /// owned arena, so device pointers handed out by the real device stay
+  /// valid when a failed VP's jobs degrade to emulation. malloc/free are
+  /// not available in this mode (the owner allocates).
+  EmulationDriver(Processor& cpu, EmulationConfig config, AddressSpace& external);
+
   std::uint64_t malloc(std::uint64_t bytes) override;
   void free(std::uint64_t addr) override;
   void memcpy_h2d(std::uint64_t dst, const void* src, std::uint64_t bytes,
@@ -74,7 +82,7 @@ class EmulationDriver final : public cuda::DeviceDriver {
   void launch(const cuda::LaunchSpec& spec, cuda::KernelDoneCallback cb) override;
   void synchronize(cuda::DoneCallback cb) override;
 
-  AddressSpace& emulated_memory() { return memory_; }
+  AddressSpace& emulated_memory() { return *memory_; }
   const EmulationConfig& config() const { return config_; }
 
   /// Class-weighted work of a kernel in equivalent host instructions.
@@ -99,7 +107,8 @@ class EmulationDriver final : public cuda::DeviceDriver {
  private:
   Processor& cpu_;
   EmulationConfig config_;
-  AddressSpace memory_;
+  std::unique_ptr<AddressSpace> owned_memory_;  // null in borrowed mode
+  AddressSpace* memory_;
   FreeListAllocator allocator_;
 };
 

@@ -107,6 +107,69 @@ void SigmaVpDriver::synchronize(cuda::DoneCallback cb) {
   sync_waiters_.push_back(std::move(cb));
 }
 
+// --- fault-tolerance fallback ------------------------------------------------------
+
+void SigmaVpDriver::enable_fallback(cuda::DeviceDriver* fallback) {
+  SIGVP_REQUIRE(fallback != nullptr, "null fallback driver");
+  fallback_ = fallback;
+}
+
+void SigmaVpDriver::run_fallback_job(Job job) {
+  SIGVP_REQUIRE(fallback_ != nullptr, "fallback job without a fallback driver");
+  pending_fallback_.emplace(job.seq_in_vp, std::move(job));
+  pump_fallback();
+}
+
+void SigmaVpDriver::pump_fallback() {
+  if (fallback_running_) return;
+  // Discard stale duplicates first: a request the watchdog gave up on may in
+  // fact have been delivered (two-generals) and completed through the normal
+  // path; its parked copy would otherwise wedge the seq-ordered drain.
+  while (!pending_fallback_.empty() &&
+         ipc_.seq_released(ipc_id_, pending_fallback_.begin()->first)) {
+    pending_fallback_.erase(pending_fallback_.begin());
+  }
+  if (pending_fallback_.empty()) return;
+  auto it = pending_fallback_.begin();
+  // Program order across the degradation boundary: a fallback job runs only
+  // when it is the VP's lowest unreleased sequence number, so it can never
+  // overtake a predecessor still in flight on the device side (nor another
+  // parked fallback job).
+  if (!ipc_.fallback_turn(ipc_id_, it->first)) return;
+  fallback_running_ = true;
+  Job job = std::move(it->second);
+  pending_fallback_.erase(it);
+  execute_fallback(std::move(job));
+}
+
+void SigmaVpDriver::execute_fallback(Job job) {
+  ++fallback_jobs_run_;
+  auto finish = [this, cb = std::move(job.on_complete)](SimTime end,
+                                                        const KernelExecStats* stats) {
+    fallback_running_ = false;
+    if (cb) cb(end, stats);
+    // The completion above releases this job's seq through the in-order
+    // buffer, which re-enters pump_fallback via the release listener; this
+    // extra pump covers the no-listener (unit-test) wiring.
+    pump_fallback();
+  };
+  switch (job.kind) {
+    case JobKind::kMemcpyH2D:
+      fallback_->memcpy_h2d(job.device_addr, job.host_src, job.bytes,
+                            [finish](SimTime end) { finish(end, nullptr); });
+      break;
+    case JobKind::kMemcpyD2H:
+      fallback_->memcpy_d2h(job.host_dst, job.device_addr, job.bytes,
+                            [finish](SimTime end) { finish(end, nullptr); });
+      break;
+    case JobKind::kKernel:
+      fallback_->launch(job.launch, [finish](SimTime end, const KernelExecStats& stats) {
+        finish(end, &stats);
+      });
+      break;
+  }
+}
+
 void SigmaVpDriver::complete_one() {
   SIGVP_ASSERT(outstanding_ > 0, "completion without an outstanding request");
   --outstanding_;

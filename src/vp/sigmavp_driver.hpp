@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "cuda/driver.hpp"
@@ -37,10 +38,23 @@ class SigmaVpDriver final : public cuda::DeviceDriver {
   std::uint32_t ipc_id() const { return ipc_id_; }
   std::uint64_t requests_sent() const { return seq_; }
 
+  // --- fault-tolerance fallback ------------------------------------------------
+  /// Installs the EmulationDriver (borrowed device memory) that serves this
+  /// VP's jobs after the health policy declares the VP failed.
+  void enable_fallback(cuda::DeviceDriver* fallback);
+  /// Escalation sink: parks `job` until it is the VP's lowest unreleased
+  /// sequence number (IpcManager::fallback_turn), then executes it on the
+  /// fallback driver — program order survives the degradation boundary.
+  void run_fallback_job(Job job);
+  /// Re-checks the drain gate; wired to the IPC manager's release listener.
+  void pump_fallback();
+  std::uint64_t fallback_jobs_run() const { return fallback_jobs_run_; }
+
  private:
   /// Charges guest user-library + driver time, then runs `then`.
   void guest_call(std::function<void(SimTime)> then);
   void complete_one();
+  void execute_fallback(Job job);
 
   Processor& guest_cpu_;
   IpcManager& ipc_;
@@ -51,6 +65,13 @@ class SigmaVpDriver final : public cuda::DeviceDriver {
   std::uint64_t seq_ = 0;
   std::uint32_t outstanding_ = 0;
   std::vector<cuda::DoneCallback> sync_waiters_;
+
+  // --- fallback state (inert without enable_fallback) --------------------------
+  cuda::DeviceDriver* fallback_ = nullptr;
+  /// Escalated jobs parked by sequence number; drained strictly in order.
+  std::map<std::uint64_t, Job> pending_fallback_;
+  bool fallback_running_ = false;
+  std::uint64_t fallback_jobs_run_ = 0;
 };
 
 }  // namespace sigvp
