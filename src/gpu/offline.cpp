@@ -1,5 +1,7 @@
 #include "gpu/offline.hpp"
 
+#include <vector>
+
 #include "gpu/cache.hpp"
 #include "util/check.hpp"
 
@@ -8,18 +10,33 @@ namespace sigvp {
 LaunchEvaluation evaluate_functional(const GpuArch& arch, const KernelIR& kernel,
                                      const LaunchDims& dims, const KernelArgs& args,
                                      AddressSpace& memory) {
-  CacheModel l2(arch.l2);
+  // One cold L2 shard per canonical interpreter chunk. The shard layout
+  // depends only on the launch geometry, so the merged stats are identical
+  // for any worker count; on a GPU the chunks would run on different SMs
+  // against cold cache state anyway, so per-shard cold misses model the
+  // hardware at least as faithfully as one globally warm cache did.
+  const std::size_t chunks = Interpreter::canonical_chunks(dims);
+  std::vector<CacheModel> shards(chunks, CacheModel(arch.l2));
+
   Interpreter::Options options;
-  options.mem_hook = [&l2](std::uint64_t addr, std::uint32_t bytes, bool /*is_store*/) {
-    l2.access(addr, bytes);
+  options.shard_hook = [&shards](std::size_t chunk) -> MemAccessHook {
+    CacheModel* shard = &shards[chunk];
+    return [shard](std::uint64_t addr, std::uint32_t bytes, bool /*is_store*/) {
+      shard->access(addr, bytes);
+    };
   };
 
   Interpreter interp;
   LaunchEvaluation out;
   out.profile = interp.run(kernel, dims, args, memory, options);
 
+  // Merge in canonical chunk order (additive counters, but keep the order
+  // canonical on principle: determinism bugs hide in "it's commutative").
+  CacheStats l2_stats;
+  for (const CacheModel& shard : shards) l2_stats += shard.stats();
+
   KernelCostModel model(arch);
-  out.stats = model.evaluate(dims, out.profile.instr_counts, l2.stats());
+  out.stats = model.evaluate(dims, out.profile.instr_counts, l2_stats);
   return out;
 }
 

@@ -1,8 +1,13 @@
 #include "interp/interpreter.hpp"
 
-#include <cmath>
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
 #include <vector>
 
+#include "interp/decoded.hpp"
+#include "run/thread_pool.hpp"
 #include "util/check.hpp"
 
 namespace sigvp {
@@ -19,375 +24,89 @@ ClassCounts DynamicProfile::counts_from_visits(const KernelIR& ir,
 
 namespace {
 
-/// Per-thread execution state.
-struct ThreadState {
-  std::vector<RegValue> regs;
-  std::size_t pc_block = 0;
-  std::size_t pc_instr = 0;
-  bool done = false;
-  bool at_barrier = false;
-  std::uint32_t tid_x = 0;
-  std::uint32_t tid_y = 0;
-  std::uint64_t instrs_executed = 0;
+using interp_detail::DecodedCache;
+using interp_detail::DecodedProgram;
+using interp_detail::ExecArena;
+using interp_detail::run_decoded_block;
+
+/// Upper bound on canonical chunks. Chosen so an 8-worker run still has ~8
+/// chunks per worker to balance uneven block costs, while per-chunk L2
+/// shards stay coarse enough to be meaningful.
+constexpr std::size_t kMaxChunks = 64;
+
+/// Shared pool for grid-level parallelism. Sized past the host concurrency
+/// so the multi-worker code paths are exercised (and testable) even on small
+/// machines; idle workers just sleep on the queue.
+run::ThreadPool& interp_pool() {
+  static run::ThreadPool pool(std::max<std::size_t>(run::ThreadPool::default_workers(), 8));
+  return pool;
+}
+
+/// [first_block, last_block) of canonical chunk `c` out of `chunks`, over a
+/// grid of `num_blocks` row-major linear block ids. Pure function of the
+/// grid — worker count never enters.
+struct ChunkRange {
+  std::uint64_t first = 0;
+  std::uint64_t last = 0;
 };
 
-struct BlockContext {
-  std::uint32_t ctaid_x = 0;
-  std::uint32_t ctaid_y = 0;
-  std::vector<std::uint8_t> shared;
-};
+ChunkRange chunk_range(std::uint64_t num_blocks, std::size_t chunks, std::size_t c) {
+  ChunkRange r;
+  r.first = num_blocks * c / chunks;
+  r.last = num_blocks * (c + 1) / chunks;
+  return r;
+}
 
-class Machine {
- public:
-  Machine(const KernelIR& ir, const LaunchDims& dims, const KernelArgs& args,
-          AddressSpace& global, const Interpreter::Options& options, DynamicProfile& profile)
-      : ir_(ir), dims_(dims), args_(args), global_(global), options_(options),
-        profile_(profile) {}
-
-  void run_block(std::uint32_t ctaid_x, std::uint32_t ctaid_y) {
-    BlockContext cta;
-    cta.ctaid_x = ctaid_x;
-    cta.ctaid_y = ctaid_y;
-    cta.shared.assign(ir_.shared_bytes, 0);
-
-    const std::uint64_t nthreads = dims_.threads_per_block();
-    std::vector<ThreadState> threads(nthreads);
-    for (std::uint32_t ty = 0; ty < dims_.block_y; ++ty) {
-      for (std::uint32_t tx = 0; tx < dims_.block_x; ++tx) {
-        ThreadState& t = threads[static_cast<std::size_t>(ty) * dims_.block_x + tx];
-        t.regs.assign(ir_.num_regs == 0 ? 1 : ir_.num_regs, RegValue{});
-        t.tid_x = tx;
-        t.tid_y = ty;
-        enter_block(t, 0);
-      }
-    }
-
-    // Barrier-phase scheduling: run each runnable thread until it retires or
-    // parks at a barrier; release the barrier when no runnable thread is left.
-    while (true) {
-      bool any_live = false;
-      for (ThreadState& t : threads) {
-        if (t.done || t.at_barrier) continue;
-        run_thread(t, cta);
-        any_live = true;
-      }
-      bool someone_waiting = false;
-      for (ThreadState& t : threads) {
-        if (!t.done && t.at_barrier) someone_waiting = true;
-      }
-      if (!someone_waiting) break;
-      // All non-retired threads are parked: the barrier releases.
-      for (ThreadState& t : threads) t.at_barrier = false;
-      ++profile_.barriers_waited;
-      (void)any_live;
-    }
+/// Executes the blocks of one canonical chunk serially in row-major order,
+/// accumulating λ/barrier counts into `chunk_profile` (full-size
+/// block_visits; merged by the caller in chunk order).
+void run_chunk(const DecodedProgram& prog, const KernelIR& ir, const LaunchDims& dims,
+               const KernelArgs& args, AddressSpace& global, const MemAccessHook* hook,
+               const Interpreter::Options& options, ExecArena& arena,
+               DynamicProfile& chunk_profile, ChunkRange range) {
+  for (std::uint64_t lin = range.first; lin < range.last; ++lin) {
+    const auto bx = static_cast<std::uint32_t>(lin % dims.grid_x);
+    const auto by = static_cast<std::uint32_t>(lin / dims.grid_x);
+    run_decoded_block(prog, ir, dims, args, global, hook, options.max_instrs_per_thread,
+                      options.strict_barriers, arena, chunk_profile, bx, by);
   }
+}
 
- private:
-  void enter_block(ThreadState& t, std::size_t block) {
-    SIGVP_ASSERT(block < ir_.blocks.size(), "branch to nonexistent block");
-    t.pc_block = block;
-    t.pc_instr = 0;
-    ++profile_.block_visits[block];
+/// Derives every λ-reconstructible counter of `profile` from its merged
+/// block_visits and the decoded per-block static summaries. By the
+/// interpreter's documented contract (profile.hpp) these equal what
+/// per-instruction counting would have produced, so the post-pass replaces
+/// hundreds of millions of hot-loop increments with one pass over blocks.
+void finalize_from_visits(const DecodedProgram& prog, DynamicProfile& profile) {
+  for (std::size_t b = 0; b < prog.blocks.size(); ++b) {
+    const auto& db = prog.blocks[b];
+    const std::uint64_t lambda = profile.block_visits[b];
+    if (lambda == 0) continue;
+    profile.instr_counts += db.mu.scaled(lambda);
+    profile.sfu_instrs += lambda * db.sfu_instrs;
+    profile.sqrt_instrs += lambda * db.sqrt_instrs;
+    profile.global_load_bytes += lambda * db.global_load_bytes;
+    profile.global_store_bytes += lambda * db.global_store_bytes;
   }
-
-  std::uint64_t special_value(const ThreadState& t, const BlockContext& cta,
-                              SpecialReg sr) const {
-    switch (sr) {
-      case SpecialReg::kTidX: return t.tid_x;
-      case SpecialReg::kTidY: return t.tid_y;
-      case SpecialReg::kCtaidX: return cta.ctaid_x;
-      case SpecialReg::kCtaidY: return cta.ctaid_y;
-      case SpecialReg::kNtidX: return dims_.block_x;
-      case SpecialReg::kNtidY: return dims_.block_y;
-      case SpecialReg::kNctaidX: return dims_.grid_x;
-      case SpecialReg::kNctaidY: return dims_.grid_y;
-    }
-    return 0;
-  }
-
-  void shared_check(const BlockContext& cta, std::uint64_t addr, std::size_t n) const {
-    SIGVP_REQUIRE(addr + n <= cta.shared.size() && addr + n >= addr,
-                  ir_.name + ": shared-memory access out of bounds");
-  }
-
-  template <typename T>
-  T shared_read(const BlockContext& cta, std::uint64_t addr) const {
-    shared_check(cta, addr, sizeof(T));
-    T out;
-    std::memcpy(&out, cta.shared.data() + addr, sizeof(T));
-    return out;
-  }
-
-  template <typename T>
-  void shared_write(BlockContext& cta, std::uint64_t addr, T value) {
-    shared_check(cta, addr, sizeof(T));
-    std::memcpy(cta.shared.data() + addr, &value, sizeof(T));
-  }
-
-  void note_global(std::uint64_t addr, std::uint32_t bytes, bool is_store) {
-    if (is_store) {
-      profile_.global_store_bytes += bytes;
-    } else {
-      profile_.global_load_bytes += bytes;
-    }
-    if (options_.mem_hook) options_.mem_hook(addr, bytes, is_store);
-  }
-
-  /// Runs `t` until it retires or parks at a barrier.
-  void run_thread(ThreadState& t, BlockContext& cta) {
-    while (!t.done && !t.at_barrier) {
-      const BasicBlock& blk = ir_.blocks[t.pc_block];
-      SIGVP_ASSERT(t.pc_instr < blk.instrs.size(), "pc ran past the end of a block");
-      const Instr& in = blk.instrs[t.pc_instr];
-      step(t, cta, in);
-    }
-  }
-
-  void step(ThreadState& t, BlockContext& cta, const Instr& in) {
-    if (in.op != Opcode::kNop) {
-      profile_.instr_counts[instr_class(in.op)] += 1;
-      if (is_sfu_op(in.op)) {
-        if (is_sqrt_op(in.op)) {
-          ++profile_.sqrt_instrs;
-        } else {
-          ++profile_.sfu_instrs;
-        }
-      }
-    }
-    ++t.instrs_executed;
-    SIGVP_REQUIRE(t.instrs_executed <= options_.max_instrs_per_thread,
-                  ir_.name + ": per-thread instruction budget exhausted");
-
-    auto& r = t.regs;
-    auto advance = [&] { ++t.pc_instr; };
-    auto gaddr = [&] { return r[in.src0].bits + static_cast<std::uint64_t>(in.imm); };
-
-    switch (in.op) {
-      case Opcode::kNop: advance(); break;
-      case Opcode::kMovImmI: r[in.dst].set_i(in.imm); advance(); break;
-      case Opcode::kMovImmF32: r[in.dst].set_f32(static_cast<float>(in.fimm)); advance(); break;
-      case Opcode::kMovImmF64: r[in.dst].set_f64(in.fimm); advance(); break;
-      case Opcode::kMov: r[in.dst] = r[in.src0]; advance(); break;
-      case Opcode::kReadSpecial:
-        r[in.dst].bits = special_value(t, cta, static_cast<SpecialReg>(in.imm));
-        advance();
-        break;
-      case Opcode::kLdParam:
-        SIGVP_REQUIRE(static_cast<std::size_t>(in.imm) < args_.values.size(),
-                      ir_.name + ": kernel launched with too few arguments");
-        r[in.dst].bits = args_.values[static_cast<std::size_t>(in.imm)];
-        advance();
-        break;
-      case Opcode::kSelect:
-        r[in.dst] = r[in.src0].truthy() ? r[in.src1] : r[in.src2];
-        advance();
-        break;
-
-      // --- integer ---------------------------------------------------------
-      case Opcode::kAddI: r[in.dst].set_i(r[in.src0].i() + r[in.src1].i()); advance(); break;
-      case Opcode::kSubI: r[in.dst].set_i(r[in.src0].i() - r[in.src1].i()); advance(); break;
-      case Opcode::kMulI: r[in.dst].set_i(r[in.src0].i() * r[in.src1].i()); advance(); break;
-      case Opcode::kDivI:
-        SIGVP_REQUIRE(r[in.src1].i() != 0, ir_.name + ": integer division by zero");
-        r[in.dst].set_i(r[in.src0].i() / r[in.src1].i());
-        advance();
-        break;
-      case Opcode::kRemI:
-        SIGVP_REQUIRE(r[in.src1].i() != 0, ir_.name + ": integer remainder by zero");
-        r[in.dst].set_i(r[in.src0].i() % r[in.src1].i());
-        advance();
-        break;
-      case Opcode::kMinI: r[in.dst].set_i(std::min(r[in.src0].i(), r[in.src1].i())); advance(); break;
-      case Opcode::kMaxI: r[in.dst].set_i(std::max(r[in.src0].i(), r[in.src1].i())); advance(); break;
-      case Opcode::kNegI: r[in.dst].set_i(-r[in.src0].i()); advance(); break;
-      case Opcode::kAbsI: r[in.dst].set_i(std::abs(r[in.src0].i())); advance(); break;
-      case Opcode::kSetLtI: r[in.dst].set_i(r[in.src0].i() < r[in.src1].i()); advance(); break;
-      case Opcode::kSetLeI: r[in.dst].set_i(r[in.src0].i() <= r[in.src1].i()); advance(); break;
-      case Opcode::kSetEqI: r[in.dst].set_i(r[in.src0].i() == r[in.src1].i()); advance(); break;
-      case Opcode::kSetNeI: r[in.dst].set_i(r[in.src0].i() != r[in.src1].i()); advance(); break;
-      case Opcode::kSetGtI: r[in.dst].set_i(r[in.src0].i() > r[in.src1].i()); advance(); break;
-      case Opcode::kSetGeI: r[in.dst].set_i(r[in.src0].i() >= r[in.src1].i()); advance(); break;
-      case Opcode::kCvtF32ToI: r[in.dst].set_i(static_cast<std::int64_t>(r[in.src0].f32())); advance(); break;
-      case Opcode::kCvtF64ToI: r[in.dst].set_i(static_cast<std::int64_t>(r[in.src0].f64())); advance(); break;
-
-      // --- bit -------------------------------------------------------------
-      case Opcode::kAndB: r[in.dst].bits = r[in.src0].bits & r[in.src1].bits; advance(); break;
-      case Opcode::kOrB: r[in.dst].bits = r[in.src0].bits | r[in.src1].bits; advance(); break;
-      case Opcode::kXorB: r[in.dst].bits = r[in.src0].bits ^ r[in.src1].bits; advance(); break;
-      case Opcode::kNotB: r[in.dst].bits = ~r[in.src0].bits; advance(); break;
-      case Opcode::kShlB: r[in.dst].bits = r[in.src0].bits << (r[in.src1].bits & 63); advance(); break;
-      case Opcode::kShrB: r[in.dst].bits = r[in.src0].bits >> (r[in.src1].bits & 63); advance(); break;
-      case Opcode::kShrA: r[in.dst].set_i(r[in.src0].i() >> (r[in.src1].bits & 63)); advance(); break;
-
-      // --- fp32 --------------------------------------------------------------
-      case Opcode::kAddF32: r[in.dst].set_f32(r[in.src0].f32() + r[in.src1].f32()); advance(); break;
-      case Opcode::kSubF32: r[in.dst].set_f32(r[in.src0].f32() - r[in.src1].f32()); advance(); break;
-      case Opcode::kMulF32: r[in.dst].set_f32(r[in.src0].f32() * r[in.src1].f32()); advance(); break;
-      case Opcode::kDivF32: r[in.dst].set_f32(r[in.src0].f32() / r[in.src1].f32()); advance(); break;
-      case Opcode::kFmaF32:
-        r[in.dst].set_f32(std::fma(r[in.src0].f32(), r[in.src1].f32(), r[in.src2].f32()));
-        advance();
-        break;
-      case Opcode::kSqrtF32: r[in.dst].set_f32(std::sqrt(r[in.src0].f32())); advance(); break;
-      case Opcode::kRsqrtF32: r[in.dst].set_f32(1.0f / std::sqrt(r[in.src0].f32())); advance(); break;
-      case Opcode::kExpF32: r[in.dst].set_f32(std::exp(r[in.src0].f32())); advance(); break;
-      case Opcode::kLogF32: r[in.dst].set_f32(std::log(r[in.src0].f32())); advance(); break;
-      case Opcode::kSinF32: r[in.dst].set_f32(std::sin(r[in.src0].f32())); advance(); break;
-      case Opcode::kCosF32: r[in.dst].set_f32(std::cos(r[in.src0].f32())); advance(); break;
-      case Opcode::kMinF32: r[in.dst].set_f32(std::fmin(r[in.src0].f32(), r[in.src1].f32())); advance(); break;
-      case Opcode::kMaxF32: r[in.dst].set_f32(std::fmax(r[in.src0].f32(), r[in.src1].f32())); advance(); break;
-      case Opcode::kAbsF32: r[in.dst].set_f32(std::fabs(r[in.src0].f32())); advance(); break;
-      case Opcode::kNegF32: r[in.dst].set_f32(-r[in.src0].f32()); advance(); break;
-      case Opcode::kFloorF32: r[in.dst].set_f32(std::floor(r[in.src0].f32())); advance(); break;
-      case Opcode::kSetLtF32: r[in.dst].set_i(r[in.src0].f32() < r[in.src1].f32()); advance(); break;
-      case Opcode::kSetLeF32: r[in.dst].set_i(r[in.src0].f32() <= r[in.src1].f32()); advance(); break;
-      case Opcode::kSetEqF32: r[in.dst].set_i(r[in.src0].f32() == r[in.src1].f32()); advance(); break;
-      case Opcode::kSetGtF32: r[in.dst].set_i(r[in.src0].f32() > r[in.src1].f32()); advance(); break;
-      case Opcode::kSetGeF32: r[in.dst].set_i(r[in.src0].f32() >= r[in.src1].f32()); advance(); break;
-      case Opcode::kCvtIToF32: r[in.dst].set_f32(static_cast<float>(r[in.src0].i())); advance(); break;
-      case Opcode::kCvtF64ToF32: r[in.dst].set_f32(static_cast<float>(r[in.src0].f64())); advance(); break;
-
-      // --- fp64 --------------------------------------------------------------
-      case Opcode::kAddF64: r[in.dst].set_f64(r[in.src0].f64() + r[in.src1].f64()); advance(); break;
-      case Opcode::kSubF64: r[in.dst].set_f64(r[in.src0].f64() - r[in.src1].f64()); advance(); break;
-      case Opcode::kMulF64: r[in.dst].set_f64(r[in.src0].f64() * r[in.src1].f64()); advance(); break;
-      case Opcode::kDivF64: r[in.dst].set_f64(r[in.src0].f64() / r[in.src1].f64()); advance(); break;
-      case Opcode::kFmaF64:
-        r[in.dst].set_f64(std::fma(r[in.src0].f64(), r[in.src1].f64(), r[in.src2].f64()));
-        advance();
-        break;
-      case Opcode::kSqrtF64: r[in.dst].set_f64(std::sqrt(r[in.src0].f64())); advance(); break;
-      case Opcode::kExpF64: r[in.dst].set_f64(std::exp(r[in.src0].f64())); advance(); break;
-      case Opcode::kLogF64: r[in.dst].set_f64(std::log(r[in.src0].f64())); advance(); break;
-      case Opcode::kSinF64: r[in.dst].set_f64(std::sin(r[in.src0].f64())); advance(); break;
-      case Opcode::kCosF64: r[in.dst].set_f64(std::cos(r[in.src0].f64())); advance(); break;
-      case Opcode::kMinF64: r[in.dst].set_f64(std::fmin(r[in.src0].f64(), r[in.src1].f64())); advance(); break;
-      case Opcode::kMaxF64: r[in.dst].set_f64(std::fmax(r[in.src0].f64(), r[in.src1].f64())); advance(); break;
-      case Opcode::kAbsF64: r[in.dst].set_f64(std::fabs(r[in.src0].f64())); advance(); break;
-      case Opcode::kNegF64: r[in.dst].set_f64(-r[in.src0].f64()); advance(); break;
-      case Opcode::kFloorF64: r[in.dst].set_f64(std::floor(r[in.src0].f64())); advance(); break;
-      case Opcode::kSetLtF64: r[in.dst].set_i(r[in.src0].f64() < r[in.src1].f64()); advance(); break;
-      case Opcode::kSetLeF64: r[in.dst].set_i(r[in.src0].f64() <= r[in.src1].f64()); advance(); break;
-      case Opcode::kSetEqF64: r[in.dst].set_i(r[in.src0].f64() == r[in.src1].f64()); advance(); break;
-      case Opcode::kSetGtF64: r[in.dst].set_i(r[in.src0].f64() > r[in.src1].f64()); advance(); break;
-      case Opcode::kSetGeF64: r[in.dst].set_i(r[in.src0].f64() >= r[in.src1].f64()); advance(); break;
-      case Opcode::kCvtIToF64: r[in.dst].set_f64(static_cast<double>(r[in.src0].i())); advance(); break;
-      case Opcode::kCvtF32ToF64: r[in.dst].set_f64(static_cast<double>(r[in.src0].f32())); advance(); break;
-
-      // --- control flow ------------------------------------------------------
-      case Opcode::kJmp:
-        enter_block(t, static_cast<std::size_t>(in.imm));
-        break;
-      case Opcode::kBraZ:
-        if (!r[in.src0].truthy()) {
-          enter_block(t, static_cast<std::size_t>(in.imm));
-        } else {
-          enter_block(t, t.pc_block + 1);
-        }
-        break;
-      case Opcode::kBraNZ:
-        if (r[in.src0].truthy()) {
-          enter_block(t, static_cast<std::size_t>(in.imm));
-        } else {
-          enter_block(t, t.pc_block + 1);
-        }
-        break;
-      case Opcode::kRet:
-        t.done = true;
-        break;
-      case Opcode::kBar:
-        t.at_barrier = true;
-        advance();
-        break;
-
-      // --- global memory -----------------------------------------------------
-      case Opcode::kLdGlobalF32:
-        note_global(gaddr(), 4, false);
-        r[in.dst].set_f32(global_.read<float>(gaddr()));
-        advance();
-        break;
-      case Opcode::kLdGlobalF64:
-        note_global(gaddr(), 8, false);
-        r[in.dst].set_f64(global_.read<double>(gaddr()));
-        advance();
-        break;
-      case Opcode::kLdGlobalI32:
-        note_global(gaddr(), 4, false);
-        r[in.dst].set_i(global_.read<std::int32_t>(gaddr()));
-        advance();
-        break;
-      case Opcode::kLdGlobalI64:
-        note_global(gaddr(), 8, false);
-        r[in.dst].set_i(global_.read<std::int64_t>(gaddr()));
-        advance();
-        break;
-      case Opcode::kLdGlobalU8:
-        note_global(gaddr(), 1, false);
-        r[in.dst].bits = global_.read<std::uint8_t>(gaddr());
-        advance();
-        break;
-      case Opcode::kStGlobalF32:
-        note_global(gaddr(), 4, true);
-        global_.write<float>(gaddr(), r[in.src1].f32());
-        advance();
-        break;
-      case Opcode::kStGlobalF64:
-        note_global(gaddr(), 8, true);
-        global_.write<double>(gaddr(), r[in.src1].f64());
-        advance();
-        break;
-      case Opcode::kStGlobalI32:
-        note_global(gaddr(), 4, true);
-        global_.write<std::int32_t>(gaddr(), static_cast<std::int32_t>(r[in.src1].i()));
-        advance();
-        break;
-      case Opcode::kStGlobalI64:
-        note_global(gaddr(), 8, true);
-        global_.write<std::int64_t>(gaddr(), r[in.src1].i());
-        advance();
-        break;
-      case Opcode::kStGlobalU8:
-        note_global(gaddr(), 1, true);
-        global_.write<std::uint8_t>(gaddr(), static_cast<std::uint8_t>(r[in.src1].bits));
-        advance();
-        break;
-      case Opcode::kAtomAddGlobalI64: {
-        note_global(gaddr(), 8, true);
-        const std::int64_t old = global_.read<std::int64_t>(gaddr());
-        global_.write<std::int64_t>(gaddr(), old + r[in.src1].i());
-        r[in.dst].set_i(old);
-        advance();
-        break;
-      }
-      case Opcode::kAtomAddGlobalF32: {
-        note_global(gaddr(), 4, true);
-        const float old = global_.read<float>(gaddr());
-        global_.write<float>(gaddr(), old + r[in.src1].f32());
-        r[in.dst].set_f32(old);
-        advance();
-        break;
-      }
-
-      // --- shared memory -----------------------------------------------------
-      case Opcode::kLdSharedF32: r[in.dst].set_f32(shared_read<float>(cta, gaddr())); advance(); break;
-      case Opcode::kLdSharedF64: r[in.dst].set_f64(shared_read<double>(cta, gaddr())); advance(); break;
-      case Opcode::kLdSharedI64: r[in.dst].set_i(shared_read<std::int64_t>(cta, gaddr())); advance(); break;
-      case Opcode::kStSharedF32: shared_write<float>(cta, gaddr(), r[in.src1].f32()); advance(); break;
-      case Opcode::kStSharedF64: shared_write<double>(cta, gaddr(), r[in.src1].f64()); advance(); break;
-      case Opcode::kStSharedI64: shared_write<std::int64_t>(cta, gaddr(), r[in.src1].i()); advance(); break;
-    }
-  }
-
-  const KernelIR& ir_;
-  const LaunchDims& dims_;
-  const KernelArgs& args_;
-  AddressSpace& global_;
-  const Interpreter::Options& options_;
-  DynamicProfile& profile_;
-};
+}
 
 }  // namespace
+
+std::size_t Interpreter::canonical_chunks(const LaunchDims& dims) {
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(dims.num_blocks(), kMaxChunks));
+}
+
+bool Interpreter::uses_global_atomics(const KernelIR& ir) {
+  for (const BasicBlock& b : ir.blocks) {
+    for (const Instr& in : b.instrs) {
+      if (in.op == Opcode::kAtomAddGlobalI64 || in.op == Opcode::kAtomAddGlobalF32) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
 
 DynamicProfile Interpreter::run(const KernelIR& ir, const LaunchDims& dims,
                                 const KernelArgs& args, AddressSpace& global,
@@ -396,16 +115,93 @@ DynamicProfile Interpreter::run(const KernelIR& ir, const LaunchDims& dims,
                 "launch dimensions must be positive");
   SIGVP_REQUIRE(args.values.size() >= ir.num_params,
                 ir.name + ": launch provides fewer arguments than the kernel declares");
+  SIGVP_REQUIRE(!(options.mem_hook && options.shard_hook),
+                ir.name + ": mem_hook and shard_hook are mutually exclusive");
+
+  const std::shared_ptr<const DecodedProgram> prog = DecodedCache::instance().get(ir);
 
   DynamicProfile profile;
   profile.block_visits.assign(ir.blocks.size(), 0);
 
-  Machine machine(ir, dims, args, global, options, profile);
-  for (std::uint32_t by = 0; by < dims.grid_y; ++by) {
-    for (std::uint32_t bx = 0; bx < dims.grid_x; ++bx) {
-      machine.run_block(bx, by);
+  const std::uint64_t num_blocks = dims.num_blocks();
+  const std::size_t chunks = canonical_chunks(dims);
+
+  // Resolve the worker budget. The legacy mem_hook observes accesses in
+  // global serial order, and global atomics make cross-chunk memory order
+  // observable — both force serial chunk execution (which reproduces the
+  // old row-major serial semantics exactly).
+  std::size_t workers = run::inner_parallel_workers(options.workers);
+  if (options.mem_hook || prog->has_global_atomics) workers = 1;
+  workers = std::min(workers, chunks);
+
+  if (workers <= 1) {
+    // Serial path: chunks in canonical order on the calling thread. Shard
+    // hooks still see per-chunk streams so results match the parallel path.
+    ExecArena arena;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      MemAccessHook shard;
+      const MemAccessHook* hook = nullptr;
+      if (options.shard_hook) {
+        shard = options.shard_hook(c);
+        if (shard) hook = &shard;
+      } else if (options.mem_hook) {
+        hook = &options.mem_hook;
+      }
+      run_chunk(*prog, ir, dims, args, global, hook, options, arena, profile,
+                chunk_range(num_blocks, chunks, c));
     }
+    finalize_from_visits(*prog, profile);
+    return profile;
   }
+
+  // Parallel path: `workers` runner tasks pull chunk indices from a shared
+  // counter. Each chunk accumulates into a private profile (and optional
+  // private shard hook); merges happen below in canonical chunk order.
+  std::vector<DynamicProfile> chunk_profiles(chunks);
+  for (DynamicProfile& p : chunk_profiles) p.block_visits.assign(ir.blocks.size(), 0);
+  std::vector<std::exception_ptr> chunk_errors(chunks);
+  std::atomic<std::size_t> next_chunk{0};
+  std::atomic<bool> failed{false};
+
+  run::ThreadPool& pool = interp_pool();
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.submit([&] {
+      ExecArena arena;  // reused across every chunk this runner executes
+      for (;;) {
+        const std::size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+        if (c >= chunks || failed.load(std::memory_order_relaxed)) return;
+        try {
+          MemAccessHook shard;
+          const MemAccessHook* hook = nullptr;
+          if (options.shard_hook) {
+            shard = options.shard_hook(c);
+            if (shard) hook = &shard;
+          }
+          run_chunk(*prog, ir, dims, args, global, hook, options, arena,
+                    chunk_profiles[c], chunk_range(num_blocks, chunks, c));
+        } catch (...) {
+          chunk_errors[c] = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  pool.wait_idle();
+
+  // Deterministic error reporting: the lowest-numbered failing chunk wins,
+  // independent of which worker hit it first.
+  for (const std::exception_ptr& e : chunk_errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const DynamicProfile& p = chunk_profiles[c];
+    for (std::size_t b = 0; b < profile.block_visits.size(); ++b) {
+      profile.block_visits[b] += p.block_visits[b];
+    }
+    profile.barriers_waited += p.barriers_waited;
+  }
+  finalize_from_visits(*prog, profile);
   return profile;
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <bit>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 
@@ -36,9 +37,19 @@ using MemAccessHook =
 
 /// Functional executor for KernelIR programs.
 ///
-/// Semantics:
-///  - thread blocks run in row-major grid order, threads in row-major block
-///    order, so every run is deterministic (atomics included);
+/// Semantics (identical for every worker count — see the determinism
+/// contract in DESIGN.md):
+///  - the grid is partitioned into `canonical_chunks(dims)` contiguous
+///    row-major chunks whose boundaries depend only on the grid, never on
+///    the worker count; chunks execute concurrently, blocks within a chunk
+///    serially in row-major order, threads in row-major block order;
+///  - per-chunk profiles are merged in canonical chunk order and the
+///    per-class/byte counters are reconstructed from λ·µ, so the returned
+///    DynamicProfile is bit-identical for any `Options::workers`;
+///  - kernels containing global atomics run their chunks serially in
+///    canonical order (floating-point accumulation order is part of the
+///    observable result), which degenerates to exactly the old serial
+///    row-major block order;
 ///  - `bar.sync` suspends a thread until every other non-retired thread of
 ///    the same block reaches a barrier (threads that already returned do not
 ///    participate, mirroring CUDA's exited-thread rule);
@@ -52,19 +63,54 @@ class Interpreter {
   struct Options {
     /// Abort threshold against runaway kernels (per-thread dynamic instrs).
     std::uint64_t max_instrs_per_thread = 100'000'000;
-    /// Optional observer for global-memory traffic (cache simulation).
+
+    /// Legacy observer for global-memory traffic. Order-sensitive: setting
+    /// it forces fully serial execution so accesses arrive in the exact
+    /// historical order (row-major blocks, row-major threads). Mutually
+    /// exclusive with `shard_hook`.
     MemAccessHook mem_hook;
+
+    /// Parallel-friendly observer factory: called once per canonical chunk
+    /// (`shard_hook(chunk)`), and the returned hook sees that chunk's
+    /// accesses in deterministic intra-chunk order. Chunks run concurrently,
+    /// so the factory and the hooks it returns must be safe to invoke from
+    /// different threads for *different* chunks. The GPU cost model uses
+    /// this for per-chunk cold L2 shards merged in chunk order.
+    std::function<MemAccessHook(std::size_t chunk)> shard_hook;
+
+    /// Worker threads for grid-level parallelism. 0 = automatic: the host
+    /// default, collapsed to 1 inside an outer ThreadPool worker (nested
+    /// sweeps stay serial). 1 = serial. Any value yields bit-identical
+    /// results; only wall-clock changes.
+    std::size_t workers = 0;
+
+    /// Diagnose divergent-exit barriers: when a barrier releases while some
+    /// threads of the block already retired, throw a ContractError naming
+    /// the kernel and block instead of releasing silently.
+    bool strict_barriers = false;
   };
 
   /// Executes `ir` over `global` memory and returns the dynamic profile.
   /// Throws ContractError on invalid launches, out-of-bounds accesses,
-  /// integer division by zero, or budget exhaustion.
+  /// integer division by zero, or budget exhaustion; with several failing
+  /// chunks the error of the lowest-numbered chunk wins, so error reporting
+  /// is deterministic too.
   DynamicProfile run(const KernelIR& ir, const LaunchDims& dims, const KernelArgs& args,
                      AddressSpace& global, const Options& options);
   DynamicProfile run(const KernelIR& ir, const LaunchDims& dims, const KernelArgs& args,
                      AddressSpace& global) {
     return run(ir, dims, args, global, Options{});
   }
+
+  /// Number of canonical chunks the grid of `dims` is partitioned into:
+  /// `min(num_blocks, 64)` contiguous row-major ranges. Depends only on the
+  /// launch geometry — this is what makes per-chunk cache shards and profile
+  /// merges independent of the worker count.
+  static std::size_t canonical_chunks(const LaunchDims& dims);
+
+  /// True when `ir` contains a global atomic (kAtomAddGlobal*); such
+  /// kernels execute their chunks serially in canonical order.
+  static bool uses_global_atomics(const KernelIR& ir);
 };
 
 }  // namespace sigvp

@@ -10,7 +10,29 @@ namespace sigvp::run {
 
 namespace {
 
-std::string json_escape(const std::string& s) {
+std::string json_escape(const std::string& s) { return json::escape(s); }
+
+void append_number(std::ostringstream& os, double v) { os << json::number(v); }
+
+void append_summary(std::ostringstream& os, const SampleSummary& s) {
+  os << "{\"count\": " << s.count << ", \"min_us\": ";
+  append_number(os, s.min);
+  os << ", \"mean_us\": ";
+  append_number(os, s.mean);
+  os << ", \"p50_us\": ";
+  append_number(os, s.p50);
+  os << ", \"p95_us\": ";
+  append_number(os, s.p95);
+  os << ", \"max_us\": ";
+  append_number(os, s.max);
+  os << "}";
+}
+
+}  // namespace
+
+namespace json {
+
+std::string escape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 2);
   for (char c : s) {
@@ -34,31 +56,21 @@ std::string json_escape(const std::string& s) {
 
 /// Shortest round-trippable representation; JSON has no NaN/Inf, so encode
 /// them as null (no simulated quantity should produce them).
-void append_number(std::ostringstream& os, double v) {
-  if (v != v || v == 1.0 / 0.0 || v == -1.0 / 0.0) {
-    os << "null";
-    return;
-  }
+std::string number(double v) {
+  if (v != v || v == 1.0 / 0.0 || v == -1.0 / 0.0) return "null";
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
-  os << buf;
+  return buf;
 }
 
-void append_summary(std::ostringstream& os, const SampleSummary& s) {
-  os << "{\"count\": " << s.count << ", \"min_us\": ";
-  append_number(os, s.min);
-  os << ", \"mean_us\": ";
-  append_number(os, s.mean);
-  os << ", \"p50_us\": ";
-  append_number(os, s.p50);
-  os << ", \"p95_us\": ";
-  append_number(os, s.p95);
-  os << ", \"max_us\": ";
-  append_number(os, s.max);
-  os << "}";
-}
+}  // namespace json
 
-}  // namespace
+void write_json_file(const std::string& text, const std::string& path) {
+  std::ofstream f(path);
+  SIGVP_REQUIRE(f.good(), "cannot open JSON results file: " + path);
+  f << text;
+  SIGVP_REQUIRE(f.good(), "failed writing JSON results file: " + path);
+}
 
 std::string sweep_to_json(const SweepResult& sweep, const std::string& bench_name) {
   std::ostringstream os;
@@ -127,10 +139,7 @@ std::string sweep_to_json(const SweepResult& sweep, const std::string& bench_nam
 
 void write_sweep_json(const SweepResult& sweep, const std::string& bench_name,
                       const std::string& path) {
-  std::ofstream f(path);
-  SIGVP_REQUIRE(f.good(), "cannot open JSON results file: " + path);
-  f << sweep_to_json(sweep, bench_name);
-  SIGVP_REQUIRE(f.good(), "failed writing JSON results file: " + path);
+  write_json_file(sweep_to_json(sweep, bench_name), path);
 }
 
 }  // namespace sigvp::run

@@ -30,4 +30,21 @@ std::string sweep_to_json(const SweepResult& sweep, const std::string& bench_nam
 void write_sweep_json(const SweepResult& sweep, const std::string& bench_name,
                       const std::string& path);
 
+/// Low-level JSON primitives shared by the sweep serializer and the
+/// non-sweep benches (e.g. `bench/interp_throughput`), so every BENCH_*.json
+/// goes through one escaping/number-formatting implementation.
+namespace json {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes excluded).
+std::string escape(const std::string& s);
+
+/// Shortest round-trippable decimal representation; NaN/Inf encode as null.
+std::string number(double v);
+
+}  // namespace json
+
+/// Writes an already-serialized JSON document to `path`, with the same
+/// error contract as `write_sweep_json`.
+void write_json_file(const std::string& text, const std::string& path);
+
 }  // namespace sigvp::run

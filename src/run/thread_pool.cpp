@@ -8,9 +8,16 @@
 
 namespace sigvp::run {
 
+namespace {
+// Set once at worker start; never reset (pool workers stay workers for life).
+thread_local bool tl_pool_worker = false;
+}  // namespace
+
 std::size_t ThreadPool::default_workers() {
   return std::max<std::size_t>(1, std::thread::hardware_concurrency());
 }
+
+bool ThreadPool::on_worker_thread() { return tl_pool_worker; }
 
 ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) workers = default_workers();
@@ -46,6 +53,7 @@ void ThreadPool::wait_idle() {
 }
 
 void ThreadPool::worker_loop() {
+  tl_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -81,6 +89,11 @@ void parallel_for(ThreadPool& pool, std::size_t count,
   for (const std::exception_ptr& e : errors) {
     if (e) std::rethrow_exception(e);
   }
+}
+
+std::size_t inner_parallel_workers(std::size_t requested) {
+  if (ThreadPool::on_worker_thread()) return 1;
+  return requested == 0 ? ThreadPool::default_workers() : requested;
 }
 
 }  // namespace sigvp::run

@@ -39,6 +39,11 @@ class ThreadPool {
   /// Host hardware concurrency, never less than 1.
   static std::size_t default_workers();
 
+  /// True when the calling thread is a worker of *any* ThreadPool. Nested
+  /// parallel regions (e.g. the block-parallel kernel interpreter running
+  /// inside a SweepRunner job) use this to avoid oversubscribing the host.
+  static bool on_worker_thread();
+
  private:
   void worker_loop();
 
@@ -56,5 +61,14 @@ class ThreadPool {
 /// every task has finished, so no work is silently lost mid-sweep.
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& fn);
+
+/// Nested-parallelism budget: the worker count an *inner* parallel region
+/// should actually use when `requested` workers were asked for (0 = "pick
+/// for me"). On a pool worker thread the outer layer already owns the host
+/// cores, so the budget collapses to 1 (serial); on any other thread it
+/// resolves 0 to `ThreadPool::default_workers()` and passes explicit
+/// requests through. This is what keeps sweep × interpreter thread counts
+/// from multiplying.
+std::size_t inner_parallel_workers(std::size_t requested);
 
 }  // namespace sigvp::run
