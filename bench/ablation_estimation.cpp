@@ -11,9 +11,8 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "estimate/estimator.hpp"
-#include "gpu/offline.hpp"
-#include "mem/allocator.hpp"
 #include "run/sweep.hpp"
 #include "run/thread_pool.hpp"
 #include "util/stats.hpp"
@@ -23,20 +22,7 @@
 namespace sigvp {
 namespace {
 
-LaunchEvaluation run_on(const workloads::Workload& w, std::uint64_t n, const GpuArch& arch) {
-  AddressSpace mem(512ull * 1024 * 1024, "m");
-  FreeListAllocator alloc(4096, mem.size() - 4096);
-  std::vector<std::uint64_t> addrs;
-  const auto bufs = w.buffers(n);
-  for (const auto& b : bufs) addrs.push_back(*alloc.allocate(b.bytes));
-  for (std::size_t i = 0; i < bufs.size(); ++i) {
-    if (!bufs[i].is_input) continue;
-    for (std::uint64_t off = 0; off + 4 <= bufs[i].bytes; off += 4) {
-      mem.write<float>(addrs[i] + off, 0.75f);
-    }
-  }
-  return evaluate_functional(arch, w.kernel, w.dims(n), w.args(addrs, n), mem);
-}
+using bench::evaluate_workload_on;
 
 struct Row {
   double c_ratio = 0.0;
@@ -65,8 +51,8 @@ int main(int argc, char** argv) {
     run::parallel_for(pool, suite.size(), [&](std::size_t idx) {
       const workloads::Workload& w = suite[idx];
       const std::uint64_t n = w.estimate_n ? w.estimate_n : w.test_n;
-      const LaunchEvaluation on_host = run_on(w, n, host);
-      const LaunchEvaluation on_target = run_on(w, n, target);
+      const LaunchEvaluation on_host = evaluate_workload_on(w, n, host);
+      const LaunchEvaluation on_target = evaluate_workload_on(w, n, target);
 
       ProfileBasedEstimator est(host, target);
       EstimationInput in;

@@ -1,0 +1,40 @@
+#pragma once
+
+// Shared helpers for the estimation-shaped benches (ablation_estimation,
+// fig12_timing, fig13_power): one definition of "functionally evaluate a
+// suite workload on an architecture" so the three tables are guaranteed to
+// price identical executions.
+
+#include <vector>
+
+#include "gpu/offline.hpp"
+#include "mem/allocator.hpp"
+#include "workloads/suite.hpp"
+
+namespace sigvp::bench {
+
+/// Allocates the workload's buffers in a fresh 512 MB address space, fills
+/// every input buffer with the suite's canonical 0.75f pattern, and prices
+/// one functional execution of the kernel at size `n` on `arch`.
+///
+/// Deliberately calls the plain evaluate_functional (not the launch cache):
+/// these benches measure interpretation + estimation cost itself, and their
+/// numbers must not depend on what some earlier bench left in a
+/// process-wide cache.
+inline LaunchEvaluation evaluate_workload_on(const workloads::Workload& w, std::uint64_t n,
+                                             const GpuArch& arch) {
+  AddressSpace mem(512ull * 1024 * 1024, "m");
+  FreeListAllocator alloc(4096, mem.size() - 4096);
+  std::vector<std::uint64_t> addrs;
+  const auto bufs = w.buffers(n);
+  for (const auto& b : bufs) addrs.push_back(*alloc.allocate(b.bytes));
+  for (std::size_t i = 0; i < bufs.size(); ++i) {
+    if (!bufs[i].is_input) continue;
+    for (std::uint64_t off = 0; off + 4 <= bufs[i].bytes; off += 4) {
+      mem.write<float>(addrs[i] + off, 0.75f);
+    }
+  }
+  return evaluate_functional(arch, w.kernel, w.dims(n), w.args(addrs, n), mem);
+}
+
+}  // namespace sigvp::bench

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "gpu/launch_cache.hpp"
+
 #include "util/check.hpp"
 #include "util/log.hpp"
 
@@ -159,8 +161,15 @@ SimTime GpuDevice::launch(StreamId stream, const LaunchRequest& request, KernelC
 
   KernelExecStats stats;
   if (request.mode == ExecMode::kFunctional) {
-    LaunchEvaluation eval =
-        evaluate_functional(arch_, *request.kernel, request.dims, request.args, memory_);
+    // Functional launches go through the process-wide launch cache: an
+    // identical (kernel, dims, args, input bytes) launch from another VP,
+    // iteration, or sweep job replays the recorded write-set instead of
+    // re-interpreting. Under an active fault plan the cache is bypassed —
+    // injected hangs and resets must observe real executions.
+    const LaunchCache::Bypass bypass =
+        fault_tracking() ? LaunchCache::Bypass::kFault : LaunchCache::Bypass::kNone;
+    LaunchEvaluation eval = LaunchCache::instance().evaluate(
+        arch_, *request.kernel, request.dims, request.args, memory_, bypass);
     stats = eval.stats;
   } else {
     stats = evaluate_analytic(arch_, *request.kernel, request.dims, request.analytic_profile,

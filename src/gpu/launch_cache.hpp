@@ -1,0 +1,170 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "gpu/arch.hpp"
+#include "gpu/offline.hpp"
+#include "interp/launch.hpp"
+#include "ir/program.hpp"
+#include "mem/address_space.hpp"
+
+namespace sigvp {
+
+/// Monotonic counters of the process-wide launch cache. `snapshot()` deltas
+/// are what the sweep runner folds into the BENCH JSON `cache` block.
+struct LaunchCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t bypasses = 0;
+  std::uint64_t bytes_replayed = 0;  // write-set bytes applied on hits
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;  // current resident entries
+  std::uint64_t bytes = 0;    // current resident write-set bytes
+
+  LaunchCacheStats operator-(const LaunchCacheStats& base) const {
+    LaunchCacheStats d;
+    d.hits = hits - base.hits;
+    d.misses = misses - base.misses;
+    d.bypasses = bypasses - base.bypasses;
+    d.bytes_replayed = bytes_replayed - base.bytes_replayed;
+    d.evictions = evictions - base.evictions;
+    d.entries = entries;  // resident counts are levels, not deltas
+    d.bytes = bytes;
+    return d;
+  }
+};
+
+/// Process-wide content-addressed memoization of functional kernel launches.
+///
+/// The fleet premise of the paper (ΣVP coalesces launches precisely because
+/// VPs run *identical* kernels) means an N-VP scenario interprets the same
+/// (kernel, dims, args, input bytes) N times. This cache executes it once,
+/// records the complete outcome — KernelExecStats, DynamicProfile, and the
+/// write-set (address ranges + bytes) captured by the interpreter's
+/// capture_hook — and replays the memory effects into the caller's
+/// AddressSpace on every subsequent identical launch.
+///
+/// Key derivation (see DESIGN.md §11):
+///   base key  = mix(arch fingerprint, kernel structural fingerprint
+///               via interp_detail::kernel_fingerprint, launch dims,
+///               raw argument bits)
+///   input hash = chained hash of the *pre-launch* bytes of every memory
+///               range the launch read (reconstructed on the fill path from
+///               an undo log, since reads interleave with writes)
+/// A lookup recomputes the input hash over the caller's current memory and
+/// only hits when it matches — so two launches with equal fingerprints/dims/
+/// args but different input bytes are distinct entries in one bucket.
+///
+/// Determinism contract: a hit is byte-identical in memory and bit-identical
+/// in stats/profile to recomputation for any interpreter worker count,
+/// because the interpreter itself guarantees worker-independent results and
+/// the write-set is captured from one such execution. The opt-in
+/// SIGVP_LAUNCH_CACHE_VERIFY=1 mode re-executes every hit against a copy of
+/// memory and throws ContractError on any divergence.
+///
+/// Bypass rules (never cached, never replayed):
+///  - kFault: the device has an active FaultPlan — fault rolls and
+///    injected hangs must see real executions;
+///  - kAtomics: kernels with global atomics (accumulation order is
+///    observable and their hook stream under-reports reads);
+///  - kHook: the caller installed its own access observer, which must see
+///    real traffic.
+///
+/// Capacity is bounded; eviction is strict global insertion order (FIFO by
+/// fill sequence, never clock- or recency-based), so the resident set after
+/// any fixed launch sequence is reproducible run-to-run.
+class LaunchCache {
+ public:
+  enum class Bypass {
+    kNone,
+    kFault,    // active fault plan on the device
+    kAtomics,  // kernel uses global atomics (detected internally)
+    kHook,     // caller-installed access observer
+  };
+
+  /// Per-chunk observer factory, same shape as Interpreter::Options hooks.
+  using ObserverFactory = std::function<MemAccessHook(std::size_t chunk)>;
+
+  /// Singleton; first use reads SIGVP_LAUNCH_CACHE ("0" disables) and
+  /// SIGVP_LAUNCH_CACHE_VERIFY ("1" enables recompute-and-diff on hits).
+  static LaunchCache& instance();
+
+  /// Evaluates one functional launch through the cache: lookup → replay on
+  /// hit, execute-with-capture → fill on miss, or plain execution when
+  /// disabled/bypassed. `bypass` carries the caller-known reason (kFault);
+  /// atomics are detected here, and a non-empty `observer` forces kHook
+  /// (the observer then sees the real execution's traffic).
+  LaunchEvaluation evaluate(const GpuArch& arch, const KernelIR& kernel,
+                            const LaunchDims& dims, const KernelArgs& args,
+                            AddressSpace& memory, Bypass bypass = Bypass::kNone,
+                            const ObserverFactory& observer = nullptr);
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+  bool verify() const { return verify_; }
+  void set_verify(bool on) { verify_ = on; }
+
+  /// Bounds the resident set; evicts oldest-inserted entries first until
+  /// both limits hold. Takes effect on the next fill.
+  void set_capacity(std::uint64_t max_entries, std::uint64_t max_bytes);
+
+  /// Drops every entry (stat counters keep accumulating).
+  void clear();
+
+  /// Monotonic counters + current residency, coherent snapshot.
+  LaunchCacheStats stats() const;
+
+ private:
+  struct Entry;
+  struct Shard;
+
+  LaunchCache();
+  ~LaunchCache();  // out-of-line: Shard/Entry are incomplete here
+  LaunchCache(const LaunchCache&) = delete;
+  LaunchCache& operator=(const LaunchCache&) = delete;
+
+  LaunchEvaluation execute_and_fill(const GpuArch& arch, const KernelIR& kernel,
+                                    const LaunchDims& dims, const KernelArgs& args,
+                                    AddressSpace& memory, std::uint64_t base_key);
+  void verify_hit(const Entry& entry, const GpuArch& arch, const KernelIR& kernel,
+                  const LaunchDims& dims, const KernelArgs& args,
+                  const AddressSpace& memory) const;
+  void insert(std::uint64_t base_key, std::shared_ptr<const Entry> entry);
+
+  static constexpr std::size_t kNumShards = 16;
+
+  std::vector<Shard> shards_;
+
+  /// Global FIFO of live entries in fill order, plus residency totals — one
+  /// queue (not per-shard) so eviction order is independent of how keys
+  /// hash across shards. Lock order: fifo_mutex_ before any shard mutex.
+  mutable std::mutex fifo_mutex_;
+  struct FifoRef {
+    std::uint64_t base_key = 0;
+    std::size_t shard = 0;
+    const Entry* entry = nullptr;  // identity only; shard owns the ref
+  };
+  std::vector<FifoRef> fifo_;
+  std::size_t fifo_head_ = 0;  // amortized pop-front
+  std::uint64_t resident_entries_ = 0;
+  std::uint64_t resident_bytes_ = 0;
+  std::uint64_t max_entries_;
+  std::uint64_t max_bytes_;
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> bypasses_{0};
+  std::atomic<std::uint64_t> bytes_replayed_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+
+  std::atomic<bool> enabled_{true};
+  std::atomic<bool> verify_{false};
+};
+
+}  // namespace sigvp

@@ -1,5 +1,6 @@
 #include "gpu/offline.hpp"
 
+#include <cmath>
 #include <vector>
 
 #include "gpu/cache.hpp"
@@ -10,6 +11,13 @@ namespace sigvp {
 LaunchEvaluation evaluate_functional(const GpuArch& arch, const KernelIR& kernel,
                                      const LaunchDims& dims, const KernelArgs& args,
                                      AddressSpace& memory) {
+  return evaluate_functional(arch, kernel, dims, args, memory, nullptr);
+}
+
+LaunchEvaluation evaluate_functional(
+    const GpuArch& arch, const KernelIR& kernel, const LaunchDims& dims,
+    const KernelArgs& args, AddressSpace& memory,
+    const std::function<MemAccessHook(std::size_t chunk)>& capture) {
   // One cold L2 shard per canonical interpreter chunk. The shard layout
   // depends only on the launch geometry, so the merged stats are identical
   // for any worker count; on a GPU the chunks would run on different SMs
@@ -25,6 +33,7 @@ LaunchEvaluation evaluate_functional(const GpuArch& arch, const KernelIR& kernel
       shard->access(addr, bytes);
     };
   };
+  options.capture_hook = capture;
 
   Interpreter interp;
   LaunchEvaluation out;
@@ -58,7 +67,9 @@ KernelExecStats evaluate_analytic(const GpuArch& arch, const KernelIR& kernel,
   ProbCacheModel prob(arch.l2);
   CacheStats cache;
   cache.accesses = behavior.accesses;
-  cache.misses = static_cast<std::uint64_t>(prob.expected_misses(behavior));
+  // Round to nearest rather than truncate: 99.7 expected misses should
+  // price as 100, not 99.
+  cache.misses = static_cast<std::uint64_t>(std::llround(prob.expected_misses(behavior)));
   cache.hits = cache.accesses > cache.misses ? cache.accesses - cache.misses : 0;
 
   KernelCostModel model(arch);

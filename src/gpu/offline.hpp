@@ -22,6 +22,15 @@ LaunchEvaluation evaluate_functional(const GpuArch& arch, const KernelIR& kernel
                                      const LaunchDims& dims, const KernelArgs& args,
                                      AddressSpace& memory);
 
+/// As above, but additionally installs `capture` as the interpreter's
+/// per-chunk access recorder (Interpreter::Options::capture_hook), composed
+/// with the L2 shard hook. The launch cache uses this to record a launch's
+/// read-set/write-set on the fill path without perturbing stats or profile.
+LaunchEvaluation evaluate_functional(
+    const GpuArch& arch, const KernelIR& kernel, const LaunchDims& dims,
+    const KernelArgs& args, AddressSpace& memory,
+    const std::function<MemAccessHook(std::size_t chunk)>& capture);
+
 /// Prices a launch from an analytic profile (per-block λ counts and byte
 /// traffic) plus a locality summary, without touching data — used for
 /// workload sizes too large to interpret functionally.

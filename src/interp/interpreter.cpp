@@ -77,6 +77,28 @@ void run_chunk(const DecodedProgram& prog, const KernelIR& ir, const LaunchDims&
 /// interpreter's documented contract (profile.hpp) these equal what
 /// per-instruction counting would have produced, so the post-pass replaces
 /// hundreds of millions of hot-loop increments with one pass over blocks.
+/// Composes the per-chunk observer for canonical chunk `c`: the capture
+/// recorder (if any) fires first so it can snapshot pre-store bytes, then
+/// the shard/mem observer. Returns an empty hook when nothing observes.
+MemAccessHook compose_chunk_hook(const Interpreter::Options& options, std::size_t c) {
+  MemAccessHook base;
+  if (options.shard_hook) {
+    base = options.shard_hook(c);
+  } else if (options.mem_hook) {
+    base = options.mem_hook;
+  }
+  MemAccessHook capture;
+  if (options.capture_hook) capture = options.capture_hook(c);
+  if (base && capture) {
+    return [base = std::move(base), capture = std::move(capture)](
+               std::uint64_t addr, std::uint32_t bytes, bool is_store) {
+      capture(addr, bytes, is_store);
+      base(addr, bytes, is_store);
+    };
+  }
+  return base ? std::move(base) : std::move(capture);
+}
+
 void finalize_from_visits(const DecodedProgram& prog, DynamicProfile& profile) {
   for (std::size_t b = 0; b < prog.blocks.size(); ++b) {
     const auto& db = prog.blocks[b];
@@ -139,14 +161,8 @@ DynamicProfile Interpreter::run(const KernelIR& ir, const LaunchDims& dims,
     // hooks still see per-chunk streams so results match the parallel path.
     ExecArena arena;
     for (std::size_t c = 0; c < chunks; ++c) {
-      MemAccessHook shard;
-      const MemAccessHook* hook = nullptr;
-      if (options.shard_hook) {
-        shard = options.shard_hook(c);
-        if (shard) hook = &shard;
-      } else if (options.mem_hook) {
-        hook = &options.mem_hook;
-      }
+      MemAccessHook combined = compose_chunk_hook(options, c);
+      const MemAccessHook* hook = combined ? &combined : nullptr;
       run_chunk(*prog, ir, dims, args, global, hook, options, arena, profile,
                 chunk_range(num_blocks, chunks, c));
     }
@@ -171,12 +187,8 @@ DynamicProfile Interpreter::run(const KernelIR& ir, const LaunchDims& dims,
         const std::size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
         if (c >= chunks || failed.load(std::memory_order_relaxed)) return;
         try {
-          MemAccessHook shard;
-          const MemAccessHook* hook = nullptr;
-          if (options.shard_hook) {
-            shard = options.shard_hook(c);
-            if (shard) hook = &shard;
-          }
+          MemAccessHook combined = compose_chunk_hook(options, c);
+          const MemAccessHook* hook = combined ? &combined : nullptr;
           run_chunk(*prog, ir, dims, args, global, hook, options, arena,
                     chunk_profiles[c], chunk_range(num_blocks, chunks, c));
         } catch (...) {

@@ -78,6 +78,15 @@ class Interpreter {
     /// this for per-chunk cold L2 shards merged in chunk order.
     std::function<MemAccessHook(std::size_t chunk)> shard_hook;
 
+    /// Read-set/write-set capture factory, composable with either hook
+    /// above: called once per canonical chunk, and the returned recorder
+    /// observes that chunk's global accesses (before each access is
+    /// applied, so a store recorder can still read the pre-store bytes).
+    /// Unlike mem_hook it never forces serial execution — same threading
+    /// contract as shard_hook. The launch-evaluation cache uses this to
+    /// record which memory a launch consumed and produced.
+    std::function<MemAccessHook(std::size_t chunk)> capture_hook;
+
     /// Worker threads for grid-level parallelism. 0 = automatic: the host
     /// default, collapsed to 1 inside an outer ThreadPool worker (nested
     /// sweeps stay serial). 1 = serial. Any value yields bit-identical

@@ -39,4 +39,59 @@ void AddressSpace::fill(std::uint64_t dst, std::uint8_t value, std::size_t n) {
   std::memset(bytes_.data() + dst, value, n);
 }
 
+std::uint64_t AddressSpace::hash_range(std::uint64_t addr, std::uint64_t size,
+                                       std::uint64_t seed) const {
+  if (size == 0) return seed;
+  check_range(addr, size);
+  return mem_hash_bytes(bytes_.data() + addr, size, seed);
+}
+
+std::uint64_t mem_hash_bytes(const std::uint8_t* data, std::uint64_t size, std::uint64_t seed) {
+  // xor-multiply-rotate over 64-bit words; the tail is zero-padded into one
+  // final word tagged with the length so "abc" and "abc\0" differ.
+  std::uint64_t h = seed;
+  std::uint64_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, data + i, 8);
+    h ^= w * 0xFF51AFD7ED558CCDull;
+    h = (h << 29) | (h >> 35);
+    h *= 0xC4CEB9FE1A85EC53ull;
+  }
+  if (i < size) {
+    std::uint64_t w = 0;
+    std::memcpy(&w, data + i, size - i);
+    h ^= w * 0xFF51AFD7ED558CCDull;
+    h = (h << 29) | (h >> 35);
+    h *= 0xC4CEB9FE1A85EC53ull;
+  }
+  h ^= size;
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= h >> 33;
+  return h;
+}
+
+MemDelta extract_delta(const AddressSpace& space, std::vector<MemChunk> ranges) {
+  MemDelta out;
+  out.ranges = std::move(ranges);
+  std::uint64_t total = 0;
+  for (const MemChunk& r : out.ranges) total += r.size;
+  out.bytes.resize(total);
+  std::uint64_t off = 0;
+  for (const MemChunk& r : out.ranges) {
+    space.copy_out(out.bytes.data() + off, r.addr, r.size);
+    off += r.size;
+  }
+  return out;
+}
+
+void apply_delta(AddressSpace& space, const MemDelta& delta) {
+  std::uint64_t off = 0;
+  for (const MemChunk& r : delta.ranges) {
+    space.copy_in(r.addr, delta.bytes.data() + off, r.size);
+    off += r.size;
+  }
+}
+
 }  // namespace sigvp

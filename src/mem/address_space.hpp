@@ -41,6 +41,16 @@ class AddressSpace {
   void copy_within(std::uint64_t dst, std::uint64_t src, std::size_t n);
   void fill(std::uint64_t dst, std::uint8_t value, std::size_t n);
 
+  /// True when [addr, addr+n) lies entirely inside the space.
+  bool in_bounds(std::uint64_t addr, std::uint64_t n) const {
+    return addr + n <= bytes_.size() && addr + n >= addr;
+  }
+
+  /// Folds the bytes of [addr, addr+size) into `seed` (word-at-a-time
+  /// mixing, see mem_hash_bytes). The launch-evaluation cache uses this to
+  /// content-address the input regions a kernel reads.
+  std::uint64_t hash_range(std::uint64_t addr, std::uint64_t size, std::uint64_t seed) const;
+
  private:
   void check_range(std::uint64_t addr, std::size_t n) const;
 
@@ -57,5 +67,30 @@ struct MemChunk {
   std::uint64_t end() const { return addr + size; }
   bool operator==(const MemChunk&) const = default;
 };
+
+/// Seed for mem_hash_bytes / AddressSpace::hash_range chains.
+inline constexpr std::uint64_t kMemHashSeed = 0x9E3779B97F4A7C15ull;
+
+/// Folds `size` bytes at `data` into `seed`: 8 bytes per step with
+/// multiply-xor-rotate mixing (order-sensitive, position-dependent), so
+/// hashing a range in one call equals hashing it in any contiguous pieces
+/// only when the piece boundaries match — callers chain whole ranges.
+std::uint64_t mem_hash_bytes(const std::uint8_t* data, std::uint64_t size, std::uint64_t seed);
+
+/// A sparse memory delta: `ranges` (ascending, non-overlapping) plus the
+/// concatenation of each range's bytes. The launch-evaluation cache records
+/// a kernel's write-set this way and replays it on a hit.
+struct MemDelta {
+  std::vector<MemChunk> ranges;
+  std::vector<std::uint8_t> bytes;  // sum of range sizes
+
+  std::uint64_t total_bytes() const { return bytes.size(); }
+};
+
+/// Captures the current contents of `ranges` from `space` into a MemDelta.
+MemDelta extract_delta(const AddressSpace& space, std::vector<MemChunk> ranges);
+
+/// Writes `delta` back into `space` (bounds-checked per range).
+void apply_delta(AddressSpace& space, const MemDelta& delta);
 
 }  // namespace sigvp

@@ -80,6 +80,17 @@ std::string sweep_to_json(const SweepResult& sweep, const std::string& bench_nam
   append_number(os, sweep.wall_ms);
   os << ",\n  \"summary\": ";
   append_summary(os, sweep.summarize());
+  // Launch-cache activity; emitted only when the cache did something a
+  // trajectory should track (hits or bypasses), so zero-hit runs — cache
+  // disabled, analytic-only sweeps, or all-unique launches — produce the
+  // same JSON as before the cache existed.
+  if (sweep.cache.hits > 0 || sweep.cache.bypasses > 0) {
+    const LaunchCacheStats& c = sweep.cache;
+    os << ",\n  \"cache\": {\"hits\": " << c.hits << ", \"misses\": " << c.misses
+       << ", \"bypasses\": " << c.bypasses << ", \"bytes_replayed\": " << c.bytes_replayed
+       << ", \"evictions\": " << c.evictions << ", \"entries\": " << c.entries
+       << ", \"bytes\": " << c.bytes << "}";
+  }
   os << ",\n  \"jobs\": [\n";
   for (std::size_t i = 0; i < sweep.jobs.size(); ++i) {
     const SweepJobResult& j = sweep.jobs[i];

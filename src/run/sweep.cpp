@@ -51,6 +51,7 @@ SweepResult SweepRunner::run(const std::vector<SweepJob>& jobs) const {
   out.workers = workers_;
   out.jobs.resize(jobs.size());
 
+  const LaunchCacheStats cache_before = LaunchCache::instance().stats();
   const auto wall_start = std::chrono::steady_clock::now();
   {
     // Results land in their input slot, so aggregation order — and therefore
@@ -65,6 +66,7 @@ SweepResult SweepRunner::run(const std::vector<SweepJob>& jobs) const {
   out.wall_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
                                                           wall_start)
                     .count();
+  out.cache = LaunchCache::instance().stats() - cache_before;
   return out;
 }
 

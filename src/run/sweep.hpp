@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/scenario.hpp"
+#include "gpu/launch_cache.hpp"
 #include "util/stats.hpp"
 
 namespace sigvp::run {
@@ -31,6 +32,11 @@ struct SweepResult {
   std::vector<SweepJobResult> jobs;
   std::size_t workers = 1;
   double wall_ms = 0.0;  // host wall-clock of the whole sweep
+
+  /// Launch-cache activity during this sweep (counter deltas over the run;
+  /// `entries`/`bytes` are residency levels at sweep end). The cache is
+  /// process-wide, so concurrent jobs on different workers share hits.
+  LaunchCacheStats cache;
 
   const SweepJobResult& find(const std::string& name) const;
 

@@ -1,0 +1,416 @@
+// Tests of the content-addressed launch cache (DESIGN.md §11): hit/replay
+// correctness against recomputation at every interpreter worker count,
+// key-collision safety on input bytes, deterministic insertion-order
+// eviction, fault-plan / hook / atomics bypass, verify mode, and the
+// scenario + sweep integration (cached fleets byte-identical to uncached).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "gpu/device.hpp"
+#include "gpu/launch_cache.hpp"
+#include "gpu/offline.hpp"
+#include "interp/interpreter.hpp"
+#include "mem/allocator.hpp"
+#include "run/sweep.hpp"
+#include "sim/event_queue.hpp"
+#include "workloads/suite.hpp"
+
+namespace sigvp {
+namespace {
+
+constexpr std::uint64_t kMemBytes = 8ull * 1024 * 1024;
+
+/// One launch-shaped workload instance: kernel, dims, args, and a fresh
+/// memory builder whose input bytes depend on `seed` (same seed -> same
+/// bytes, different seed -> different bytes at the same addresses).
+struct LaunchFixture {
+  const workloads::Workload* w = nullptr;
+  std::uint64_t n = 0;
+  LaunchDims dims;
+  KernelArgs args;
+  std::vector<std::uint64_t> addrs;
+  std::vector<workloads::BufferSpec> bufs;
+
+  explicit LaunchFixture(const std::vector<workloads::Workload>& suite, const char* app) {
+    w = &workloads::find(suite, app);
+    n = w->test_n;
+    bufs = w->buffers(n);
+    FreeListAllocator alloc(4096, kMemBytes - 4096);
+    for (const auto& b : bufs) addrs.push_back(*alloc.allocate(b.bytes));
+    dims = w->dims(n);
+    args = w->args(addrs, n);
+  }
+
+  AddressSpace make_memory(std::uint32_t seed) const {
+    AddressSpace mem(kMemBytes, "m");
+    for (std::size_t i = 0; i < bufs.size(); ++i) {
+      if (!bufs[i].is_input) continue;
+      std::uint32_t x = seed * 2654435761u + 1u;
+      for (std::uint64_t off = 0; off + 4 <= bufs[i].bytes; off += 4) {
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        mem.write<float>(addrs[i] + off, 0.25f + static_cast<float>(x % 997) / 997.0f);
+      }
+    }
+    return mem;
+  }
+};
+
+std::vector<std::uint8_t> all_bytes(const AddressSpace& mem) {
+  std::vector<std::uint8_t> out(mem.size());
+  mem.copy_out(out.data(), 0, out.size());
+  return out;
+}
+
+void expect_profiles_bit_identical(const DynamicProfile& a, const DynamicProfile& b) {
+  EXPECT_EQ(a.block_visits, b.block_visits);
+  EXPECT_EQ(a.instr_counts, b.instr_counts);
+  EXPECT_EQ(a.global_load_bytes, b.global_load_bytes);
+  EXPECT_EQ(a.global_store_bytes, b.global_store_bytes);
+  EXPECT_EQ(a.barriers_waited, b.barriers_waited);
+  EXPECT_EQ(a.sfu_instrs, b.sfu_instrs);
+  EXPECT_EQ(a.sqrt_instrs, b.sqrt_instrs);
+}
+
+void expect_stats_bit_identical(const KernelExecStats& a, const KernelExecStats& b) {
+  EXPECT_EQ(a.sigma, b.sigma);
+  EXPECT_EQ(a.num_blocks, b.num_blocks);
+  EXPECT_EQ(a.serial_blocks, b.serial_blocks);
+  EXPECT_EQ(a.issue_cycles, b.issue_cycles);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.duration_us, b.duration_us);
+  EXPECT_EQ(a.dynamic_energy_j, b.dynamic_energy_j);
+  EXPECT_EQ(a.cache.accesses, b.cache.accesses);
+  EXPECT_EQ(a.cache.hits, b.cache.hits);
+  EXPECT_EQ(a.cache.misses, b.cache.misses);
+}
+
+class LaunchCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LaunchCache& c = LaunchCache::instance();
+    c.clear();
+    c.set_enabled(true);
+    c.set_verify(false);
+    c.set_capacity(1024, 512ull << 20);
+  }
+  void TearDown() override { SetUp(); }
+
+  LaunchCache& cache() { return LaunchCache::instance(); }
+};
+
+TEST_F(LaunchCacheTest, HitReplaysByteIdenticalToRecomputationAtEveryWorkerCount) {
+  const auto suite = workloads::make_suite();
+  const GpuArch arch = make_quadro4000();
+  const LaunchFixture fx(suite, "vectorAdd");
+
+  // Fill once (miss), then compare every later hit against an independent
+  // recomputation at each interpreter worker count: the replayed memory
+  // must be byte-exact and the profile bit-identical regardless of how the
+  // reference was parallelized.
+  AddressSpace fill_mem = fx.make_memory(1);
+  const LaunchCacheStats s0 = cache().stats();
+  const LaunchEvaluation filled =
+      cache().evaluate(arch, fx.w->kernel, fx.dims, fx.args, fill_mem);
+  EXPECT_EQ(cache().stats().misses, s0.misses + 1);
+  const std::vector<std::uint8_t> fill_bytes = all_bytes(fill_mem);
+
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+
+    AddressSpace ref_mem = fx.make_memory(1);
+    Interpreter::Options opt;
+    opt.workers = workers;
+    const DynamicProfile ref_profile =
+        Interpreter().run(fx.w->kernel, fx.dims, fx.args, ref_mem, opt);
+
+    AddressSpace hit_mem = fx.make_memory(1);
+    const LaunchCacheStats before = cache().stats();
+    const LaunchEvaluation hit =
+        cache().evaluate(arch, fx.w->kernel, fx.dims, fx.args, hit_mem);
+    EXPECT_EQ(cache().stats().hits, before.hits + 1);
+    EXPECT_EQ(cache().stats().misses, before.misses);
+
+    EXPECT_EQ(all_bytes(hit_mem), all_bytes(ref_mem));
+    EXPECT_EQ(all_bytes(hit_mem), fill_bytes);
+    expect_profiles_bit_identical(hit.profile, ref_profile);
+    expect_profiles_bit_identical(hit.profile, filled.profile);
+    expect_stats_bit_identical(hit.stats, filled.stats);
+  }
+  EXPECT_GT(cache().stats().bytes_replayed, 0u);
+}
+
+TEST_F(LaunchCacheTest, SameKeyDifferentInputBytesIsAMissAndBothEntriesCoexist) {
+  const auto suite = workloads::make_suite();
+  const GpuArch arch = make_quadro4000();
+  const LaunchFixture fx(suite, "vectorAdd");
+
+  // Same kernel fingerprint, same dims, same argument values — only the
+  // bytes behind the input pointers differ. A colliding hit would replay
+  // seed-1 outputs into the seed-2 run.
+  AddressSpace m1 = fx.make_memory(1);
+  AddressSpace m2 = fx.make_memory(2);
+  const LaunchCacheStats s0 = cache().stats();
+  cache().evaluate(arch, fx.w->kernel, fx.dims, fx.args, m1);
+  const LaunchEvaluation e2 = cache().evaluate(arch, fx.w->kernel, fx.dims, fx.args, m2);
+  EXPECT_EQ(cache().stats().misses, s0.misses + 2);
+  EXPECT_EQ(cache().stats().hits, s0.hits);
+
+  // The seed-2 result must equal an uncached evaluation on seed-2 inputs.
+  AddressSpace ref = fx.make_memory(2);
+  const LaunchEvaluation ref_eval =
+      evaluate_functional(arch, fx.w->kernel, fx.dims, fx.args, ref);
+  EXPECT_EQ(all_bytes(m2), all_bytes(ref));
+  expect_profiles_bit_identical(e2.profile, ref_eval.profile);
+  expect_stats_bit_identical(e2.stats, ref_eval.stats);
+
+  // Both inputs are now resident in one bucket: each replays as a hit.
+  AddressSpace h1 = fx.make_memory(1);
+  AddressSpace h2 = fx.make_memory(2);
+  cache().evaluate(arch, fx.w->kernel, fx.dims, fx.args, h1);
+  cache().evaluate(arch, fx.w->kernel, fx.dims, fx.args, h2);
+  EXPECT_EQ(cache().stats().hits, s0.hits + 2);
+  EXPECT_EQ(all_bytes(h1), all_bytes(m1));
+  EXPECT_EQ(all_bytes(h2), all_bytes(m2));
+}
+
+TEST_F(LaunchCacheTest, EvictionIsDeterministicInsertionOrder) {
+  const auto suite = workloads::make_suite();
+  const GpuArch arch = make_quadro4000();
+  const LaunchFixture fx(suite, "vectorAdd");
+
+  auto probe = [&](std::uint32_t seed) -> bool {
+    AddressSpace m = fx.make_memory(seed);
+    const LaunchCacheStats before = cache().stats();
+    cache().evaluate(arch, fx.w->kernel, fx.dims, fx.args, m);
+    return cache().stats().hits == before.hits + 1;
+  };
+
+  // Two identical rounds must produce identical hit/miss/eviction outcomes:
+  // eviction follows insertion order alone, never hashing or wall clock.
+  for (int round = 0; round < 2; ++round) {
+    SCOPED_TRACE("round=" + std::to_string(round));
+    cache().clear();
+    cache().set_capacity(4, 512ull << 20);
+    // The evictions counter is cumulative (clear() drops entries, not
+    // history), so assert per-round deltas.
+    const std::uint64_t ev0 = cache().stats().evictions;
+
+    // Fill seeds 1..6 through a 4-entry cache: inserting 5 evicts 1,
+    // inserting 6 evicts 2 — residency is {3, 4, 5, 6}.
+    for (std::uint32_t seed = 1; seed <= 6; ++seed) {
+      AddressSpace m = fx.make_memory(seed);
+      cache().evaluate(arch, fx.w->kernel, fx.dims, fx.args, m);
+    }
+    EXPECT_EQ(cache().stats().entries, 4u);
+    EXPECT_EQ(cache().stats().evictions, ev0 + 2);
+
+    // Probe youngest-first so hits don't perturb residency (hits never
+    // reorder or refill anything).
+    EXPECT_TRUE(probe(6));
+    EXPECT_TRUE(probe(5));
+    EXPECT_TRUE(probe(4));
+    EXPECT_TRUE(probe(3));
+    EXPECT_EQ(cache().stats().evictions, ev0 + 2);
+
+    // Seed 2 was evicted: the probe misses, re-fills, and the re-fill
+    // evicts seed 3 — the oldest *insertion*, even though seed 3 was hit
+    // (accessed) a moment ago. FIFO by insertion, not LRU by access.
+    EXPECT_FALSE(probe(2));
+    EXPECT_EQ(cache().stats().evictions, ev0 + 3);
+    EXPECT_FALSE(probe(3));
+    EXPECT_EQ(cache().stats().evictions, ev0 + 4);
+    EXPECT_EQ(cache().stats().entries, 4u);
+  }
+}
+
+TEST_F(LaunchCacheTest, ExplicitFaultBypassNeverFillsOrHits) {
+  const auto suite = workloads::make_suite();
+  const GpuArch arch = make_quadro4000();
+  const LaunchFixture fx(suite, "vectorAdd");
+
+  AddressSpace m1 = fx.make_memory(1);
+  const LaunchCacheStats s0 = cache().stats();
+  cache().evaluate(arch, fx.w->kernel, fx.dims, fx.args, m1, LaunchCache::Bypass::kFault);
+  EXPECT_EQ(cache().stats().bypasses, s0.bypasses + 1);
+  EXPECT_EQ(cache().stats().misses, s0.misses);
+  EXPECT_EQ(cache().stats().entries, 0u);
+
+  // Nothing was filled: an identical cacheable launch is a miss.
+  AddressSpace m2 = fx.make_memory(1);
+  cache().evaluate(arch, fx.w->kernel, fx.dims, fx.args, m2);
+  EXPECT_EQ(cache().stats().misses, s0.misses + 1);
+  EXPECT_EQ(all_bytes(m1), all_bytes(m2));
+}
+
+TEST_F(LaunchCacheTest, DeviceWithActiveFaultPlanBypassesTheCache) {
+  const auto suite = workloads::make_suite();
+  const LaunchFixture fx(suite, "vectorAdd");
+
+  FaultConfig fcfg;
+  fcfg.drop_rate = 1.0;  // any nonzero rate arms the plan; drops affect IPC only
+  FaultPlan plan(fcfg);
+  FaultStats fstats;
+  ASSERT_TRUE(plan.enabled());
+
+  EventQueue queue;
+  GpuDevice dev(queue, make_quadro4000(), kMemBytes, "gpu");
+  dev.set_fault(&plan, &fstats);
+  const AddressSpace src = fx.make_memory(1);
+  for (std::size_t i = 0; i < fx.bufs.size(); ++i) {
+    if (!fx.bufs[i].is_input) continue;
+    std::vector<std::uint8_t> bytes(fx.bufs[i].bytes);
+    src.copy_out(bytes.data(), fx.addrs[i], bytes.size());
+    dev.memory().copy_in(fx.addrs[i], bytes.data(), bytes.size());
+  }
+
+  LaunchRequest req;
+  req.kernel = &fx.w->kernel;
+  req.dims = fx.dims;
+  req.args = fx.args;
+  req.mode = ExecMode::kFunctional;
+  const LaunchCacheStats s0 = cache().stats();
+  dev.launch(0, req);
+  EXPECT_EQ(cache().stats().bypasses, s0.bypasses + 1);
+  EXPECT_EQ(cache().stats().hits, s0.hits);
+  EXPECT_EQ(cache().stats().misses, s0.misses);
+  EXPECT_EQ(cache().stats().entries, 0u);
+}
+
+TEST_F(LaunchCacheTest, CallerObserverForcesBypassAndSeesRealTraffic) {
+  const auto suite = workloads::make_suite();
+  const GpuArch arch = make_quadro4000();
+  const LaunchFixture fx(suite, "vectorAdd");
+
+  std::atomic<std::uint64_t> observed{0};
+  LaunchCache::ObserverFactory observer = [&observed](std::size_t) -> MemAccessHook {
+    return [&observed](std::uint64_t, std::uint32_t, bool) {
+      observed.fetch_add(1, std::memory_order_relaxed);
+    };
+  };
+
+  // Warm the cache with the identical launch, then launch with an observer:
+  // it must NOT be served from the cache (the observer needs real traffic).
+  AddressSpace warm = fx.make_memory(1);
+  cache().evaluate(arch, fx.w->kernel, fx.dims, fx.args, warm);
+  const LaunchCacheStats s0 = cache().stats();
+
+  AddressSpace m = fx.make_memory(1);
+  cache().evaluate(arch, fx.w->kernel, fx.dims, fx.args, m, LaunchCache::Bypass::kNone,
+                   observer);
+  EXPECT_EQ(cache().stats().bypasses, s0.bypasses + 1);
+  EXPECT_EQ(cache().stats().hits, s0.hits);
+  EXPECT_GT(observed.load(), 0u) << "observer must see the real execution's accesses";
+  EXPECT_EQ(all_bytes(m), all_bytes(warm));
+}
+
+TEST_F(LaunchCacheTest, GlobalAtomicsKernelsAreBypassed) {
+  const auto suite = workloads::make_suite();
+  const GpuArch arch = make_quadro4000();
+  const LaunchFixture fx(suite, "histogram");
+  ASSERT_TRUE(Interpreter::uses_global_atomics(fx.w->kernel));
+
+  AddressSpace m1 = fx.make_memory(1);
+  AddressSpace m2 = fx.make_memory(1);
+  const LaunchCacheStats s0 = cache().stats();
+  cache().evaluate(arch, fx.w->kernel, fx.dims, fx.args, m1);
+  cache().evaluate(arch, fx.w->kernel, fx.dims, fx.args, m2);
+  EXPECT_EQ(cache().stats().bypasses, s0.bypasses + 2);
+  EXPECT_EQ(cache().stats().hits, s0.hits);
+  EXPECT_EQ(cache().stats().entries, 0u);
+  EXPECT_EQ(all_bytes(m1), all_bytes(m2));
+}
+
+TEST_F(LaunchCacheTest, VerifyModeRecomputesOnHitsAndAgrees) {
+  const auto suite = workloads::make_suite();
+  const GpuArch arch = make_quadro4000();
+  const LaunchFixture fx(suite, "matrixMul");
+  cache().set_verify(true);
+
+  AddressSpace fill = fx.make_memory(1);
+  cache().evaluate(arch, fx.w->kernel, fx.dims, fx.args, fill);
+  const LaunchCacheStats before = cache().stats();
+  AddressSpace m = fx.make_memory(1);
+  // A verify-mode hit re-executes against a copy of `m` and throws on any
+  // stats/profile/write-set divergence; agreeing silently IS the assertion.
+  EXPECT_NO_THROW(cache().evaluate(arch, fx.w->kernel, fx.dims, fx.args, m));
+  EXPECT_EQ(cache().stats().hits, before.hits + 1);
+  EXPECT_EQ(all_bytes(m), all_bytes(fill));
+}
+
+TEST_F(LaunchCacheTest, DisabledCacheTouchesNoCounters) {
+  const auto suite = workloads::make_suite();
+  const GpuArch arch = make_quadro4000();
+  const LaunchFixture fx(suite, "vectorAdd");
+  cache().set_enabled(false);
+
+  AddressSpace m1 = fx.make_memory(1);
+  AddressSpace m2 = fx.make_memory(1);
+  const LaunchCacheStats s0 = cache().stats();
+  cache().evaluate(arch, fx.w->kernel, fx.dims, fx.args, m1);
+  cache().evaluate(arch, fx.w->kernel, fx.dims, fx.args, m2);
+  const LaunchCacheStats s1 = cache().stats();
+  EXPECT_EQ(s1.hits, s0.hits);
+  EXPECT_EQ(s1.misses, s0.misses);
+  EXPECT_EQ(s1.bypasses, s0.bypasses);
+  EXPECT_EQ(s1.entries, 0u);
+  EXPECT_EQ(all_bytes(m1), all_bytes(m2));
+}
+
+// --- scenario + sweep integration -------------------------------------------
+
+workloads::AppTraits fleet_traits(const workloads::Workload& w) {
+  workloads::AppTraits t = w.traits;
+  t.iterations = 3;
+  t.launches_per_iter = 1;
+  t.iter_h2d_bytes = 0;
+  t.iter_d2h_bytes = 0;
+  return t;
+}
+
+run::SweepJob fleet_job(const workloads::Workload& w, std::size_t vps) {
+  run::SweepJob job;
+  job.name = w.app;
+  job.group = w.app;
+  job.config.backend = Backend::kSigmaVp;
+  job.config.mode = ExecMode::kFunctional;
+  job.config.functional_io = true;
+  job.config.gpu_mem_bytes = 64ull * 1024 * 1024;
+  const workloads::AppTraits t = fleet_traits(w);
+  for (std::size_t i = 0; i < vps; ++i) job.apps.push_back(AppInstance{&w, w.test_n, t});
+  return job;
+}
+
+TEST_F(LaunchCacheTest, CachedFleetScenarioIsByteIdenticalToUncachedAcrossSweepWorkers) {
+  const auto suite = workloads::make_suite();
+  std::vector<run::SweepJob> jobs;
+  jobs.push_back(fleet_job(workloads::find(suite, "vectorAdd"), 4));
+  jobs.push_back(fleet_job(workloads::find(suite, "BlackScholes"), 4));
+
+  cache().set_enabled(false);
+  const run::SweepResult uncached = run::SweepRunner(2).run(jobs);
+  EXPECT_EQ(uncached.cache.hits, 0u);
+
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("sweep workers=" + std::to_string(workers));
+    cache().clear();
+    cache().set_enabled(true);
+    const run::SweepResult cached = run::SweepRunner(workers).run(jobs);
+    EXPECT_GT(cached.cache.hits, 0u);
+    ASSERT_EQ(cached.jobs.size(), uncached.jobs.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      EXPECT_EQ(cached.jobs[j].result.makespan_us, uncached.jobs[j].result.makespan_us);
+      EXPECT_EQ(cached.jobs[j].result.app_outputs, uncached.jobs[j].result.app_outputs);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sigvp
