@@ -90,5 +90,6 @@ int main(int argc, char** argv) {
             << fmt_fixed(100.0 * err_p.mean(), 1) << "%\n";
   std::cout << "(The refinement chain C -> C' -> C'' of the paper's Eq. 2-5 holds\n"
             << " beyond the four kernels the paper evaluates.)\n";
+  if (!run::flush_trace()) return 1;
   return 0;
 }

@@ -68,9 +68,10 @@ int main(int argc, char** argv) {
   std::cout << "\n(Data-heavy guest memcpys make the transport choice visible; the\n"
             << " paper's prototype defaults to shared memory for this reason.)\n";
 
-  write_sweep_json(sweep, "ablation_ipc", cli.json_path);
+  if (!try_write_sweep_json(sweep, "ablation_ipc", cli.json_path)) return 1;
   std::cout << "\n[sweep] " << sweep.jobs.size() << " scenarios on " << sweep.workers
             << " workers in " << fmt_fixed(sweep.wall_ms, 0) << " ms -> " << cli.json_path
             << "\n";
+  if (!run::flush_trace()) return 1;
   return 0;
 }

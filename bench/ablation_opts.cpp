@@ -78,9 +78,10 @@ int main(int argc, char** argv) {
             << " them — show gains near 1.0x; kernel-cascade apps like mergeSort\n"
             << " gain the most, matching the paper's best case.)\n";
 
-  write_sweep_json(sweep, "ablation_opts", cli.json_path);
+  if (!try_write_sweep_json(sweep, "ablation_opts", cli.json_path)) return 1;
   std::cout << "\n[sweep] " << sweep.jobs.size() << " scenarios on " << sweep.workers
             << " workers in " << fmt_fixed(sweep.wall_ms, 0) << " ms -> " << cli.json_path
             << "\n";
+  if (!run::flush_trace()) return 1;
   return 0;
 }

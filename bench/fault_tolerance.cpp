@@ -125,7 +125,7 @@ int main(int argc, char** argv) {
   }
   t.print(std::cout);
 
-  write_sweep_json(sweep, "fault_tolerance", cli.json_path);
+  if (!try_write_sweep_json(sweep, "fault_tolerance", cli.json_path)) return 1;
   std::cout << "\n[sweep] " << sweep.jobs.size() << " scenarios on " << sweep.workers
             << " workers in " << fmt_fixed(sweep.wall_ms, 0) << " ms -> " << cli.json_path
             << "\n";
@@ -136,5 +136,6 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << "All jobs recovered (0 lost) across every fault level.\n";
+  if (!run::flush_trace()) return 1;
   return 0;
 }

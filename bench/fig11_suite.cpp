@@ -94,9 +94,10 @@ int main(int argc, char** argv) {
             << "optimizations barely move convolutionSeparable, dct8x8, SobelFilter,\n"
             << "MonteCarlo, nbody and smokeParticles (memory/layout-bound kernels).\n";
 
-  write_sweep_json(sweep, "fig11_suite", cli.json_path);
+  if (!try_write_sweep_json(sweep, "fig11_suite", cli.json_path)) return 1;
   std::cout << "\n[sweep] " << sweep.jobs.size() << " scenarios on " << sweep.workers
             << " workers in " << fmt_fixed(sweep.wall_ms, 0) << " ms -> " << cli.json_path
             << "\n";
+  if (!run::flush_trace()) return 1;
   return 0;
 }

@@ -103,5 +103,6 @@ int main(int argc, char** argv) {
             << " the refined estimates cluster near 1.0 regardless of which host\n"
             << " GPU supplied the profile; C — the bare IPC-ratio model — is the\n"
             << " crudest of the three.)\n";
+  if (!run::flush_trace()) return 1;
   return 0;
 }

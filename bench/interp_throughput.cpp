@@ -5,7 +5,7 @@
 // count (the determinism fallback), so they are reported separately and
 // excluded from the speedup aggregate.
 //
-//   interp_throughput [--workers N] [--n SIZE] [--reps R] [--json PATH]
+//   interp_throughput [--workers N] [--n SIZE] [--reps R] [--json PATH] [--trace PATH]
 //
 // Without --workers the full {1,2,4,8} ladder runs; `--workers N` restricts
 // the run to one count (CI uses `--workers 1` as a smoke check). Every run
@@ -26,6 +26,8 @@
 #include "mem/address_space.hpp"
 #include "mem/allocator.hpp"
 #include "run/json_writer.hpp"
+#include "run/sweep.hpp"
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 #include "util/table.hpp"
 #include "workloads/suite.hpp"
@@ -141,6 +143,8 @@ int main(int argc, char** argv) {
       reps = std::max<std::size_t>(1, std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace::Tracer::enable(argv[++i]);
     }
   }
 
@@ -212,12 +216,16 @@ int main(int argc, char** argv) {
               << "  (speedup " << fmt_ratio(speedup) << "x)\n";
   }
 
-  run::write_json_file(to_json(reports, ladder, total_wall_ms, speedup), json_path);
+  if (!run::try_write_json_file(to_json(reports, ladder, total_wall_ms, speedup), json_path)) {
+    std::cerr << "error: failed writing JSON results file: " << json_path << "\n";
+    return 1;
+  }
   std::cout << "\nwrote " << json_path << "\n";
 
   if (mismatch) {
     std::cerr << "\ninterp_throughput: determinism differential FAILED\n";
     return 1;
   }
+  if (!run::flush_trace()) return 1;
   return 0;
 }

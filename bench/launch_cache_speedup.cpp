@@ -213,7 +213,11 @@ int main(int argc, char** argv) {
      << ", \"hits\": " << shared_cached.cache.hits
      << ", \"misses\": " << shared_cached.cache.misses << "}\n";
   os << "}\n";
-  run::write_json_file(os.str(), cli.json_path);
+  if (!run::try_write_json_file(os.str(), cli.json_path)) {
+    std::cerr << "error: failed writing JSON results file: " << cli.json_path << "\n";
+    return 1;
+  }
   std::cout << "[bench] results -> " << cli.json_path << "\n";
+  if (!run::flush_trace()) return 1;
   return 0;
 }

@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""CI bench-regression gate for the ΣVP benches.
+
+Compares freshly produced BENCH_*.json files against the checked-in
+baselines in bench/baselines/ and exits nonzero on:
+
+  * interp_throughput: any app whose instrs/sec dropped more than the
+    tolerance band (default 25%) below its baseline, or a drop of the
+    non-atomic aggregate speedup beyond the band. Wall-clock throughput is
+    host-dependent, hence the wide band; the band is a floor, never a
+    ratchet (faster results always pass).
+  * launch_cache_speedup: ANY hit-rate regression (hits and misses are
+    deterministic counters — they must not change at all without a baseline
+    update), a missing VP point, or a cache wall-clock speedup dropping
+    below the band.
+
+Divergence regressions (parallel interpreter vs serial profile, cached vs
+uncached byte-identity) are enforced by the benches themselves via nonzero
+exit codes, upstream of this gate.
+
+Usage:
+  bench_regression_check.py --baseline-dir bench/baselines \
+      [--interp BENCH_interp.json] [--cache BENCH_launch_cache_speedup.json] \
+      [--tolerance 0.25] [--update]
+
+--update rewrites the baselines from the supplied results instead of
+checking (for intentional perf/behaviour changes; commit the diff).
+"""
+
+import argparse
+import json
+import pathlib
+import shutil
+import sys
+
+FAILURES = []
+
+
+def fail(msg):
+    FAILURES.append(msg)
+    print(f"FAIL: {msg}")
+
+
+def ok(msg):
+    print(f"  ok: {msg}")
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def check_interp(baseline, current, tolerance):
+    print(f"== interp_throughput (tolerance: -{tolerance:.0%} throughput)")
+    base_apps = {a["app"]: a for a in baseline["apps"]}
+    cur_apps = {a["app"]: a for a in current["apps"]}
+    for app, base in sorted(base_apps.items()):
+        cur = cur_apps.get(app)
+        if cur is None:
+            fail(f"interp: app '{app}' disappeared from the bench")
+            continue
+        base_runs = {r["workers"]: r for r in base["runs"]}
+        cur_runs = {r["workers"]: r for r in cur["runs"]}
+        for workers, base_run in sorted(base_runs.items()):
+            cur_run = cur_runs.get(workers)
+            if cur_run is None:
+                fail(f"interp: {app} workers={workers} missing from the bench")
+                continue
+            floor = base_run["instrs_per_sec"] * (1.0 - tolerance)
+            ips = cur_run["instrs_per_sec"]
+            if ips < floor:
+                fail(
+                    f"interp: {app} workers={workers} throughput "
+                    f"{ips / 1e6:.1f} Minstr/s < floor {floor / 1e6:.1f} "
+                    f"(baseline {base_run['instrs_per_sec'] / 1e6:.1f})"
+                )
+            else:
+                ok(f"{app} workers={workers}: {ips / 1e6:.1f} Minstr/s "
+                   f">= floor {floor / 1e6:.1f}")
+    base_speedup = baseline.get("nonatomic_speedup_max_workers_vs_1", 1.0)
+    cur_speedup = current.get("nonatomic_speedup_max_workers_vs_1", 1.0)
+    if base_speedup > 1.0:
+        floor = base_speedup * (1.0 - tolerance)
+        if cur_speedup < floor:
+            fail(f"interp: parallel speedup {cur_speedup:.2f}x < floor {floor:.2f}x")
+        else:
+            ok(f"parallel speedup {cur_speedup:.2f}x >= floor {floor:.2f}x")
+
+
+def hit_rate(point):
+    total = point["hits"] + point["misses"]
+    return point["hits"] / total if total else 0.0
+
+
+def check_cache(baseline, current, tolerance):
+    print(f"== launch_cache_speedup (hit rate: exact; speedup: -{tolerance:.0%})")
+    base_points = {p["vps"]: p for p in baseline["points"]}
+    cur_points = {p["vps"]: p for p in current["points"]}
+    for vps, base in sorted(base_points.items()):
+        cur = cur_points.get(vps)
+        if cur is None:
+            fail(f"cache: vps={vps} point missing from the bench")
+            continue
+        # Hits/misses are sim-domain deterministic: any change is a real
+        # behavioural regression (or an intentional change -> --update).
+        if (cur["hits"], cur["misses"]) != (base["hits"], base["misses"]):
+            fail(
+                f"cache: vps={vps} hit/miss counts changed: "
+                f"{cur['hits']}/{cur['misses']} vs baseline "
+                f"{base['hits']}/{base['misses']}"
+            )
+        elif hit_rate(cur) < hit_rate(base):
+            fail(f"cache: vps={vps} hit rate regressed "
+                 f"{hit_rate(cur):.3f} < {hit_rate(base):.3f}")
+        else:
+            ok(f"vps={vps}: hit rate {hit_rate(cur):.3f}, "
+               f"hits/misses {cur['hits']}/{cur['misses']} unchanged")
+        floor = base["speedup"] * (1.0 - tolerance)
+        if cur["speedup"] < floor:
+            fail(f"cache: vps={vps} speedup {cur['speedup']:.2f}x < floor {floor:.2f}x "
+                 f"(baseline {base['speedup']:.2f}x)")
+        else:
+            ok(f"vps={vps}: speedup {cur['speedup']:.2f}x >= floor {floor:.2f}x")
+    base_shared = baseline.get("shared_sweep")
+    cur_shared = current.get("shared_sweep")
+    if base_shared and cur_shared:
+        if (cur_shared["hits"], cur_shared["misses"]) != (
+            base_shared["hits"], base_shared["misses"]
+        ):
+            fail("cache: shared-sweep hit/miss counts changed: "
+                 f"{cur_shared['hits']}/{cur_shared['misses']} vs "
+                 f"{base_shared['hits']}/{base_shared['misses']}")
+        else:
+            ok(f"shared sweep: hits/misses "
+               f"{cur_shared['hits']}/{cur_shared['misses']} unchanged")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", default="bench/baselines",
+                        type=pathlib.Path)
+    parser.add_argument("--interp", type=pathlib.Path,
+                        help="fresh BENCH_interp.json to check")
+    parser.add_argument("--cache", type=pathlib.Path,
+                        help="fresh BENCH_launch_cache_speedup.json to check")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional throughput drop (default 0.25)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite baselines from the supplied results")
+    args = parser.parse_args()
+
+    pairs = []
+    if args.interp:
+        pairs.append(("interp_throughput.json", args.interp, check_interp))
+    if args.cache:
+        pairs.append(("launch_cache_speedup.json", args.cache, check_cache))
+    if not pairs:
+        parser.error("nothing to do: pass --interp and/or --cache")
+
+    if args.update:
+        args.baseline_dir.mkdir(parents=True, exist_ok=True)
+        for name, path, _ in pairs:
+            shutil.copyfile(path, args.baseline_dir / name)
+            print(f"updated {args.baseline_dir / name} from {path}")
+        return 0
+
+    for name, path, check in pairs:
+        baseline_path = args.baseline_dir / name
+        if not baseline_path.exists():
+            fail(f"missing baseline {baseline_path} (run with --update to create)")
+            continue
+        check(load(baseline_path), load(path), args.tolerance)
+
+    if FAILURES:
+        print(f"\nbench regression gate: {len(FAILURES)} failure(s)")
+        return 1
+    print("\nbench regression gate: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,7 @@
 #include "core/app_run.hpp"
 #include "fault/health.hpp"
 #include "ipc/ipc_manager.hpp"
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 #include "vp/emulation_driver.hpp"
 #include "vp/native_driver.hpp"
@@ -55,6 +56,18 @@ ScenarioResult run_scenario(const ScenarioConfig& config, const std::vector<AppI
     ipc = std::make_unique<IpcManager>(queue, calib.ipc);
     dispatcher = std::make_unique<Dispatcher>(queue, *device, config.dispatch);
     ipc->set_sink([&d = *dispatcher](Job job) { d.submit(std::move(job)); });
+  }
+
+  // Observability (ΣVP only): one track group + metrics registry per
+  // scenario. Built only when collection is on, so the default path hands
+  // every component a null pointer — a branch-on-null no-op.
+  std::unique_ptr<trace::RunTrace> rt;
+  if (config.backend == Backend::kSigmaVp && trace::collecting()) {
+    rt = std::make_unique<trace::RunTrace>(
+        backend_name(config.backend) + " x" + std::to_string(apps.size()));
+    ipc->set_trace(rt.get());
+    dispatcher->set_trace(rt.get());
+    device->set_trace(rt.get());
   }
 
   // Fault injection + tolerance (ΣVP only). A zero-fault config builds none
@@ -193,6 +206,18 @@ ScenarioResult run_scenario(const ScenarioConfig& config, const std::vector<AppI
     result.gpu_copy_busy_us = device->copy_busy_us();
   }
   if (faults_on) result.fault = *fault_stats;
+  if (rt) {
+    // Close out run-level gauges; everything here is a pure function of the
+    // scenario (sim-domain), so the registry stays deterministic.
+    rt->metrics.gauge("run.makespan_us").record_max(result.makespan_us);
+    if (result.makespan_us > 0.0 && device) {
+      rt->metrics.gauge("gpu.compute_utilization")
+          .record_max(result.gpu_compute_busy_us / result.makespan_us);
+      rt->metrics.gauge("gpu.copy_utilization")
+          .record_max(result.gpu_copy_busy_us / result.makespan_us);
+    }
+    result.metrics = std::make_shared<trace::Metrics>(std::move(rt->metrics));
+  }
   return result;
 }
 

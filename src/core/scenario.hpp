@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "gpu/arch.hpp"
 #include "gpu/device.hpp"
 #include "sched/dispatcher.hpp"
+#include "trace/metrics.hpp"
 #include "workloads/workload.hpp"
 
 namespace sigvp {
@@ -95,6 +97,11 @@ struct ScenarioResult {
   /// Per app: the concatenated bytes of its output buffers after teardown.
   /// Populated only when `ScenarioConfig::functional_io` is set.
   std::vector<std::vector<std::uint8_t>> app_outputs;
+
+  /// Deterministic sim-domain metrics for this run (queue depths, job
+  /// latency histograms, scheduler decisions, cache outcomes). Null unless
+  /// collection was on (`trace::collecting()`) when the scenario ran.
+  std::shared_ptr<trace::Metrics> metrics;
 };
 
 /// Builds the full system for `config`, runs every app instance to

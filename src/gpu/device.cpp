@@ -5,6 +5,7 @@
 
 #include "gpu/launch_cache.hpp"
 
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
@@ -82,6 +83,10 @@ SimTime GpuDevice::memcpy_h2d(StreamId stream, std::uint64_t dst, const void* sr
   const SimTime end = schedule_on(copy_in_engine_, streams_[stream], copy_duration(bytes));
   copy_busy_ += copy_duration(bytes);
   ++copies_submitted_;
+  if (trace_ != nullptr) {
+    trace_->span(trace::RunTrace::kTidGpuCopyIn, "gpu", "h2d", end - copy_duration(bytes), end,
+                 {trace::arg("bytes", bytes), trace::arg("stream", static_cast<int>(stream))});
+  }
   std::function<void()> fire;
   if (cb) fire = [end, cb = std::move(cb)] { cb(end); };
   complete_tracked(end, std::move(fire));
@@ -95,6 +100,10 @@ SimTime GpuDevice::memcpy_d2h(StreamId stream, void* dst, std::uint64_t src, std
   const SimTime end = schedule_on(copy_out_engine_, streams_[stream], copy_duration(bytes));
   copy_busy_ += copy_duration(bytes);
   ++copies_submitted_;
+  if (trace_ != nullptr) {
+    trace_->span(trace::RunTrace::kTidGpuCopyOut, "gpu", "d2h", end - copy_duration(bytes), end,
+                 {trace::arg("bytes", bytes), trace::arg("stream", static_cast<int>(stream))});
+  }
   std::function<void()> fire;
   if (cb) fire = [end, cb = std::move(cb)] { cb(end); };
   complete_tracked(end, std::move(fire));
@@ -112,6 +121,10 @@ SimTime GpuDevice::memcpy_d2d(StreamId stream, std::uint64_t dst, std::uint64_t 
   const SimTime end = schedule_on(copy_out_engine_, streams_[stream], duration);
   copy_busy_ += duration;
   ++copies_submitted_;
+  if (trace_ != nullptr) {
+    trace_->span(trace::RunTrace::kTidGpuCopyOut, "gpu", "d2d", end - duration, end,
+                 {trace::arg("bytes", bytes), trace::arg("stream", static_cast<int>(stream))});
+  }
   std::function<void()> fire;
   if (cb) fire = [end, cb = std::move(cb)] { cb(end); };
   complete_tracked(end, std::move(fire));
@@ -131,6 +144,12 @@ SimTime GpuDevice::memcpy_d2d_batch(StreamId stream, const std::vector<CopyDesc>
   const SimTime end = schedule_on(copy_out_engine_, streams_[stream], duration);
   copy_busy_ += duration;
   ++copies_submitted_;
+  if (trace_ != nullptr) {
+    trace_->span(trace::RunTrace::kTidGpuCopyOut, "gpu", "d2d_batch", end - duration, end,
+                 {trace::arg("bytes", total_bytes),
+                  trace::arg("descs", static_cast<int>(descs.size())),
+                  trace::arg("stream", static_cast<int>(stream))});
+  }
   std::function<void()> fire;
   if (cb) fire = [end, cb = std::move(cb)] { cb(end); };
   complete_tracked(end, std::move(fire));
@@ -155,10 +174,15 @@ SimTime GpuDevice::launch(StreamId stream, const LaunchRequest& request, KernelC
     ++fault_stats_->launch_failures;
     SIGVP_DEBUG("gpu") << name_ << " TRANSIENT LAUNCH FAILURE of "
                        << request.kernel->name << " at t=" << queue_.now();
+    if (trace_ != nullptr) {
+      trace_->instant(trace::RunTrace::kTidGpuCompute, "fault", "launch_failure", queue_.now(),
+                      {trace::arg("kernel", request.kernel->name)});
+    }
     complete_tracked(end, [end, on_fault = std::move(on_fault)] { on_fault(end); });
     return end;
   }
 
+  LaunchCacheOutcome cache_outcome = LaunchCacheOutcome::kUncached;
   KernelExecStats stats;
   if (request.mode == ExecMode::kFunctional) {
     // Functional launches go through the process-wide launch cache: an
@@ -171,6 +195,7 @@ SimTime GpuDevice::launch(StreamId stream, const LaunchRequest& request, KernelC
     LaunchEvaluation eval = LaunchCache::instance().evaluate(
         arch_, *request.kernel, request.dims, request.args, memory_, bypass);
     stats = eval.stats;
+    cache_outcome = eval.cache;
   } else {
     stats = evaluate_analytic(arch_, *request.kernel, request.dims, request.analytic_profile,
                               request.mem_behavior);
@@ -189,6 +214,21 @@ SimTime GpuDevice::launch(StreamId stream, const LaunchRequest& request, KernelC
   dynamic_energy_j_ += stats.dynamic_energy_j;
   ++kernels_launched_;
   last_kernel_stats_ = stats;
+
+  if (trace_ != nullptr) {
+    switch (cache_outcome) {
+      case LaunchCacheOutcome::kHit: ++trace_->cache_hits->value; break;
+      case LaunchCacheOutcome::kMiss: ++trace_->cache_misses->value; break;
+      case LaunchCacheOutcome::kBypass: ++trace_->cache_bypasses->value; break;
+      case LaunchCacheOutcome::kUncached: break;
+    }
+    trace_->span(trace::RunTrace::kTidGpuCompute, "gpu", request.kernel->name, end - duration,
+                 end,
+                 {trace::arg("blocks", static_cast<std::uint64_t>(stats.num_blocks)),
+                  trace::arg("cycles", static_cast<double>(stats.total_cycles)),
+                  trace::arg("cache", launch_cache_outcome_name(cache_outcome)),
+                  trace::arg("stream", static_cast<int>(stream))});
+  }
 
   SIGVP_DEBUG("gpu") << name_ << " launch " << request.kernel->name << " blocks="
                      << stats.num_blocks << " cycles=" << stats.total_cycles
@@ -220,6 +260,10 @@ SimTime GpuDevice::reset(SimTime recovery_latency_us) {
   fault_stats_->ops_killed_by_reset += killed.size();
   SIGVP_DEBUG("gpu") << name_ << " DEVICE RESET at t=" << queue_.now() << ": killed "
                      << killed.size() << " in-flight ops, back at t=" << back;
+  if (trace_ != nullptr) {
+    trace_->span(trace::RunTrace::kTidGpuCompute, "fault", "device_reset", queue_.now(), back,
+                 {trace::arg("ops_killed", static_cast<int>(killed.size()))});
+  }
 
   // The reset wipes all queued work, so both engines and every stream
   // restart together once the device comes back.

@@ -18,6 +18,10 @@
 
 namespace sigvp {
 
+namespace trace {
+class RunTrace;
+}
+
 /// How a kernel launch is evaluated by the device model.
 enum class ExecMode {
   /// Interpret the IR over device memory with full cache simulation
@@ -65,6 +69,10 @@ class GpuDevice {
   using LaunchFailCallback = std::function<void(SimTime end)>;
 
   GpuDevice(EventQueue& queue, GpuArch arch, std::uint64_t mem_bytes, std::string name);
+
+  /// Installs the scenario's trace/metrics context (null = off; the default).
+  /// Must outlive the device.
+  void set_trace(trace::RunTrace* trace) { trace_ = trace; }
 
   // --- memory management -----------------------------------------------------
   /// Allocates device memory; throws on exhaustion (paper-scale workloads
@@ -187,6 +195,7 @@ class GpuDevice {
   std::string name_;
   AddressSpace memory_;
   FreeListAllocator allocator_;
+  trace::RunTrace* trace_ = nullptr;
 
   EngineState copy_in_engine_;
   EngineState copy_out_engine_;

@@ -320,7 +320,9 @@ LaunchEvaluation LaunchCache::evaluate(const GpuArch& arch, const KernelIR& kern
   }
   if (bypass != Bypass::kNone) {
     bypasses_.fetch_add(1, std::memory_order_relaxed);
-    return evaluate_functional(arch, kernel, dims, args, memory, observer);
+    LaunchEvaluation out = evaluate_functional(arch, kernel, dims, args, memory, observer);
+    out.cache = LaunchCacheOutcome::kBypass;
+    return out;
   }
 
   const std::uint64_t base_key = base_key_of(arch, kernel, dims, args);
@@ -361,11 +363,14 @@ LaunchEvaluation LaunchCache::evaluate(const GpuArch& arch, const KernelIR& kern
     LaunchEvaluation out;
     out.stats = e->stats;
     out.profile = e->profile;
+    out.cache = LaunchCacheOutcome::kHit;
     return out;
   }
 
   misses_.fetch_add(1, std::memory_order_relaxed);
-  return execute_and_fill(arch, kernel, dims, args, memory, base_key);
+  LaunchEvaluation out = execute_and_fill(arch, kernel, dims, args, memory, base_key);
+  out.cache = LaunchCacheOutcome::kMiss;
+  return out;
 }
 
 LaunchEvaluation LaunchCache::execute_and_fill(const GpuArch& arch, const KernelIR& kernel,

@@ -8,10 +8,26 @@
 
 namespace sigvp {
 
+/// How the launch cache was involved in producing a LaunchEvaluation.
+/// kUncached = the cache never looked at the launch (disabled, or a direct
+/// evaluate_functional call); the others are the counted cache outcomes.
+enum class LaunchCacheOutcome { kUncached, kHit, kMiss, kBypass };
+
+inline const char* launch_cache_outcome_name(LaunchCacheOutcome outcome) {
+  switch (outcome) {
+    case LaunchCacheOutcome::kUncached: return "uncached";
+    case LaunchCacheOutcome::kHit: return "hit";
+    case LaunchCacheOutcome::kMiss: return "miss";
+    case LaunchCacheOutcome::kBypass: return "bypass";
+  }
+  return "?";
+}
+
 /// Result of evaluating one kernel launch outside the event loop.
 struct LaunchEvaluation {
   KernelExecStats stats;
   DynamicProfile profile;
+  LaunchCacheOutcome cache = LaunchCacheOutcome::kUncached;
 };
 
 /// Functionally executes `kernel` on `memory` with a cycle-accurate L2 cache

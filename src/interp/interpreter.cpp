@@ -8,6 +8,7 @@
 
 #include "interp/decoded.hpp"
 #include "run/thread_pool.hpp"
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 
 namespace sigvp {
@@ -156,6 +157,11 @@ DynamicProfile Interpreter::run(const KernelIR& ir, const LaunchDims& dims,
   if (options.mem_hook || prog->has_global_atomics) workers = 1;
   workers = std::min(workers, chunks);
 
+  // Host-domain chunk spans: how the simulator's own threads spent their
+  // wall-clock interpreting this launch. One pointer test when tracing is
+  // off; never feeds the deterministic metrics.
+  trace::Tracer* tracer = trace::Tracer::active();
+
   if (workers <= 1) {
     // Serial path: chunks in canonical order on the calling thread. Shard
     // hooks still see per-chunk streams so results match the parallel path.
@@ -163,8 +169,15 @@ DynamicProfile Interpreter::run(const KernelIR& ir, const LaunchDims& dims,
     for (std::size_t c = 0; c < chunks; ++c) {
       MemAccessHook combined = compose_chunk_hook(options, c);
       const MemAccessHook* hook = combined ? &combined : nullptr;
+      const double host_t0 = tracer != nullptr ? tracer->host_now_us() : 0.0;
       run_chunk(*prog, ir, dims, args, global, hook, options, arena, profile,
                 chunk_range(num_blocks, chunks, c));
+      if (tracer != nullptr) {
+        tracer->complete(tracer->host_pid(), tracer->host_tid(), "interp",
+                         ir.name + "#" + std::to_string(c), host_t0,
+                         tracer->host_now_us() - host_t0,
+                         {trace::arg("chunk", static_cast<int>(c))});
+      }
     }
     finalize_from_visits(*prog, profile);
     return profile;
@@ -189,8 +202,15 @@ DynamicProfile Interpreter::run(const KernelIR& ir, const LaunchDims& dims,
         try {
           MemAccessHook combined = compose_chunk_hook(options, c);
           const MemAccessHook* hook = combined ? &combined : nullptr;
+          const double host_t0 = tracer != nullptr ? tracer->host_now_us() : 0.0;
           run_chunk(*prog, ir, dims, args, global, hook, options, arena,
                     chunk_profiles[c], chunk_range(num_blocks, chunks, c));
+          if (tracer != nullptr) {
+            tracer->complete(tracer->host_pid(), tracer->host_tid(), "interp",
+                             ir.name + "#" + std::to_string(c), host_t0,
+                             tracer->host_now_us() - host_t0,
+                             {trace::arg("chunk", static_cast<int>(c))});
+          }
         } catch (...) {
           chunk_errors[c] = std::current_exception();
           failed.store(true, std::memory_order_relaxed);

@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
@@ -33,7 +34,9 @@ void IpcManager::set_sink(DeliverFn sink) { sink_ = std::move(sink); }
 std::uint32_t IpcManager::register_vp(const std::string& name) {
   vps_.push_back(VpEndpoint{});
   vps_.back().name = name;
-  return static_cast<std::uint32_t>(vps_.size() - 1);
+  const auto id = static_cast<std::uint32_t>(vps_.size() - 1);
+  if (trace_ != nullptr) trace_->thread_name(id, name + ".guest");
+  return id;
 }
 
 void IpcManager::set_fault(const FaultPlan* plan, FaultStats* stats, HealthPolicy* health,
@@ -78,6 +81,19 @@ void IpcManager::send_job(std::uint32_t vp_id, Job job, std::uint64_t payload_by
   job.id = next_job_id_++;
   job.vp_id = vp_id;
 
+  // Guest-submit observability: the flow starts here (on the VP's track)
+  // and ends when the completion is released back to the guest.
+  const SimTime submit_time = queue_.now();
+  const std::uint64_t job_id = job.id;
+  if (trace_ != nullptr) {
+    ++trace_->ipc_requests->value;
+    trace_->ipc_payload_bytes->record(static_cast<double>(payload_bytes));
+    trace_->flow_begin(vp_id, submit_time, job_id);
+    trace_->span(vp_id, "ipc", std::string("submit:") + job_kind_name(job.kind), submit_time,
+                 submit_time + cost_.message_cost(payload_bytes),
+                 {trace::arg("job", job_id), trace::arg("payload_bytes", payload_bytes)});
+  }
+
   if (fault_active()) {
     send_job_faulty(vp_id, std::move(job), payload_bytes);
     return;
@@ -90,15 +106,25 @@ void IpcManager::send_job(std::uint32_t vp_id, Job job, std::uint64_t payload_by
   // Wrap the completion so the response message (control-only) is charged
   // and VP control can hold the notification while the VP is stopped.
   auto original = std::move(job.on_complete);
-  job.on_complete = [this, vp_id, original](SimTime end, const KernelExecStats* stats) {
+  job.on_complete = [this, vp_id, original, job_id,
+                     submit_time](SimTime end, const KernelExecStats* stats) {
     const SimTime response_cost = cost_.message_cost(0);
     ++messages_sent_;
     transport_time_total_ += response_cost;
+    if (trace_ != nullptr) {
+      trace_->span(vp_id, "ipc", "response", end, end + response_cost,
+                   {trace::arg("job", job_id)});
+    }
     KernelExecStats stats_copy;
     const bool has_stats = stats != nullptr;
     if (has_stats) stats_copy = *stats;
-    queue_.schedule_at(end + response_cost, [this, vp_id, original, has_stats, stats_copy] {
-      notify_vp(vp_id, [this, original, has_stats, stats_copy] {
+    queue_.schedule_at(end + response_cost, [this, vp_id, original, has_stats, stats_copy,
+                                             job_id, submit_time] {
+      notify_vp(vp_id, [this, vp_id, original, has_stats, stats_copy, job_id, submit_time] {
+        if (trace_ != nullptr) {
+          trace_->job_latency_us->record(queue_.now() - submit_time);
+          trace_->flow_end(vp_id, queue_.now(), job_id);
+        }
         if (original) original(queue_.now(), has_stats ? &stats_copy : nullptr);
       });
     });
@@ -124,6 +150,27 @@ void IpcManager::attempt_transfer(const std::shared_ptr<Transfer>& xfer) {
   const bool dropped = fault_plan_->drop_message(xfer->response, roll);
   const SimTime spike = dropped ? 0.0 : fault_plan_->message_delay(xfer->response, roll);
   const bool duplicated = !dropped && fault_plan_->duplicate_message(xfer->response, roll);
+
+  if (trace_ != nullptr) {
+    const char* dir = xfer->response ? "resp" : "req";
+    const std::vector<trace::Arg> args = {trace::arg("vp", static_cast<int>(xfer->vp_id)),
+                                          trace::arg("attempt", static_cast<int>(xfer->attempts))};
+    if (dropped) {
+      trace_->instant(trace::RunTrace::kTidIpc, "fault", std::string("drop:") + dir,
+                      queue_.now(), args);
+    } else {
+      trace_->span(trace::RunTrace::kTidIpc, "ipc", std::string("xfer:") + dir, queue_.now(),
+                   queue_.now() + cost + spike, args);
+      if (spike > 0.0) {
+        trace_->instant(trace::RunTrace::kTidIpc, "fault", std::string("spike:") + dir,
+                        queue_.now(), args);
+      }
+      if (duplicated) {
+        trace_->instant(trace::RunTrace::kTidIpc, "fault", std::string("dup:") + dir,
+                        queue_.now(), args);
+      }
+    }
+  }
 
   // Receiver side: run the payload once (redeliveries and duplicates are
   // suppressed by message id), then return an ack. A lost ack leaves the
@@ -178,12 +225,24 @@ void IpcManager::attempt_transfer(const std::shared_ptr<Transfer>& xfer) {
       SIGVP_DEBUG("ipc") << (xfer->response ? "response" : "request") << " to/from vp"
                          << xfer->vp_id << " undeliverable after " << xfer->attempts
                          << " attempts";
+      if (trace_ != nullptr) {
+        trace_->instant(trace::RunTrace::kTidIpc, "fault",
+                        xfer->response ? "give_up:resp" : "give_up:req", queue_.now(),
+                        {trace::arg("vp", static_cast<int>(xfer->vp_id)),
+                         trace::arg("attempts", static_cast<int>(xfer->attempts))});
+      }
       xfer->acked = true;  // disarm: no further retransmissions
       fault_stats_->note_recovery(queue_.now() - xfer->first_sent_at);
       xfer->give_up();
       return;
     }
     ++fault_stats_->retransmits;
+    if (trace_ != nullptr) {
+      trace_->instant(trace::RunTrace::kTidIpc, "fault",
+                      xfer->response ? "retransmit:resp" : "retransmit:req", queue_.now(),
+                      {trace::arg("vp", static_cast<int>(xfer->vp_id)),
+                       trace::arg("attempt", static_cast<int>(xfer->attempts))});
+    }
     attempt_transfer(xfer);
   });
 }
@@ -211,12 +270,19 @@ void IpcManager::send_job_faulty(std::uint32_t vp_id, Job job, std::uint64_t pay
   // latency-spiked responses can never invert the VP's completion order.
   auto original = std::move(job.on_complete);
   const std::uint32_t vp = vp_id;
-  job.on_complete = [this, vp, seq, original](SimTime, const KernelExecStats* stats) {
+  const std::uint64_t job_id = job.id;
+  const SimTime submit_time = queue_.now();
+  job.on_complete = [this, vp, seq, original, job_id,
+                     submit_time](SimTime, const KernelExecStats* stats) {
     KernelExecStats stats_copy;
     const bool has_stats = stats != nullptr;
     if (has_stats) stats_copy = *stats;
-    auto notify = [this, vp, original, has_stats, stats_copy] {
-      notify_vp(vp, [this, original, has_stats, stats_copy] {
+    auto notify = [this, vp, original, has_stats, stats_copy, job_id, submit_time] {
+      notify_vp(vp, [this, vp, original, has_stats, stats_copy, job_id, submit_time] {
+        if (trace_ != nullptr) {
+          trace_->job_latency_us->record(queue_.now() - submit_time);
+          trace_->flow_end(vp, queue_.now(), job_id);
+        }
         if (original) original(queue_.now(), has_stats ? &stats_copy : nullptr);
       });
     };

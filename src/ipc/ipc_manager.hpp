@@ -17,6 +17,10 @@
 
 namespace sigvp {
 
+namespace trace {
+class RunTrace;
+}
+
 /// Transport cost model of the VP↔host IPC channel.
 ///
 /// Two presets mirror the transports the paper names: shared memory (cheap
@@ -64,6 +68,10 @@ class IpcManager {
 
   /// Connects the host-side consumer (the Re-scheduler/Dispatcher).
   void set_sink(DeliverFn sink);
+
+  /// Installs the scenario's trace/metrics context (null = off; the default).
+  /// Call before register_vp so VP tracks get named. Must outlive the manager.
+  void set_trace(trace::RunTrace* trace) { trace_ = trace; }
 
   /// Registers a VP endpoint; returns its id.
   std::uint32_t register_vp(const std::string& name);
@@ -166,6 +174,7 @@ class IpcManager {
   EventQueue& queue_;
   IpcCostModel cost_;
   DeliverFn sink_;
+  trace::RunTrace* trace_ = nullptr;
   std::vector<VpEndpoint> vps_;
   std::uint64_t next_job_id_ = 1;
   std::uint64_t messages_sent_ = 0;

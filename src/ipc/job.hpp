@@ -11,6 +11,16 @@ namespace sigvp {
 /// Kind of work a virtual embedded GPU pushes into the host Job Queue.
 enum class JobKind { kMemcpyH2D, kMemcpyD2H, kKernel };
 
+/// Short label for traces and diagnostics.
+inline const char* job_kind_name(JobKind kind) {
+  switch (kind) {
+    case JobKind::kMemcpyH2D: return "h2d";
+    case JobKind::kMemcpyD2H: return "d2h";
+    case JobKind::kKernel: return "kernel";
+  }
+  return "?";
+}
+
 /// One entry of the host-side Job Queue (paper Fig. 2).
 ///
 /// The (vp_id, seq_in_vp) pair encodes the partial order the Re-scheduler

@@ -4,7 +4,10 @@
 #include <fstream>
 #include <sstream>
 
+#include "trace/metrics.hpp"
 #include "util/check.hpp"
+#include "util/jsonfmt.hpp"
+#include "util/log.hpp"
 
 namespace sigvp::run {
 
@@ -32,44 +35,28 @@ void append_summary(std::ostringstream& os, const SampleSummary& s) {
 
 namespace json {
 
-std::string escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-/// Shortest round-trippable representation; JSON has no NaN/Inf, so encode
-/// them as null (no simulated quantity should produce them).
-std::string number(double v) {
-  if (v != v || v == 1.0 / 0.0 || v == -1.0 / 0.0) return "null";
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
+// Thin aliases over the shared util primitives (kept for the existing bench
+// call sites; src/trace uses util::json_* directly).
+std::string escape(const std::string& s) { return util::json_escape(s); }
+std::string number(double v) { return util::json_number(v); }
 
 }  // namespace json
 
-void write_json_file(const std::string& text, const std::string& path) {
+bool try_write_json_file(const std::string& text, const std::string& path) {
   std::ofstream f(path);
-  SIGVP_REQUIRE(f.good(), "cannot open JSON results file: " + path);
+  if (!f.good()) return false;
   f << text;
-  SIGVP_REQUIRE(f.good(), "failed writing JSON results file: " + path);
+  // Flush before checking: a full device (e.g. --json /dev/full) only fails
+  // when buffered bytes actually hit the file, which without this happened
+  // in the destructor — after the old good() check had already passed.
+  f.flush();
+  f.close();
+  return f.good();
+}
+
+void write_json_file(const std::string& text, const std::string& path) {
+  SIGVP_REQUIRE(try_write_json_file(text, path),
+                "failed writing JSON results file: " + path);
 }
 
 std::string sweep_to_json(const SweepResult& sweep, const std::string& bench_name) {
@@ -90,6 +77,13 @@ std::string sweep_to_json(const SweepResult& sweep, const std::string& bench_nam
        << ", \"bypasses\": " << c.bypasses << ", \"bytes_replayed\": " << c.bytes_replayed
        << ", \"evictions\": " << c.evictions << ", \"entries\": " << c.entries
        << ", \"bytes\": " << c.bytes << "}";
+  }
+  // Deterministic sim-domain metrics (src/trace), aggregated across the
+  // sweep's scenarios in canonical input order. Present only when collection
+  // was on (SIGVP_TRACE / SIGVP_METRICS=1 / --trace), so default runs stay
+  // byte-identical to builds without the trace subsystem.
+  if (sweep.metrics != nullptr && !sweep.metrics->empty()) {
+    os << ",\n  \"metrics\": " << sweep.metrics->to_json("  ");
   }
   os << ",\n  \"jobs\": [\n";
   for (std::size_t i = 0; i < sweep.jobs.size(); ++i) {
@@ -151,6 +145,13 @@ std::string sweep_to_json(const SweepResult& sweep, const std::string& bench_nam
 void write_sweep_json(const SweepResult& sweep, const std::string& bench_name,
                       const std::string& path) {
   write_json_file(sweep_to_json(sweep, bench_name), path);
+}
+
+bool try_write_sweep_json(const SweepResult& sweep, const std::string& bench_name,
+                          const std::string& path) {
+  if (try_write_json_file(sweep_to_json(sweep, bench_name), path)) return true;
+  SIGVP_WARN("bench") << "failed writing JSON results file: " << path;
+  return false;
 }
 
 }  // namespace sigvp::run

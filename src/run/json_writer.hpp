@@ -23,12 +23,22 @@ namespace sigvp::run {
 /// Jobs that ran under an enabled fault plan additionally carry a "fault"
 /// object with the injected/recovery counters (FaultStats). Zero-fault runs
 /// omit the key entirely, keeping their JSON byte-identical to builds
-/// without the fault layer.
+/// without the fault layer. Likewise, when metrics collection was on
+/// (SIGVP_TRACE / SIGVP_METRICS=1 / --trace) the document carries a
+/// top-level "metrics" object (counters/gauges/histograms aggregated across
+/// scenarios in canonical input order); default runs omit it.
 std::string sweep_to_json(const SweepResult& sweep, const std::string& bench_name);
 
 /// Writes `sweep_to_json` to `path` (e.g. "BENCH_fig11_suite.json").
 void write_sweep_json(const SweepResult& sweep, const std::string& bench_name,
                       const std::string& path);
+
+/// Like write_sweep_json but logs the failure and returns false instead of
+/// throwing. Bench mains use this so `--json` to an unwritable path turns
+/// into `return 1`, not an uncaught exception (or — worse — a silent
+/// success, which is what the pre-flush good() check used to produce).
+bool try_write_sweep_json(const SweepResult& sweep, const std::string& bench_name,
+                          const std::string& path);
 
 /// Low-level JSON primitives shared by the sweep serializer and the
 /// non-sweep benches (e.g. `bench/interp_throughput`), so every BENCH_*.json
@@ -46,5 +56,11 @@ std::string number(double v);
 /// Writes an already-serialized JSON document to `path`, with the same
 /// error contract as `write_sweep_json`.
 void write_json_file(const std::string& text, const std::string& path);
+
+/// Like write_json_file but reports failure instead of throwing — the write
+/// is only considered successful once the stream has flushed and closed
+/// cleanly. Benches use this so `--json` to an unwritable path exits
+/// nonzero instead of silently succeeding.
+bool try_write_json_file(const std::string& text, const std::string& path);
 
 }  // namespace sigvp::run

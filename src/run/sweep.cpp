@@ -5,7 +5,9 @@
 #include <cstdlib>
 
 #include "run/thread_pool.hpp"
+#include "trace/trace.hpp"
 #include "util/check.hpp"
+#include "util/log.hpp"
 
 namespace sigvp::run {
 
@@ -57,16 +59,33 @@ SweepResult SweepRunner::run(const std::vector<SweepJob>& jobs) const {
     // Results land in their input slot, so aggregation order — and therefore
     // every downstream number — is independent of scheduling order.
     ThreadPool pool(std::min(workers_, std::max<std::size_t>(1, jobs.size())));
-    parallel_for(pool, jobs.size(), [&jobs, &out](std::size_t i) {
+    trace::Tracer* tracer = trace::Tracer::active();
+    parallel_for(pool, jobs.size(), [&jobs, &out, tracer](std::size_t i) {
+      // Host-domain span for this sweep job (how the simulator itself spent
+      // its wall-clock); never part of the deterministic metrics.
+      const double host_t0 = tracer != nullptr ? tracer->host_now_us() : 0.0;
       out.jobs[i].name = jobs[i].name;
       out.jobs[i].group = jobs[i].group;
       out.jobs[i].result = run_scenario(jobs[i].config, jobs[i].apps);
+      if (tracer != nullptr) {
+        tracer->complete(tracer->host_pid(), tracer->host_tid(), "sweep", jobs[i].name,
+                         host_t0, tracer->host_now_us() - host_t0);
+      }
     });
   }
   out.wall_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
                                                           wall_start)
                     .count();
   out.cache = LaunchCache::instance().stats() - cache_before;
+
+  // Fold per-scenario metrics in canonical input order: counters add and
+  // histograms sum bucket-wise, so the merged registry is bit-identical for
+  // any worker count.
+  for (const SweepJobResult& j : out.jobs) {
+    if (j.result.metrics == nullptr) continue;
+    if (out.metrics == nullptr) out.metrics = std::make_shared<trace::Metrics>();
+    out.metrics->merge(*j.result.metrics);
+  }
   return out;
 }
 
@@ -79,9 +98,23 @@ SweepCli parse_sweep_cli(int argc, char** argv, const std::string& default_json)
       cli.workers = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--json" && i + 1 < argc) {
       cli.json_path = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      cli.trace_path = argv[++i];
     }
   }
+  if (!cli.trace_path.empty()) trace::Tracer::enable(cli.trace_path);
   return cli;
+}
+
+bool flush_trace() {
+  trace::Tracer* tracer = trace::Tracer::active();
+  if (tracer == nullptr) return true;
+  const bool ok = tracer->write();
+  if (ok) {
+    SIGVP_INFO("trace") << "wrote " << tracer->event_count() << " events to "
+                        << tracer->path();
+  }
+  return ok;
 }
 
 }  // namespace sigvp::run

@@ -1,11 +1,13 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/scenario.hpp"
 #include "gpu/launch_cache.hpp"
+#include "trace/metrics.hpp"
 #include "util/stats.hpp"
 
 namespace sigvp::run {
@@ -37,6 +39,11 @@ struct SweepResult {
   /// `entries`/`bytes` are residency levels at sweep end). The cache is
   /// process-wide, so concurrent jobs on different workers share hits.
   LaunchCacheStats cache;
+
+  /// Per-scenario sim-domain metrics folded together in canonical input
+  /// order (worker-count independent — see trace::Metrics). Null unless
+  /// collection was on (`trace::collecting()`) during the sweep.
+  std::shared_ptr<trace::Metrics> metrics;
 
   const SweepJobResult& find(const std::string& name) const;
 
@@ -73,13 +80,24 @@ class SweepRunner {
 };
 
 /// Shared CLI handling for the sweep-shaped benches: `--workers N`
-/// (0 = hardware concurrency, the default) and `--json PATH` to override
-/// the bench's default `BENCH_<name>.json` output location.
+/// (0 = hardware concurrency, the default), `--json PATH` to override the
+/// bench's default `BENCH_<name>.json` output location, and `--trace PATH`
+/// to enable the Chrome/Perfetto tracer (equivalent to SIGVP_TRACE=PATH;
+/// parse_sweep_cli enables it immediately so every subsequent scenario is
+/// captured).
 struct SweepCli {
   std::size_t workers = 0;
   std::string json_path;
+  std::string trace_path;
 };
 
 SweepCli parse_sweep_cli(int argc, char** argv, const std::string& default_json);
+
+/// If the tracer is active, writes its trace file now and logs the path;
+/// returns false only on an actual write failure (inactive tracer is a
+/// trivially-successful no-op). Benches call this before exiting; an atexit
+/// hook also writes the trace, so this mainly surfaces errors early enough
+/// to affect the exit code.
+bool flush_trace();
 
 }  // namespace sigvp::run

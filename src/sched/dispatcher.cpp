@@ -4,6 +4,7 @@
 #include <sstream>
 #include <utility>
 
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
@@ -35,7 +36,15 @@ void Dispatcher::submit(Job job) {
   SIGVP_REQUIRE(job.kind != JobKind::kKernel || job.launch.request.kernel != nullptr,
                 "kernel job without a kernel");
   job.enqueue_time = events_.now();
+  if (trace_ != nullptr) {
+    if (job.id != 0) trace_->flow_step(trace::RunTrace::kTidDispatcher, events_.now(), job.id);
+  }
   queue_.push_back(std::move(job));
+  if (trace_ != nullptr) {
+    trace_->queue_depth->record(static_cast<double>(queue_.size()));
+    trace_->queue_depth_max->record_max(static_cast<double>(queue_.size()));
+    trace_->counter("sched.queue_depth", events_.now(), static_cast<double>(queue_.size()));
+  }
   pump();
 }
 
@@ -157,13 +166,41 @@ void Dispatcher::pump() {
   pumping_ = false;
 }
 
+const char* Dispatcher::head_hold_reason() const {
+  if (queue_.empty()) return "empty";
+  const Job& head = queue_.front();
+  if (!is_ready(head)) return "head waits on VP sequence order";
+  if (held_for_coalescing(head)) return "head held for coalescing peers";
+  if (vp_group_inflight_[head.vp_id] > 0) return "head waits on a merged group";
+  if (fault_active() && vp_inflight_[head.vp_id] > 0) return "head gated by fault-mode order";
+  const SimTime engine_free = head.kind == JobKind::kKernel
+                                  ? device_.compute_engine_free_at()
+                                  : (head.kind == JobKind::kMemcpyH2D
+                                         ? device_.h2d_engine_free_at()
+                                         : device_.d2h_engine_free_at());
+  if (engine_free > events_.now()) return "head engine busy";
+  if (device_.stream_idle_at(vp_streams_[head.vp_id]) > events_.now())
+    return "head stream busy";
+  return "head ready (tie)";
+}
+
 void Dispatcher::dispatch_at(std::size_t index) {
   // A dispatch from behind the queue head is the Re-scheduler's asynchronous
   // cross-VP reordering (paper Fig. 4(a)) — only meaningful with Kernel
   // Interleaving. In the serial baseline the head can only be bypassed while
   // it waits out a coalescing window, which is a hold, not a reorder; the
   // `interleave == false ⇒ reorders == 0` invariant is property-tested.
-  if (index > 0 && config_.interleave) ++reorders_;
+  if (index > 0 && config_.interleave) {
+    ++reorders_;
+    if (trace_ != nullptr) {
+      ++trace_->reorders->value;
+      trace_->instant(trace::RunTrace::kTidDispatcher, "sched", "reorder", events_.now(),
+                      {trace::arg("job", queue_[index].id),
+                       trace::arg("vp", static_cast<int>(queue_[index].vp_id)),
+                       trace::arg("picked_index", static_cast<int>(index)),
+                       trace::arg("reason", head_hold_reason())});
+    }
+  }
 
   Job job = std::move(queue_[index]);
   queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
@@ -187,6 +224,18 @@ void Dispatcher::dispatch_at(std::size_t index) {
       dispatch_group(std::move(group));
       return;
     }
+    if (trace_ != nullptr) {
+      // A coalescable kernel dispatching alone means its window expired (or
+      // matching peers could not merge) — the "why didn't this coalesce"
+      // annotation the trace promises.
+      trace_->instant(trace::RunTrace::kTidDispatcher, "sched", "coalesce.window_expired",
+                      events_.now(),
+                      {trace::arg("job", group.front().id),
+                       trace::arg("vp", static_cast<int>(group.front().vp_id)),
+                       trace::arg("waited_us",
+                                  events_.now() - group.front().enqueue_time),
+                       trace::arg("unmergeable_peers", static_cast<int>(group.size() - 1))});
+    }
     dispatch_single(std::move(group.front()));
     // Any extra matches that could not merge are re-queued at the front in
     // their original relative order.
@@ -206,6 +255,22 @@ void Dispatcher::dispatch_single(Job job) {
   ++jobs_dispatched_;
   SIGVP_TRACE("dispatcher") << "dispatch job " << job.id << " vp" << job.vp_id << " kind="
                             << static_cast<int>(job.kind) << " t=" << events_.now();
+  if (trace_ != nullptr) {
+    ++trace_->jobs_dispatched->value;
+    trace_->queue_wait_us->record(events_.now() - job.enqueue_time);
+    trace_->counter("sched.queue_depth", events_.now(), static_cast<double>(queue_.size()));
+    // Queue residency on the VP's track, then the dispatcher's service slot.
+    trace_->span(job.vp_id, "sched", std::string("queue:") + job_kind_name(job.kind),
+                 job.enqueue_time, events_.now(), {trace::arg("job", job.id)});
+    const SimTime service_start = std::max(events_.now(), service_.free_at());
+    trace_->span(trace::RunTrace::kTidDispatcher, "sched",
+                 std::string("service:") + job_kind_name(job.kind), service_start,
+                 service_start + config_.dispatch_overhead_us,
+                 {trace::arg("job", job.id), trace::arg("vp", static_cast<int>(job.vp_id))});
+    if (job.id != 0) {
+      trace_->flow_step(trace::RunTrace::kTidDispatcher, events_.now(), job.id);
+    }
+  }
   // Host-side job handling happens on the dispatcher thread before the op
   // reaches the device engines.
   service_.submit(config_.dispatch_overhead_us,
@@ -251,6 +316,27 @@ void Dispatcher::submit_to_device(Job job) {
 void Dispatcher::dispatch_group(std::vector<Job> group) {
   in_flight_ += static_cast<std::uint32_t>(group.size());
   jobs_dispatched_ += group.size();
+  if (trace_ != nullptr) {
+    ++trace_->coalesced_groups->value;
+    trace_->coalesced_jobs->value += group.size();
+    trace_->jobs_dispatched->value += group.size();
+    trace_->group_size->record(static_cast<double>(group.size()));
+    trace_->counter("sched.queue_depth", events_.now(), static_cast<double>(queue_.size()));
+    trace_->instant(trace::RunTrace::kTidDispatcher, "sched", "coalesce", events_.now(),
+                    {trace::arg("size", static_cast<int>(group.size())),
+                     trace::arg("lead_job", group.front().id),
+                     trace::arg("reason", "identical ready kernels merged")});
+    const SimTime service_start = std::max(events_.now(), service_.free_at());
+    trace_->span(trace::RunTrace::kTidDispatcher, "sched", "service:group", service_start,
+                 service_start + config_.dispatch_overhead_us,
+                 {trace::arg("size", static_cast<int>(group.size()))});
+    for (const Job& j : group) {
+      trace_->queue_wait_us->record(events_.now() - j.enqueue_time);
+      trace_->span(j.vp_id, "sched", std::string("queue:") + job_kind_name(j.kind),
+                   j.enqueue_time, events_.now(), {trace::arg("job", j.id)});
+      if (j.id != 0) trace_->flow_step(trace::RunTrace::kTidDispatcher, events_.now(), j.id);
+    }
+  }
   // Fault mode: retain pre-wrap member copies so a merged-launch abort or a
   // reset kill can re-queue members with their original completions.
   std::shared_ptr<std::vector<Job>> retained;

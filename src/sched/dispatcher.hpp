@@ -19,6 +19,10 @@
 
 namespace sigvp {
 
+namespace trace {
+class RunTrace;
+}
+
 /// Policy knobs of the Re-scheduler + Job Dispatcher pair (paper Fig. 2).
 struct DispatchConfig {
   /// Kernel Interleaving: keep the Copy Engine and the Compute Engine of the
@@ -69,6 +73,10 @@ class Dispatcher {
   /// Creates the device stream for a VP; call once per registered VP, in
   /// VP-id order.
   void register_vp();
+
+  /// Installs the scenario's trace/metrics context (null = off; the default).
+  /// Must outlive the dispatcher.
+  void set_trace(trace::RunTrace* trace) { trace_ = trace; }
 
   /// Job Queue entry point (the IPC manager's sink).
   void submit(Job job);
@@ -122,6 +130,8 @@ class Dispatcher {
   /// Index into queue_ of the earliest ready job the policy may dispatch
   /// right now, or npos.
   std::size_t pick_next() const;
+  /// Why the queue head was passed over (trace "reorder" annotations).
+  const char* head_hold_reason() const;
   void dispatch_at(std::size_t index);
   void dispatch_single(Job job);
   void dispatch_group(std::vector<Job> group);
@@ -161,6 +171,7 @@ class Dispatcher {
   EventQueue& events_;
   GpuDevice& device_;
   DispatchConfig config_;
+  trace::RunTrace* trace_ = nullptr;
   GpuDevice::StreamId service_stream_;
   Coalescer coalescer_;
   Engine service_;  // the dispatcher's host thread

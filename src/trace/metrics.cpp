@@ -1,0 +1,193 @@
+#include "trace/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/jsonfmt.hpp"
+
+namespace sigvp::trace {
+
+Histogram::Histogram(std::vector<double> bucket_edges) : edges(std::move(bucket_edges)) {
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    SIGVP_REQUIRE(edges[i - 1] < edges[i], "histogram edges must be strictly ascending");
+  }
+  counts.assign(edges.size() + 1, 0);
+}
+
+void Histogram::record(double v) {
+  const auto it = std::lower_bound(edges.begin(), edges.end(), v);
+  ++counts[static_cast<std::size_t>(it - edges.begin())];
+  if (count == 0) {
+    min = max = v;
+  } else {
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  ++count;
+  sum += v;
+}
+
+double Histogram::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample, 1-based; ceil(q * count) with integer math.
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, count - static_cast<std::uint64_t>(
+                                             static_cast<double>(count) * (1.0 - q)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (cumulative >= rank) {
+      // Overflow bucket (and an exact-max fallback): report the observed max.
+      if (i >= edges.size()) return max;
+      return std::min(edges[i], max);
+    }
+  }
+  return max;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count == 0) return;
+  SIGVP_REQUIRE(edges == other.edges, "cannot merge histograms with different bucket edges");
+  for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
+namespace {
+
+std::vector<double> make_1_2_5_ladder(double lo, double hi) {
+  std::vector<double> edges;
+  for (double decade = lo; decade <= hi; decade *= 10.0) {
+    edges.push_back(decade);
+    if (decade * 2.0 <= hi) edges.push_back(decade * 2.0);
+    if (decade * 5.0 <= hi) edges.push_back(decade * 5.0);
+  }
+  return edges;
+}
+
+std::vector<double> make_pow2(double lo, double hi) {
+  std::vector<double> edges;
+  for (double v = lo; v <= hi; v *= 2.0) edges.push_back(v);
+  return edges;
+}
+
+}  // namespace
+
+const std::vector<double>& latency_buckets_us() {
+  static const std::vector<double> edges = make_1_2_5_ladder(1.0, 5e6);
+  return edges;
+}
+
+const std::vector<double>& depth_buckets() {
+  static const std::vector<double> edges = make_pow2(1.0, 512.0);
+  return edges;
+}
+
+const std::vector<double>& group_size_buckets() {
+  static const std::vector<double> edges = {1, 2, 3, 4, 6, 8, 12, 16, 24, 32};
+  return edges;
+}
+
+const std::vector<double>& bytes_buckets() {
+  static const std::vector<double> edges = make_pow2(256.0, 16.0 * 1024.0 * 1024.0);
+  return edges;
+}
+
+Histogram& Metrics::histogram(const std::string& name, const std::vector<double>& edges) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(edges)).first;
+  }
+  return it->second;
+}
+
+void Metrics::merge(const Metrics& other) {
+  for (const auto& [name, c] : other.counters_) counters_[name].value += c.value;
+  for (const auto& [name, g] : other.gauges_) {
+    if (g.set) gauges_[name].record_max(g.value);
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name, h.edges).merge(h);
+  }
+}
+
+std::string Metrics::to_json(const std::string& indent) const {
+  using util::json_escape;
+  using util::json_number;
+  const std::string in1 = indent + "  ";
+  const std::string in2 = in1 + "  ";
+  const std::string in3 = in2 + "  ";
+  std::string out = "{";
+  bool first_section = true;
+  const auto open_section = [&](const char* name) {
+    out += first_section ? "\n" : ",\n";
+    first_section = false;
+    out += in1;
+    out += '"';
+    out += name;
+    out += "\": {\n";
+  };
+  if (!counters_.empty()) {
+    open_section("counters");
+    bool first = true;
+    for (const auto& [name, c] : counters_) {
+      if (!first) out += ",\n";
+      first = false;
+      out += in2 + "\"" + json_escape(name) + "\": " + std::to_string(c.value);
+    }
+    out += "\n" + in1 + "}";
+  }
+  if (!gauges_.empty()) {
+    open_section("gauges");
+    bool first = true;
+    for (const auto& [name, g] : gauges_) {
+      if (!first) out += ",\n";
+      first = false;
+      out += in2 + "\"" + json_escape(name) + "\": " + json_number(g.value);
+    }
+    out += "\n" + in1 + "}";
+  }
+  if (!histograms_.empty()) {
+    open_section("histograms");
+    bool first = true;
+    for (const auto& [name, h] : histograms_) {
+      if (!first) out += ",\n";
+      first = false;
+      out += in2 + "\"" + json_escape(name) + "\": {\n";
+      out += in3 + "\"count\": " + std::to_string(h.count) + ",\n";
+      out += in3 + "\"sum\": " + json_number(h.sum) + ",\n";
+      out += in3 + "\"min\": " + json_number(h.min) + ",\n";
+      out += in3 + "\"max\": " + json_number(h.max) + ",\n";
+      out += in3 + "\"mean\": " + json_number(h.mean()) + ",\n";
+      out += in3 + "\"p50\": " + json_number(h.quantile(0.50)) + ",\n";
+      out += in3 + "\"p95\": " + json_number(h.quantile(0.95)) + ",\n";
+      out += in3 + "\"p99\": " + json_number(h.quantile(0.99)) + ",\n";
+      out += in3 + "\"edges\": [";
+      for (std::size_t i = 0; i < h.edges.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += json_number(h.edges[i]);
+      }
+      out += "],\n";
+      out += in3 + "\"counts\": [";
+      for (std::size_t i = 0; i < h.counts.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += std::to_string(h.counts[i]);
+      }
+      out += "]\n";
+      out += in2 + "}";
+    }
+    out += "\n" + in1 + "}";
+  }
+  out += first_section ? "}" : "\n" + indent + "}";
+  return out;
+}
+
+}  // namespace sigvp::trace

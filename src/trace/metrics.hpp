@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sigvp::trace {
+
+/// Monotonic event count. POD on purpose: call sites increment `value`
+/// directly, so a disabled registry costs exactly one pointer test.
+struct Counter {
+  std::uint64_t value = 0;
+};
+
+/// Last-written level (queue high-water mark, engine utilization, ...).
+/// Merging two registries keeps the maximum, which is the only order-free
+/// (and therefore deterministic) combination for levels.
+struct Gauge {
+  double value = 0.0;
+  bool set = false;
+
+  void record(double v) {
+    value = v;
+    set = true;
+  }
+  void record_max(double v) {
+    if (!set || v > value) value = v;
+    set = true;
+  }
+};
+
+/// Fixed-bucket histogram with Prometheus-style upper-bound edges: bucket i
+/// counts samples with `edges[i-1] < v <= edges[i]`, and one overflow bucket
+/// holds everything above `edges.back()`. Edges are fixed at registration,
+/// so merging registries (the sweep runner folds per-scenario metrics in
+/// canonical job order) is an exact bucket-wise sum — no re-binning, no
+/// order dependence, bit-identical for any worker count.
+struct Histogram {
+  std::vector<double> edges;            // ascending upper bounds
+  std::vector<std::uint64_t> counts;    // edges.size() + 1 buckets
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  explicit Histogram(std::vector<double> bucket_edges = {});
+
+  void record(double v);
+
+  /// Upper edge of the bucket containing the q-quantile (q in [0,1]); the
+  /// overflow bucket reports the exact observed maximum. 0 when empty.
+  double quantile(double q) const;
+
+  double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+
+  /// Bucket-wise sum; both histograms must share the same edges.
+  void merge(const Histogram& other);
+};
+
+// --- canonical bucket ladders -------------------------------------------------
+// Shared edges so the same quantity is always binned the same way and any two
+// registries that track it can merge. All simulated-time buckets are in µs.
+
+const std::vector<double>& latency_buckets_us();   // 1 µs .. 5 s, 1-2-5 ladder
+const std::vector<double>& depth_buckets();        // queue depths, powers of two
+const std::vector<double>& group_size_buckets();   // coalescing group sizes
+const std::vector<double>& bytes_buckets();        // payload sizes, 256 B .. 16 MB
+
+/// Named registry of counters, gauges and fixed-bucket histograms.
+///
+/// One instance per scenario run (single-threaded on that scenario's event
+/// queue — no locks), merged across a sweep's runs in canonical input order
+/// by the SweepRunner. Serialization iterates std::map, so the JSON `metrics`
+/// block is deterministic byte-for-byte given deterministic contents.
+class Metrics {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  /// Registers (or finds) a histogram; `edges` only applies on first use.
+  Histogram& histogram(const std::string& name, const std::vector<double>& edges);
+
+  bool empty() const { return counters_.empty() && gauges_.empty() && histograms_.empty(); }
+
+  /// Folds `other` into this registry: counters add, gauges keep the max,
+  /// histograms sum bucket-wise. Call in canonical order for determinism.
+  void merge(const Metrics& other);
+
+  /// Deterministic JSON object ({"counters": .., "gauges": .., "histograms":
+  /// ..}; empty sections omitted). `indent` is the prefix of the opening
+  /// brace's line; nested lines indent by two more spaces.
+  std::string to_json(const std::string& indent) const;
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace sigvp::trace

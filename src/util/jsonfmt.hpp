@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+
+namespace sigvp::util {
+
+/// Low-level JSON formatting primitives shared by every JSON producer in the
+/// repository (the sweep serializer in src/run, the trace/metrics subsystem
+/// in src/trace, and the non-sweep benches), so escaping and number
+/// formatting have exactly one implementation.
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes excluded).
+std::string json_escape(const std::string& s);
+
+/// Shortest round-trippable decimal representation; NaN/Inf encode as null
+/// (JSON has no NaN/Inf, and no simulated quantity should produce them).
+std::string json_number(double v);
+
+}  // namespace sigvp::util
