@@ -13,6 +13,11 @@ baselines in bench/baselines/ and exits nonzero on:
     deterministic counters — they must not change at all without a baseline
     update), a missing VP point, or a cache wall-clock speedup dropping
     below the band.
+  * app_suite: ANY change to a scenario's sim-domain results (makespan,
+    request count, latency percentiles, coalescing counters, ...). The
+    whole per-job object is a pure function of the job config, so it is
+    compared exactly; only the top-level workers/wall_ms fields are host-
+    dependent and ignored.
 
 Divergence regressions (parallel interpreter vs serial profile, cached vs
 uncached byte-identity) are enforced by the benches themselves via nonzero
@@ -21,7 +26,7 @@ exit codes, upstream of this gate.
 Usage:
   bench_regression_check.py --baseline-dir bench/baselines \
       [--interp BENCH_interp.json] [--cache BENCH_launch_cache_speedup.json] \
-      [--tolerance 0.25] [--update]
+      [--app-suite BENCH_app_suite.json] [--tolerance 0.25] [--update]
 
 --update rewrites the baselines from the supplied results instead of
 checking (for intentional perf/behaviour changes; commit the diff).
@@ -135,6 +140,33 @@ def check_cache(baseline, current, tolerance):
                f"{cur_shared['hits']}/{cur_shared['misses']} unchanged")
 
 
+def check_app_suite(baseline, current, tolerance):
+    del tolerance  # sim-domain results are exact, not banded
+    print("== app_suite (sim-domain scenario results: exact)")
+    base_jobs = {j["name"]: j for j in baseline["jobs"]}
+    cur_jobs = {j["name"]: j for j in current["jobs"]}
+    for name, base in sorted(base_jobs.items()):
+        cur = cur_jobs.get(name)
+        if cur is None:
+            fail(f"app_suite: scenario '{name}' disappeared from the bench")
+            continue
+        if cur != base:
+            diffs = [
+                k for k in sorted(set(base) | set(cur))
+                if base.get(k) != cur.get(k)
+            ]
+            fail(f"app_suite: {name} results changed (fields: {', '.join(diffs)})")
+        else:
+            lat = base.get("latency", {})
+            ok(f"{name}: p50/p95/p99 "
+               f"{lat.get('p50_us', 0):.0f}/{lat.get('p95_us', 0):.0f}/"
+               f"{lat.get('p99_us', 0):.0f} us, "
+               f"{base.get('coalesced_groups', 0)} groups unchanged")
+    for name in sorted(set(cur_jobs) - set(base_jobs)):
+        fail(f"app_suite: new scenario '{name}' has no baseline "
+             f"(run with --update to record it)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline-dir", default="bench/baselines",
@@ -143,6 +175,8 @@ def main():
                         help="fresh BENCH_interp.json to check")
     parser.add_argument("--cache", type=pathlib.Path,
                         help="fresh BENCH_launch_cache_speedup.json to check")
+    parser.add_argument("--app-suite", type=pathlib.Path,
+                        help="fresh BENCH_app_suite.json to check")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional throughput drop (default 0.25)")
     parser.add_argument("--update", action="store_true",
@@ -154,8 +188,10 @@ def main():
         pairs.append(("interp_throughput.json", args.interp, check_interp))
     if args.cache:
         pairs.append(("launch_cache_speedup.json", args.cache, check_cache))
+    if args.app_suite:
+        pairs.append(("app_suite.json", args.app_suite, check_app_suite))
     if not pairs:
-        parser.error("nothing to do: pass --interp and/or --cache")
+        parser.error("nothing to do: pass --interp, --cache, and/or --app-suite")
 
     if args.update:
         args.baseline_dir.mkdir(parents=True, exist_ok=True)

@@ -11,7 +11,7 @@ namespace sigvp {
 AppRun::AppRun(EventQueue& queue, cuda::DeviceDriver& driver, Processor& cpu,
                const workloads::Workload& workload, std::uint64_t n, ExecMode mode,
                const workloads::AppTraits* traits_override, bool async_launches,
-               bool functional_io)
+               bool functional_io, std::uint64_t jitter)
     : queue_(queue),
       driver_(driver),
       cpu_(cpu),
@@ -20,17 +20,35 @@ AppRun::AppRun(EventQueue& queue, cuda::DeviceDriver& driver, Processor& cpu,
       mode_(mode),
       traits_(traits_override != nullptr ? *traits_override : workload.traits),
       async_launches_(async_launches),
-      functional_io_(functional_io) {
+      functional_io_(functional_io),
+      jitter_(jitter) {
   SIGVP_REQUIRE(n_ > 0, "application size must be positive");
   SIGVP_REQUIRE(traits_.iterations > 0, "application must run at least one iteration");
   SIGVP_REQUIRE(!functional_io_ || mode_ == ExecMode::kFunctional,
                 "functional_io requires functional execution mode");
+  SIGVP_REQUIRE(workload_.stages.empty() ||
+                    traits_.launches_per_iter % workload_.stages.size() == 0,
+                "launches_per_iter must cover whole pipeline passes");
 }
 
 AppRun::~AppRun() = default;
 
-cuda::LaunchSpec AppRun::make_spec() const {
+cuda::LaunchSpec AppRun::make_spec(std::uint32_t launch_index) const {
   cuda::LaunchSpec spec;
+  if (!workload_.stages.empty()) {
+    const workloads::PipelineStage& st =
+        workload_.stages[launch_index % workload_.stages.size()];
+    spec.request.kernel = &st.kernel;
+    spec.request.dims = st.dims(n_);
+    spec.request.args = st.args(buffer_addrs_, n_, jitter_);
+    spec.request.mode = mode_;
+    if (mode_ == ExecMode::kAnalytic) {
+      spec.request.analytic_profile = st.profile(n_);
+      spec.request.mem_behavior = st.behavior(n_);
+    }
+    if (traits_.coalescable && st.coalesce) spec.coalesce = st.coalesce(n_);
+    return spec;
+  }
   spec.request.kernel = &workload_.kernel;
   spec.request.dims = workload_.dims(n_);
   spec.request.args = workload_.args(buffer_addrs_, n_);
@@ -123,19 +141,23 @@ void AppRun::do_launch() {
     return;
   }
   if (async_launches_ && traits_.launches_per_iter > 1) {
-    // Asynchronous invocations: queue the whole cascade, sync once.
+    // Asynchronous invocations: queue the whole cascade, sync once. Stage
+    // order within a pass is preserved by the VP's in-order stream, so
+    // pipeline data dependencies hold even under cross-VP reordering.
+    const std::uint32_t start = launch_in_iter_;
     const std::uint32_t count = traits_.launches_per_iter - launch_in_iter_;
     launch_in_iter_ = traits_.launches_per_iter;
     kernels_launched_ += count;
     for (std::uint32_t i = 0; i < count; ++i) {
-      driver_.launch(make_spec(), {});
+      driver_.launch(make_spec(start + i), {});
     }
     driver_.synchronize([self](SimTime) { self->do_iter_download(); });
     return;
   }
+  const std::uint32_t launch_index = launch_in_iter_;
   ++launch_in_iter_;
   ++kernels_launched_;
-  driver_.launch(make_spec(),
+  driver_.launch(make_spec(launch_index),
                  [self](SimTime, const KernelExecStats&) { self->do_launch(); });
 }
 

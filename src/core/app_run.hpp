@@ -40,10 +40,13 @@ class AppRun : public std::enable_shared_from_this<AppRun> {
   /// With `functional_io` (functional mode only), host staging buffers are
   /// materialized so the setup/teardown copies move real bytes instead of
   /// being timing-only; `output_bytes()` then returns the downloaded results.
+  /// `jitter` is the per-VP scalar-jitter seed forwarded to pipeline-stage
+  /// argument builders (0 = canonical scalars); single-kernel workloads
+  /// ignore it.
   AppRun(EventQueue& queue, cuda::DeviceDriver& driver, Processor& cpu,
          const workloads::Workload& workload, std::uint64_t n, ExecMode mode,
          const workloads::AppTraits* traits_override = nullptr, bool async_launches = false,
-         bool functional_io = false);
+         bool functional_io = false, std::uint64_t jitter = 0);
   ~AppRun();
 
   AppRun(const AppRun&) = delete;
@@ -70,7 +73,10 @@ class AppRun : public std::enable_shared_from_this<AppRun> {
   void finish_iteration();
   void teardown();
   void complete(SimTime end);
-  cuda::LaunchSpec make_spec() const;
+  /// Launch spec for launch number `launch_index` of an iteration: stage
+  /// `launch_index % stages.size()` for pipeline apps (kernel chaining), the
+  /// workload's single kernel otherwise.
+  cuda::LaunchSpec make_spec(std::uint32_t launch_index) const;
 
   EventQueue& queue_;
   cuda::DeviceDriver& driver_;
@@ -81,6 +87,7 @@ class AppRun : public std::enable_shared_from_this<AppRun> {
   workloads::AppTraits traits_;
   bool async_launches_;
   bool functional_io_;
+  std::uint64_t jitter_;
 
   std::vector<workloads::BufferSpec> buffer_specs_;
   std::vector<std::uint64_t> buffer_addrs_;

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "core/app_run.hpp"
+#include "core/request_stream.hpp"
 #include "fault/health.hpp"
 #include "ipc/ipc_manager.hpp"
 #include "trace/trace.hpp"
@@ -38,6 +39,13 @@ ScenarioResult run_scenario(const ScenarioConfig& config, const std::vector<AppI
   SIGVP_REQUIRE(!apps.empty(), "scenario needs at least one application");
   for (const AppInstance& a : apps) {
     SIGVP_REQUIRE(a.workload != nullptr && a.n > 0, "malformed app instance");
+  }
+
+  for (const AppInstance& a : apps) {
+    SIGVP_REQUIRE(a.arrivals.empty() || !config.functional_io,
+                  "open-loop request streams are timing-only (no functional_io)");
+    SIGVP_REQUIRE(a.requests.empty() || a.requests.size() == a.arrivals.size(),
+                  "per-request overrides must align with the arrival schedule");
   }
 
   EventQueue queue;
@@ -163,18 +171,29 @@ ScenarioResult run_scenario(const ScenarioConfig& config, const std::vector<AppI
     health->on_failed = [&d = *dispatcher](std::uint32_t vp_id) { d.purge_vp(vp_id); };
   }
 
-  // Launch every application and run the timeline to completion.
-  std::vector<std::shared_ptr<AppRun>> runs;
+  // Launch every application — closed-loop AppRun by default, open-loop
+  // RequestStream when the instance carries an arrival schedule — and run
+  // the timeline to completion. `runs`/`streams` are index-aligned with
+  // `apps` (exactly one non-null per slot).
+  std::vector<std::shared_ptr<AppRun>> runs(apps.size());
+  std::vector<std::shared_ptr<RequestStream>> streams(apps.size());
   for (std::size_t i = 0; i < apps.size(); ++i) {
+    if (!apps[i].arrivals.empty()) {
+      streams[i] = std::make_shared<RequestStream>(queue, *drivers[i], *apps[i].workload,
+                                                   apps[i].n, config.mode, apps[i].jitter,
+                                                   apps[i].arrivals, apps[i].requests);
+      continue;
+    }
     const workloads::AppTraits* traits =
         apps[i].traits.has_value() ? &*apps[i].traits : nullptr;
-    runs.push_back(std::make_shared<AppRun>(queue, *drivers[i], *cpus[i], *apps[i].workload,
-                                            apps[i].n, config.mode, traits,
-                                            config.async_launches,
-                                            config.functional_io && functional));
+    runs[i] = std::make_shared<AppRun>(queue, *drivers[i], *cpus[i], *apps[i].workload,
+                                       apps[i].n, config.mode, traits,
+                                       config.async_launches,
+                                       config.functional_io && functional, apps[i].jitter);
   }
-  for (auto& run : runs) {
-    run->start({});
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    if (runs[i]) runs[i]->start({});
+    if (streams[i]) streams[i]->start({});
   }
   queue.run();
 
@@ -187,7 +206,19 @@ ScenarioResult run_scenario(const ScenarioConfig& config, const std::vector<AppI
   }
 
   ScenarioResult result;
-  for (const auto& run : runs) {
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    if (streams[i]) {
+      SIGVP_ASSERT(streams[i]->finished(),
+                   "event queue drained but a request stream never finished");
+      result.app_done_us.push_back(streams[i]->finished_at());
+      result.makespan_us = std::max(result.makespan_us, streams[i]->finished_at());
+      // Canonical input order, so the folded histogram is bit-identical for
+      // any sweep worker count.
+      result.latency.merge(streams[i]->latency());
+      result.requests_completed += streams[i]->requests_completed();
+      continue;
+    }
+    const auto& run = runs[i];
     SIGVP_ASSERT(run->finished(), "event queue drained but an app never finished");
     result.app_done_us.push_back(run->finished_at());
     result.makespan_us = std::max(result.makespan_us, run->finished_at());
@@ -210,6 +241,11 @@ ScenarioResult run_scenario(const ScenarioConfig& config, const std::vector<AppI
     // Close out run-level gauges; everything here is a pure function of the
     // scenario (sim-domain), so the registry stays deterministic.
     rt->metrics.gauge("run.makespan_us").record_max(result.makespan_us);
+    if (result.latency.count > 0) {
+      rt->metrics.counter("traffic.requests").value += result.requests_completed;
+      rt->metrics.histogram("traffic.request_latency_us", trace::latency_buckets_us())
+          .merge(result.latency);
+    }
     if (result.makespan_us > 0.0 && device) {
       rt->metrics.gauge("gpu.compute_utilization")
           .record_max(result.gpu_compute_busy_us / result.makespan_us);

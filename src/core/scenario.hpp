@@ -13,6 +13,7 @@
 #include "gpu/device.hpp"
 #include "sched/dispatcher.hpp"
 #include "trace/metrics.hpp"
+#include "workloads/spec.hpp"
 #include "workloads/workload.hpp"
 
 namespace sigvp {
@@ -41,6 +42,22 @@ struct AppInstance {
   std::uint64_t n = 0;
   /// Replaces the workload's default traits (iterations, copies, ...).
   std::optional<workloads::AppTraits> traits;
+
+  /// Per-VP scalar-jitter seed for pipeline-stage arguments (0 = canonical
+  /// scalars). Passed through to every stage's jitter-aware args builder.
+  std::uint64_t jitter = 0;
+
+  /// Non-empty switches this instance from the closed-loop AppRun lifecycle
+  /// to an open-loop RequestStream: one request per entry, submitted at the
+  /// given ascending sim time regardless of prior completions, with
+  /// per-request latency (completion - arrival) recorded into
+  /// ScenarioResult::latency. Incompatible with `functional_io`.
+  std::vector<SimTime> arrivals;
+
+  /// Optional per-request overrides, aligned with `arrivals` (same length):
+  /// mixed request streams from a WorkloadSpec. Empty = every request runs
+  /// (workload, n, jitter) above.
+  std::vector<workloads::Request> requests;
 };
 
 struct ScenarioConfig {
@@ -97,6 +114,15 @@ struct ScenarioResult {
   /// Per app: the concatenated bytes of its output buffers after teardown.
   /// Populated only when `ScenarioConfig::functional_io` is set.
   std::vector<std::vector<std::uint8_t>> app_outputs;
+
+  /// Per-request latency histogram (sim µs, completion - arrival) over all
+  /// open-loop request streams, folded in canonical app order. Empty
+  /// (count == 0) when no instance carried arrivals — the classic AppRun
+  /// path never touches it. Always populated for traffic scenarios, with or
+  /// without trace collection: latency percentiles are a first-class result,
+  /// not an observability extra.
+  trace::Histogram latency{trace::latency_buckets_us()};
+  std::uint64_t requests_completed = 0;
 
   /// Deterministic sim-domain metrics for this run (queue depths, job
   /// latency histograms, scheduler decisions, cache outcomes). Null unless

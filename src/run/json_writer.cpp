@@ -107,6 +107,23 @@ std::string sweep_to_json(const SweepResult& sweep, const std::string& bench_nam
     append_number(os, r.gpu_compute_busy_us);
     os << ", \"gpu_copy_busy_us\": ";
     append_number(os, r.gpu_copy_busy_us);
+    // Per-request latency percentiles (open-loop traffic scenarios only).
+    // Emitted only when requests ran, so closed-loop jobs keep their JSON
+    // byte-identical to builds without the traffic subsystem.
+    if (r.latency.count > 0) {
+      os << ", \"requests\": " << r.requests_completed
+         << ", \"latency\": {\"count\": " << r.latency.count << ", \"mean_us\": ";
+      append_number(os, r.latency.mean());
+      os << ", \"p50_us\": ";
+      append_number(os, r.latency.quantile(0.50));
+      os << ", \"p95_us\": ";
+      append_number(os, r.latency.quantile(0.95));
+      os << ", \"p99_us\": ";
+      append_number(os, r.latency.quantile(0.99));
+      os << ", \"max_us\": ";
+      append_number(os, r.latency.max);
+      os << "}";
+    }
     if (r.fault.active) {
       const FaultStats& f = r.fault;
       os << ", \"fault\": {\"messages_dropped\": " << f.messages_dropped

@@ -20,6 +20,11 @@ namespace sigvp::run {
 ///             "gpu_compute_busy_us": .., "gpu_copy_busy_us": ..}, ...]
 /// }
 ///
+/// Jobs whose scenarios served open-loop traffic (AppInstance::arrivals)
+/// additionally carry `"requests": N` and a `"latency"` object with the
+/// per-request latency distribution ({"count", "mean_us", "p50_us",
+/// "p95_us", "p99_us", "max_us"}, sim-domain µs, deterministic for any
+/// worker count); zero-traffic jobs omit both keys.
 /// Jobs that ran under an enabled fault plan additionally carry a "fault"
 /// object with the injected/recovery counters (FaultStats). Zero-fault runs
 /// omit the key entirely, keeping their JSON byte-identical to builds

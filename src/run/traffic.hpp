@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace sigvp::run::traffic {
+
+/// Arrival-process shapes for open-loop request streams. Open-loop means
+/// requests arrive at generator-stamped sim times regardless of how the
+/// system keeps up — queueing delay shows up in the latency percentiles
+/// instead of silently throttling the offered load.
+enum class Shape {
+  kPoisson,  // exponential inter-arrivals at rate 1/mean_interarrival_us
+  kBursty,   // ON/OFF windows; arrivals only in ON, same long-run rate
+};
+
+const char* shape_name(Shape shape);
+
+struct TrafficConfig {
+  Shape shape = Shape::kPoisson;
+  /// Long-run mean inter-arrival time in sim µs (both shapes preserve it).
+  double mean_interarrival_us = 1000.0;
+  /// Bursty only: deterministic ON/OFF window lengths. Arrivals land only
+  /// inside ON windows ([k·(on+off), k·(on+off)+on)), compressed so the
+  /// overall arrival rate still equals 1/mean_interarrival_us.
+  double burst_on_us = 2000.0;
+  double burst_off_us = 8000.0;
+  std::uint64_t seed = 1;
+};
+
+/// Generates `count` ascending sim-domain arrival times for stream
+/// `stream_id` (typically the VP index). A pure function of (config,
+/// stream_id, count): bit-identical across runs, platforms, and worker
+/// counts — the seeded xorshift generator never touches global state.
+std::vector<SimTime> arrival_times(const TrafficConfig& config, std::uint32_t stream_id,
+                                   std::uint32_t count);
+
+}  // namespace sigvp::run::traffic

@@ -4,15 +4,40 @@
 #include <bit>
 #include <memory>
 
+#include "interp/decoded.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
 namespace sigvp {
 
+namespace {
+
+/// True when arg `index` is relocated by the merge (a buffer pointer the
+/// coalescer points at its arena, or the summed size argument). Every other
+/// argument is a scalar the merged launch runs with ONCE — so members must
+/// agree on it byte-exactly or the merge would silently run some members
+/// with another VP's parameters.
+bool arg_is_relocated(const cuda::CoalesceInfo& c, std::size_t index) {
+  if (index == c.size_arg_index) return true;
+  for (const auto& buf : c.buffers) {
+    if (buf.arg_index == index) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 bool Coalescer::can_merge(const std::vector<Job>& jobs) {
   if (jobs.size() < 2) return false;
   const auto& first = jobs.front().launch;
   if (!first.coalesce.eligible) return false;
+  if (first.request.kernel == nullptr) return false;
+  // Kernel identity is structural, not positional: VPs build their own
+  // KernelIR instances, so the almost-identical regime compares structural
+  // fingerprints when the pointers differ (pointer equality short-circuits
+  // the hash for the common single-suite case).
+  std::uint64_t first_fp = 0;
+  bool first_fp_computed = false;
   for (const Job& j : jobs) {
     if (j.kind != JobKind::kKernel) return false;
     const auto& c = j.launch.coalesce;
@@ -20,11 +45,30 @@ bool Coalescer::can_merge(const std::vector<Job>& jobs) {
     if (c.buffers.size() != first.coalesce.buffers.size()) return false;
     if (c.block_x != first.coalesce.block_x) return false;
     if (j.launch.request.mode != first.request.mode) return false;
-    if (j.launch.request.kernel != first.request.kernel) return false;
+    if (j.launch.request.kernel == nullptr) return false;
+    if (j.launch.request.kernel != first.request.kernel) {
+      if (!first_fp_computed) {
+        first_fp = interp_detail::kernel_fingerprint(*first.request.kernel);
+        first_fp_computed = true;
+      }
+      if (interp_detail::kernel_fingerprint(*j.launch.request.kernel) != first_fp) {
+        return false;
+      }
+    }
     for (std::size_t b = 0; b < c.buffers.size(); ++b) {
       if (c.buffers[b].arg_index != first.coalesce.buffers[b].arg_index) return false;
       if (c.buffers[b].bytes_per_elem != first.coalesce.buffers[b].bytes_per_elem) return false;
       if (c.buffers[b].is_output != first.coalesce.buffers[b].is_output) return false;
+    }
+    // Scalar arguments must match byte-exactly: the merged launch keeps the
+    // prototype's scalars, so any divergence (per-VP parameter jitter) makes
+    // the group semantically unmergeable.
+    const auto& args = j.launch.request.args.values;
+    const auto& proto_args = first.request.args.values;
+    if (args.size() != proto_args.size()) return false;
+    for (std::size_t a = 0; a < args.size(); ++a) {
+      if (arg_is_relocated(c, a)) continue;
+      if (args[a] != proto_args[a]) return false;
     }
   }
   return true;

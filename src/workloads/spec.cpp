@@ -1,0 +1,73 @@
+#include "workloads/spec.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "workloads/suite.hpp"
+
+namespace sigvp::workloads {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+std::vector<std::vector<Request>> build_request_streams(const WorkloadSpec& spec,
+                                                        const std::vector<Workload>& apps) {
+  SIGVP_REQUIRE(spec.request_count > 0, "workload spec needs at least one request");
+  SIGVP_REQUIRE(spec.vp_count > 0, "workload spec needs at least one VP");
+  SIGVP_REQUIRE(!spec.mix.empty(), "workload spec needs a non-empty mix");
+  SIGVP_REQUIRE(spec.n_jitter_pct < 100, "size jitter must stay below 100%");
+
+  std::uint32_t total_pct = 0;
+  std::vector<const Workload*> mix_apps;
+  for (const MixEntry& e : spec.mix) {
+    total_pct += e.percent;
+    mix_apps.push_back(&find(apps, e.app));  // throws when absent
+  }
+  SIGVP_REQUIRE(total_pct == 100, "mix percentages must sum to 100");
+
+  std::vector<std::vector<Request>> streams(spec.vp_count);
+  for (std::uint32_t vp = 0; vp < spec.vp_count; ++vp) {
+    // Per-VP generator stream: independent of every other VP's draws, so
+    // adding a VP never perturbs existing streams.
+    Rng rng(mix64(spec.seed ^ (0x9E3779B97F4A7C15ull * (vp + 1))));
+    // The scalar-jitter seed is per-VP (one VP = one guest configuration),
+    // nonzero by construction so jitter_scale always perturbs.
+    const std::uint64_t vp_jitter =
+        spec.scalar_jitter ? (mix64(spec.seed + vp) | 1ull) : 0;
+    streams[vp].reserve(spec.request_count);
+    for (std::uint32_t r = 0; r < spec.request_count; ++r) {
+      const std::uint64_t draw = rng.next_below(100);
+      std::uint64_t cum = 0;
+      const Workload* w = mix_apps.back();
+      for (std::size_t i = 0; i < spec.mix.size(); ++i) {
+        cum += spec.mix[i].percent;
+        if (draw < cum) {
+          w = mix_apps[i];
+          break;
+        }
+      }
+      std::uint64_t n = spec.base_n;
+      if (spec.n_jitter_pct > 0) {
+        const std::uint64_t p = spec.n_jitter_pct;
+        const std::uint64_t pct = 100 - p + rng.next_below(2 * p + 1);
+        n = spec.base_n * pct / 100;
+      }
+      n = std::max<std::uint64_t>(32, n / 32 * 32);  // every app accepts 32-multiples
+      streams[vp].push_back(Request{w, n, vp_jitter});
+    }
+  }
+  return streams;
+}
+
+}  // namespace sigvp::workloads

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace sigvp::workloads {
+
+/// One entry of a workload mix: `percent` of the requests run `app`.
+struct MixEntry {
+  std::string app;
+  std::uint32_t percent = 0;
+};
+
+/// Declarative description of a per-VP request-stream population (the
+/// request-count / mix-percent / thread-count style of classic storage
+/// workload generators): `vp_count` VPs each issue `request_count` requests
+/// drawn from `mix`, with seeded per-request size jitter and optional per-VP
+/// scalar jitter. Everything is a pure function of the spec's `seed`.
+struct WorkloadSpec {
+  std::uint32_t request_count = 32;  // requests per VP
+  std::uint32_t vp_count = 4;        // concurrent VPs (thread_count analogue)
+  std::vector<MixEntry> mix;         // percents must sum to 100
+  std::uint64_t base_n = 1 << 10;    // canonical problem size
+  std::uint32_t n_jitter_pct = 0;    // +/- percent size jitter per request
+  bool scalar_jitter = false;        // per-VP scalar parameter jitter
+  std::uint64_t seed = 1;
+};
+
+/// One concrete request of a stream: which app, at what size, with which
+/// per-VP scalar-jitter seed (0 = canonical scalars).
+struct Request {
+  const Workload* workload = nullptr;
+  std::uint64_t n = 0;
+  std::uint64_t jitter = 0;
+};
+
+/// Expands `spec` into per-VP request streams over `apps` (each mix entry
+/// must name an app in `apps`). Deterministic: the same (spec, apps) yields
+/// the same streams on every platform and run. Sizes are clamped to >= 32
+/// and rounded to multiples of 32 so every app's layout constraints hold.
+std::vector<std::vector<Request>> build_request_streams(const WorkloadSpec& spec,
+                                                        const std::vector<Workload>& apps);
+
+}  // namespace sigvp::workloads

@@ -34,9 +34,29 @@ Workload make_stereo_disparity();
 Workload make_dct8x8();
 Workload make_reduction();
 
+// App-shaped multi-kernel pipelines (src/workloads/apps.cpp): each iteration
+// chains PipelineStage launches over one shared buffer set, with per-VP
+// scalar jitter producing the almost-identical request regime.
+Workload make_graph_analytics();  // BFS step + PageRank contrib/gather (CSR)
+Workload make_ml_inference();     // matmul -> bias/ReLU -> group softmax
+Workload make_cam_pipeline();     // gain -> 3-tap blur -> quantize
+
+/// The jittered per-VP scalars of the pipeline stages — exposed so golden
+/// models and tests reproduce the exact f32 value a stage received.
+float graph_damping(std::uint64_t jitter);
+float ml_gain(std::uint64_t jitter);
+float ml_inv_temperature(std::uint64_t jitter);
+float cam_gain(std::uint64_t jitter);
+float cam_qstep(std::uint64_t jitter);
+
 /// The full 20-app suite used by the Fig. 11 reproduction, in the paper's
 /// chart order where the paper names the app, with our additions appended.
 std::vector<Workload> make_suite();
+
+/// The three app-shaped pipelines (graphAnalytics, mlInference, camPipeline)
+/// used by the open-loop traffic benches; kept separate from make_suite()
+/// so the Fig. 11 suite stays exactly the paper's app set.
+std::vector<Workload> make_app_suite();
 
 /// Finds a workload by app name in a suite; throws when absent.
 const Workload& find(const std::vector<Workload>& suite, const std::string& app);

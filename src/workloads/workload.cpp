@@ -28,6 +28,25 @@ void fill_u8_pattern(std::vector<std::uint8_t>& buf, std::uint64_t seed) {
   for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next_below(256));
 }
 
+double jitter_scale(std::uint64_t jitter, double lo, double hi) {
+  if (jitter == 0) return 1.0;
+  Rng rng(jitter);
+  return rng.uniform(lo, hi);
+}
+
+std::uint64_t graph_neighbor(std::uint64_t v, std::uint32_t j, std::uint64_t n) {
+  // SplitMix64-style finalizer over (v, j); bias-free enough for a synthetic
+  // topology and, crucially, identical in the kernel's host-side fill and
+  // the golden models.
+  std::uint64_t x = v * 0x9E3779B97F4A7C15ull + (j + 1) * 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x % n;
+}
+
 std::size_t block_index(const KernelIR& ir, const std::string& label) {
   for (std::size_t i = 0; i < ir.blocks.size(); ++i) {
     if (ir.blocks[i].label == label) return i;

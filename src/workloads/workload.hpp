@@ -45,6 +45,27 @@ struct AppTraits {
   bool coalescable = false;
 };
 
+/// One kernel of an app-shaped multi-kernel pipeline. Stage arguments are
+/// jitter-aware: `jitter` is a per-VP seed (0 = canonical scalars) that
+/// perturbs the stage's scalar parameters, producing the *almost-identical*
+/// request regime — same kernel structure across VPs, slightly different
+/// scalar args — that the re-scheduler's coalescing has to discriminate.
+struct PipelineStage {
+  std::string name;
+  KernelIR kernel;
+  std::function<LaunchDims(std::uint64_t n)> dims;
+  /// Builds the stage's argument block given the device addresses of the
+  /// *workload's* buffers (all of them, in `Workload::buffers` order).
+  std::function<KernelArgs(const std::vector<std::uint64_t>& addrs, std::uint64_t n,
+                           std::uint64_t jitter)>
+      args;
+  std::function<DynamicProfile(std::uint64_t n)> profile;
+  std::function<MemoryBehavior(std::uint64_t n)> behavior;
+  /// Coalescing descriptor; null (or !eligible) for stages whose memory
+  /// access pattern crosses per-VP chunk seams (gathers, stencils).
+  std::function<cuda::CoalesceInfo(std::uint64_t n)> coalesce;
+};
+
 /// One CUDA-SDK-like application: a kernel in the IR plus everything the
 /// framework needs to size, launch, price, and validate it.
 ///
@@ -84,6 +105,13 @@ struct Workload {
   std::function<void(std::uint64_t n, std::vector<std::vector<std::uint8_t>>& host_bufs)>
       fill_inputs;
 
+  /// Non-empty for app-shaped pipelines: each iteration launches the stages
+  /// in order (kernel chaining), sharing the buffer set of `buffers(n)`.
+  /// `traits.launches_per_iter` must be a multiple of `stages.size()`.
+  /// The single-kernel fields above then describe the first stage, so code
+  /// unaware of pipelines still sees a valid Workload.
+  std::vector<PipelineStage> stages;
+
   AppTraits traits;
 };
 
@@ -94,6 +122,17 @@ struct Workload {
 void fill_f32_pattern(std::vector<std::uint8_t>& buf, float lo, float hi, std::uint64_t seed);
 void fill_f64_pattern(std::vector<std::uint8_t>& buf, double lo, double hi, std::uint64_t seed);
 void fill_u8_pattern(std::vector<std::uint8_t>& buf, std::uint64_t seed);
+
+/// Deterministic per-VP scalar perturbation for pipeline stages: 1.0 when
+/// `jitter` is 0 (the canonical, trivially-coalescible configuration),
+/// otherwise a seeded uniform draw in [lo, hi]. Golden-model tests call this
+/// with the same seed to reproduce the exact f32 scalar a stage used.
+double jitter_scale(std::uint64_t jitter, double lo, double hi);
+
+/// Neighbor `j` (0..degree-1) of vertex `v` in the seeded fixed-degree
+/// synthetic graph the graphAnalytics pipeline runs over. Pure hash — the
+/// golden models regenerate the CSR without reading device memory.
+std::uint64_t graph_neighbor(std::uint64_t v, std::uint32_t j, std::uint64_t n);
 
 /// Index of the block labeled `label`; throws if absent.
 std::size_t block_index(const KernelIR& ir, const std::string& label);

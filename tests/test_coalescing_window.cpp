@@ -1,10 +1,13 @@
 // Edge cases of the Kernel Coalescing window: the expiry timer firing at
 // exactly enqueue_time + coalesce_window_us, eager-peer early dispatch well
-// before the window, and VP control (IpcManager::stop_vp) holding a
-// completion without deadlocking the window-timer pump.
+// before the window, VP control (IpcManager::stop_vp) holding a completion
+// without deadlocking the window-timer pump, and merge identity in the
+// almost-identical-kernel regime (structural fingerprints vs per-VP scalar
+// jitter).
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "ipc/ipc_manager.hpp"
@@ -101,6 +104,100 @@ TEST(CoalescingWindow, EagerPeersDispatchEarly) {
     ASSERT_GE(ends[i], 0.0) << "vp " << i;
     // Early dispatch: completion long before the window could have expired.
     EXPECT_LT(ends[i], 1e5) << "vp " << i;
+  }
+}
+
+// A coalescing-eligible camPipeline gain-stage job with per-VP scalar
+// jitter: same kernel structure, f32 gain perturbed when `jitter` != 0.
+Job cam_gain_job(Rig& rig, const workloads::Workload& cam, std::uint32_t vp,
+                 std::uint64_t jitter, std::vector<std::uint64_t>* addrs_out) {
+  const std::uint64_t n = 128;
+  const workloads::PipelineStage& st = cam.stages.front();
+  std::vector<std::uint64_t> addrs;
+  for (const auto& spec : cam.buffers(n)) addrs.push_back(rig.dev.malloc(spec.bytes));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    rig.dev.memory().write<float>(addrs[0] + 4 * i, static_cast<float>(i % 29));
+  }
+  Job j;
+  j.vp_id = vp;
+  j.seq_in_vp = 0;
+  j.kind = JobKind::kKernel;
+  j.launch.request.kernel = &st.kernel;
+  j.launch.request.dims = st.dims(n);
+  j.launch.request.args = st.args(addrs, n, jitter);
+  j.launch.request.mode = ExecMode::kFunctional;
+  j.launch.coalesce = st.coalesce(n);
+  if (addrs_out) *addrs_out = std::move(addrs);
+  return j;
+}
+
+TEST(CoalescingWindow, FingerprintEqualKernelsFromDistinctBuildsMerge) {
+  // Two separately-built suites: pointer-distinct KernelIR instances with
+  // identical structure, as when every VP builds its own kernel image.
+  const auto suite_a = workloads::make_app_suite();
+  const auto suite_b = workloads::make_app_suite();
+  auto cam_of = [](const std::vector<workloads::Workload>& s) {
+    for (const auto& w : s) {
+      if (w.app == "camPipeline") return &w;
+    }
+    ADD_FAILURE() << "camPipeline missing from app suite";
+    return &s.front();
+  };
+  const workloads::Workload& cam_a = *cam_of(suite_a);
+  const workloads::Workload& cam_b = *cam_of(suite_b);
+  ASSERT_NE(&cam_a.stages.front().kernel, &cam_b.stages.front().kernel);
+
+  DispatchConfig cfg{false, true};
+  cfg.coalesce_window_us = 1e6;  // only eager peers may trigger dispatch
+  cfg.coalesce_eager_peers = 1;
+  Rig rig(cfg, 2);
+  std::vector<std::uint64_t> addrs_a, addrs_b;
+  rig.disp.submit(cam_gain_job(rig, cam_a, 0, 0, &addrs_a));
+  rig.disp.submit(cam_gain_job(rig, cam_b, 1, 0, &addrs_b));
+  rig.q.run();
+
+  // Canonical scalars + equal fingerprints: one merged group of both jobs.
+  EXPECT_EQ(rig.disp.coalesced_groups(), 1u);
+  EXPECT_EQ(rig.disp.coalesced_jobs(), 2u);
+
+  // Each member's output landed in its own work buffer: work[i] = raw[i]*gain.
+  for (const auto& addrs : {addrs_a, addrs_b}) {
+    for (std::uint64_t i = 0; i < 128; ++i) {
+      const float raw = static_cast<float>(i % 29);
+      EXPECT_EQ(rig.dev.memory().read<float>(addrs[1] + 4 * i), raw * 0.75f)
+          << "elem " << i;
+    }
+  }
+}
+
+TEST(CoalescingWindow, ScalarJitterBlocksMergingDespiteEqualFingerprints) {
+  const auto suite = workloads::make_app_suite();
+  const workloads::Workload* cam = nullptr;
+  for (const auto& w : suite) {
+    if (w.app == "camPipeline") cam = &w;
+  }
+  ASSERT_NE(cam, nullptr);
+
+  DispatchConfig cfg{false, true};
+  cfg.coalesce_window_us = 50.0;
+  cfg.coalesce_eager_peers = 1;
+  auto groups_with = [&](std::uint64_t j0, std::uint64_t j1) {
+    Rig rig(cfg, 2);
+    rig.disp.submit(cam_gain_job(rig, *cam, 0, j0, nullptr));
+    rig.disp.submit(cam_gain_job(rig, *cam, 1, j1, nullptr));
+    rig.q.run();
+    EXPECT_EQ(rig.disp.jobs_dispatched(), 2u);
+    return rig.disp.coalesced_groups();
+  };
+
+  EXPECT_EQ(groups_with(0, 0), 1u) << "canonical scalars must merge";
+  EXPECT_EQ(groups_with(1001, 1001), 1u)
+      << "identical jitter seeds give byte-equal scalars and must merge";
+  // Distinct per-VP jitter: the almost-identical regime. Same structural
+  // fingerprint, different f32 gain — merging would run VP1 with VP0's
+  // parameters, so the coalescer must refuse, deterministically.
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_EQ(groups_with(1001, 1002), 0u) << "rep " << rep;
   }
 }
 

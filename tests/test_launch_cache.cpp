@@ -364,6 +364,55 @@ TEST_F(LaunchCacheTest, DisabledCacheTouchesNoCounters) {
   EXPECT_EQ(all_bytes(m1), all_bytes(m2));
 }
 
+TEST_F(LaunchCacheTest, ScalarJitterPartitionsTheCacheByArgBytes) {
+  // The almost-identical regime, cache-side: per-VP scalar jitter changes the
+  // raw f32 argument bits, so jittered requests are distinct cache lines even
+  // though the kernel fingerprint, dims, and input bytes are identical —
+  // while a repeated jitter seed replays as a hit.
+  const auto suite = workloads::make_app_suite();
+  const workloads::Workload& cam = workloads::find(suite, "camPipeline");
+  const workloads::PipelineStage& st = cam.stages.front();  // cam.gain
+  const GpuArch arch = make_quadro4000();
+  const std::uint64_t n = cam.test_n;
+
+  std::vector<std::uint64_t> addrs;
+  FreeListAllocator alloc(4096, kMemBytes - 4096);
+  for (const auto& b : cam.buffers(n)) addrs.push_back(*alloc.allocate(b.bytes));
+  auto make_memory = [&] {
+    AddressSpace mem(kMemBytes, "m");
+    for (std::uint64_t i = 0; i < n; ++i) {
+      mem.write<float>(addrs[0] + 4 * i, static_cast<float>((i * 7 + 3) % 251));
+    }
+    return mem;
+  };
+  auto evaluate = [&](std::uint64_t jitter) {
+    AddressSpace mem = make_memory();
+    cache().evaluate(arch, st.kernel, st.dims(n), st.args(addrs, n, jitter), mem);
+  };
+
+  const LaunchCacheStats s0 = cache().stats();
+  evaluate(0);     // canonical scalars: fill
+  evaluate(0);     // repeat: hit
+  evaluate(1001);  // jittered gain: new arg bytes, miss
+  evaluate(1002);  // different VP's jitter: miss again
+  evaluate(1001);  // same VP repeats its request: hit
+  EXPECT_EQ(cache().stats().misses, s0.misses + 3);
+  EXPECT_EQ(cache().stats().hits, s0.hits + 2);
+  EXPECT_EQ(cache().stats().entries, 3u);
+
+  // Structural addressing: a separately-built kernel image with the same
+  // fingerprint hits the entries this suite's image filled.
+  const auto rebuilt = workloads::make_app_suite();
+  const workloads::PipelineStage& st2 =
+      workloads::find(rebuilt, "camPipeline").stages.front();
+  ASSERT_NE(&st2.kernel, &st.kernel);
+  AddressSpace mem = make_memory();
+  const LaunchCacheStats before = cache().stats();
+  cache().evaluate(arch, st2.kernel, st2.dims(n), st2.args(addrs, n, 1002), mem);
+  EXPECT_EQ(cache().stats().hits, before.hits + 1);
+  EXPECT_EQ(cache().stats().misses, before.misses);
+}
+
 // --- scenario + sweep integration -------------------------------------------
 
 workloads::AppTraits fleet_traits(const workloads::Workload& w) {

@@ -16,6 +16,7 @@
 #include "core/scenario.hpp"
 #include "run/json_writer.hpp"
 #include "run/sweep.hpp"
+#include "run/traffic.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
 #include "util/check.hpp"
@@ -350,6 +351,83 @@ TEST(TraceScenario, MetricsAreIdenticalForAnyWorkerCount) {
   EXPECT_GT(sweep.metrics->counters().at("ipc.requests").value, 0u);
   EXPECT_GT(sweep.metrics->counters().at("sched.jobs_dispatched").value, 0u);
   EXPECT_GT(sweep.metrics->histograms().at("ipc.job_latency_us").count, 0u);
+}
+
+// --- open-loop traffic latency metrics ---------------------------------------
+
+/// A camPipeline fleet under seeded Poisson arrivals: the smallest scenario
+/// that exercises the request-latency histogram end to end.
+run::SweepJob traffic_job(std::size_t vps, std::uint32_t requests_per_vp) {
+  static const auto apps = workloads::make_app_suite();
+  const workloads::Workload& cam = workloads::find(apps, "camPipeline");
+  run::SweepJob job;
+  job.name = "cam/traffic";
+  job.group = "camPipeline";
+  job.config.backend = Backend::kSigmaVp;
+  job.config.mode = ExecMode::kAnalytic;
+  job.config.dispatch.interleave = true;
+  job.config.gpu_mem_bytes = 64ull * 1024 * 1024;
+  run::traffic::TrafficConfig tc;
+  tc.shape = run::traffic::Shape::kPoisson;
+  tc.mean_interarrival_us = 1500.0;
+  tc.seed = 5;
+  for (std::size_t vp = 0; vp < vps; ++vp) {
+    AppInstance a;
+    a.workload = &cam;
+    a.n = 2048;
+    a.arrivals =
+        run::traffic::arrival_times(tc, static_cast<std::uint32_t>(vp), requests_per_vp);
+    job.apps.push_back(std::move(a));
+  }
+  return job;
+}
+
+TEST(TraceScenario, LatencyPercentilesAreIdenticalForAnyWorkerCount) {
+  const std::vector<run::SweepJob> jobs = {traffic_job(4, 6)};
+  std::string reference;
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    run::SweepResult sweep = run::SweepRunner(workers).run(jobs);
+
+    const ScenarioResult& r = sweep.jobs.front().result;
+    EXPECT_EQ(r.requests_completed, 4u * 6u);
+    EXPECT_EQ(r.latency.count, 4u * 6u);
+    const double p50 = r.latency.quantile(0.50);
+    const double p95 = r.latency.quantile(0.95);
+    const double p99 = r.latency.quantile(0.99);
+    EXPECT_GT(p50, 0.0);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    EXPECT_LE(p99, r.latency.max);
+
+    // The whole JSON document — including the latency block — must be a pure
+    // function of the job list; normalize the two host-dependent fields.
+    sweep.workers = 1;
+    sweep.wall_ms = 0.0;
+    const std::string json = run::sweep_to_json(sweep, "trace_test");
+    EXPECT_TRUE(JsonParser(json).valid());
+    EXPECT_NE(json.find("\"latency\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99_us\""), std::string::npos);
+    if (reference.empty()) {
+      reference = json;
+    } else {
+      EXPECT_EQ(json, reference) << "latency JSON diverged at workers=" << workers;
+    }
+  }
+}
+
+TEST(TraceScenario, ZeroTrafficSweepEmitsNoLatencyBlock) {
+  // Closed-loop jobs (no arrival streams) must not grow a latency block:
+  // the schema only reports request latency where requests exist.
+  const run::SweepResult sweep = run::SweepRunner(2).run(fleet_jobs(2));
+  for (const run::SweepJobResult& j : sweep.jobs) {
+    EXPECT_EQ(j.result.requests_completed, 0u);
+    EXPECT_EQ(j.result.latency.count, 0u);
+  }
+  const std::string json = run::sweep_to_json(sweep, "trace_test");
+  EXPECT_TRUE(JsonParser(json).valid());
+  EXPECT_EQ(json.find("\"latency\""), std::string::npos);
+  EXPECT_EQ(json.find("\"requests\""), std::string::npos);
 }
 
 /// Extracts every numeric value of `key` ("id":..., "pid":...) from events

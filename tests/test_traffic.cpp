@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "run/traffic.hpp"
+#include "util/check.hpp"
+#include "workloads/spec.hpp"
+#include "workloads/suite.hpp"
+
+namespace sigvp {
+namespace {
+
+using run::traffic::Shape;
+using run::traffic::TrafficConfig;
+using run::traffic::arrival_times;
+
+TrafficConfig poisson(double mean, std::uint64_t seed = 1) {
+  TrafficConfig tc;
+  tc.shape = Shape::kPoisson;
+  tc.mean_interarrival_us = mean;
+  tc.seed = seed;
+  return tc;
+}
+
+TrafficConfig bursty(double mean, double on, double off, std::uint64_t seed = 1) {
+  TrafficConfig tc;
+  tc.shape = Shape::kBursty;
+  tc.mean_interarrival_us = mean;
+  tc.burst_on_us = on;
+  tc.burst_off_us = off;
+  tc.seed = seed;
+  return tc;
+}
+
+// --- Determinism: the generator is a pure function of (config, stream) ------
+
+TEST(Traffic, SameSeedYieldsIdenticalSequences) {
+  for (const Shape shape : {Shape::kPoisson, Shape::kBursty}) {
+    TrafficConfig tc = shape == Shape::kPoisson ? poisson(500.0, 99)
+                                                : bursty(500.0, 2000.0, 6000.0, 99);
+    const auto a = arrival_times(tc, 3, 500);
+    const auto b = arrival_times(tc, 3, 500);
+    EXPECT_EQ(a, b) << run::traffic::shape_name(shape);
+  }
+}
+
+TEST(Traffic, DistinctStreamsAndSeedsDiverge) {
+  const TrafficConfig tc = poisson(1000.0, 7);
+  const auto s0 = arrival_times(tc, 0, 64);
+  const auto s1 = arrival_times(tc, 1, 64);
+  EXPECT_NE(s0, s1);
+  TrafficConfig other = tc;
+  other.seed = 8;
+  EXPECT_NE(s0, arrival_times(other, 0, 64));
+}
+
+TEST(Traffic, ArrivalsAreAscendingAndNonNegative) {
+  for (const Shape shape : {Shape::kPoisson, Shape::kBursty}) {
+    TrafficConfig tc = shape == Shape::kPoisson ? poisson(250.0)
+                                                : bursty(250.0, 1000.0, 4000.0);
+    const auto t = arrival_times(tc, 0, 1000);
+    ASSERT_EQ(t.size(), 1000u);
+    EXPECT_GE(t.front(), 0.0);
+    for (std::size_t i = 1; i < t.size(); ++i) {
+      EXPECT_GE(t[i], t[i - 1]) << "at " << i;
+    }
+  }
+}
+
+// --- Statistical shape -------------------------------------------------------
+
+TEST(Traffic, PoissonEmpiricalMeanMatchesConfiguredRate) {
+  const double mean = 1000.0;
+  const std::uint32_t count = 20000;
+  const auto t = arrival_times(poisson(mean, 13), 0, count);
+  // Sample mean of exponential inter-arrivals: std-err = mean/sqrt(N) ≈ 7 µs,
+  // so a 5% band is a >10-sigma margin — failures mean a real rate bug.
+  const double empirical = t.back() / static_cast<double>(count);
+  EXPECT_NEAR(empirical, mean, 0.05 * mean);
+}
+
+TEST(Traffic, BurstyArrivalsLandOnlyInOnWindows) {
+  const double on = 2000.0, off = 8000.0, cycle = on + off;
+  const auto t = arrival_times(bursty(500.0, on, off, 21), 2, 2000);
+  for (const SimTime a : t) {
+    const double phase = a - std::floor(a / cycle) * cycle;
+    EXPECT_LE(phase, on + 1e-6) << "arrival " << a << " in an OFF window";
+  }
+}
+
+TEST(Traffic, BurstyPreservesLongRunRate) {
+  const double mean = 500.0;
+  const std::uint32_t count = 20000;
+  const auto t = arrival_times(bursty(mean, 2000.0, 8000.0, 34), 0, count);
+  // The ON/OFF compression must keep the overall rate at 1/mean: the duty
+  // cycle shortens the active windows, not the request budget.
+  const double empirical = t.back() / static_cast<double>(count);
+  EXPECT_NEAR(empirical, mean, 0.05 * mean);
+}
+
+TEST(Traffic, BurstyDutyCycleConcentratesLoad) {
+  const double on = 2000.0, off = 8000.0, cycle = on + off;
+  const auto t = arrival_times(bursty(1000.0, on, off, 5), 0, 5000);
+  // All arrivals inside ON windows ⇒ instantaneous ON-rate is 1/duty times
+  // the long-run rate; spot-check via the mean intra-ON gap.
+  double on_gaps = 0.0;
+  std::uint64_t gap_count = 0;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    const double gap = t[i] - t[i - 1];
+    if (gap < off) {  // same ON window (an OFF hop is >= off µs)
+      on_gaps += gap;
+      ++gap_count;
+    }
+  }
+  ASSERT_GT(gap_count, 1000u);
+  // Intra-ON gaps are a truncated exponential (a gap that would cross the
+  // window edge becomes an OFF hop), so their mean sits below duty * mean
+  // but far under the long-run mean: the burst concentrates the load by
+  // roughly 1/duty. With duty 0.2 that's 5x; require at least 4x.
+  const double duty = on / cycle;
+  const double mean_on_gap = on_gaps / static_cast<double>(gap_count);
+  EXPECT_LE(mean_on_gap, 1000.0 * duty * 1.1);
+  EXPECT_LT(mean_on_gap, 1000.0 / 4.0);
+}
+
+// --- WorkloadSpec -> per-VP request streams ---------------------------------
+
+class SpecTest : public ::testing::Test {
+ protected:
+  std::vector<workloads::Workload> apps = workloads::make_app_suite();
+
+  workloads::WorkloadSpec base_spec() {
+    workloads::WorkloadSpec spec;
+    spec.request_count = 200;
+    spec.vp_count = 4;
+    spec.mix = {{"graphAnalytics", 50}, {"mlInference", 30}, {"camPipeline", 20}};
+    spec.base_n = 1024;
+    spec.seed = 11;
+    return spec;
+  }
+};
+
+TEST_F(SpecTest, StreamsAreDeterministicAndShaped) {
+  const auto spec = base_spec();
+  const auto a = workloads::build_request_streams(spec, apps);
+  const auto b = workloads::build_request_streams(spec, apps);
+  ASSERT_EQ(a.size(), spec.vp_count);
+  for (std::size_t vp = 0; vp < a.size(); ++vp) {
+    ASSERT_EQ(a[vp].size(), spec.request_count);
+    ASSERT_EQ(b[vp].size(), spec.request_count);
+    for (std::size_t i = 0; i < a[vp].size(); ++i) {
+      EXPECT_EQ(a[vp][i].workload, b[vp][i].workload);
+      EXPECT_EQ(a[vp][i].n, b[vp][i].n);
+      EXPECT_EQ(a[vp][i].jitter, b[vp][i].jitter);
+    }
+  }
+}
+
+TEST_F(SpecTest, MixPercentagesAreHonoredApproximately) {
+  const auto spec = base_spec();
+  const auto streams = workloads::build_request_streams(spec, apps);
+  std::uint64_t graph = 0, total = 0;
+  for (const auto& stream : streams) {
+    for (const auto& req : stream) {
+      ++total;
+      if (req.workload->app == "graphAnalytics") ++graph;
+    }
+  }
+  ASSERT_EQ(total, 4u * 200u);
+  // 800 draws at p=0.5: std-err ≈ 1.8%, so ±8 points is a wide-open band.
+  EXPECT_NEAR(static_cast<double>(graph) / static_cast<double>(total), 0.50, 0.08);
+}
+
+TEST_F(SpecTest, SizeJitterStaysInBandAndAligned) {
+  auto spec = base_spec();
+  spec.n_jitter_pct = 25;
+  const auto streams = workloads::build_request_streams(spec, apps);
+  bool varied = false;
+  for (const auto& stream : streams) {
+    for (const auto& req : stream) {
+      EXPECT_GE(req.n, 32u);
+      EXPECT_EQ(req.n % 32, 0u) << "size must satisfy every app's layout";
+      EXPECT_GE(req.n, spec.base_n * 75 / 100 / 32 * 32);
+      EXPECT_LE(req.n, spec.base_n * 125 / 100);
+      varied = varied || req.n != spec.base_n;
+    }
+  }
+  EXPECT_TRUE(varied) << "25% jitter never moved a size";
+}
+
+TEST_F(SpecTest, ScalarJitterIsPerVpStable) {
+  auto spec = base_spec();
+  spec.scalar_jitter = true;
+  const auto streams = workloads::build_request_streams(spec, apps);
+  std::set<std::uint64_t> per_vp;
+  for (const auto& stream : streams) {
+    ASSERT_FALSE(stream.empty());
+    const std::uint64_t jitter = stream.front().jitter;
+    EXPECT_NE(jitter, 0u) << "scalar_jitter must arm a nonzero seed";
+    for (const auto& req : stream) {
+      EXPECT_EQ(req.jitter, jitter) << "jitter must be stable within a VP";
+    }
+    per_vp.insert(jitter);
+  }
+  EXPECT_EQ(per_vp.size(), streams.size()) << "VPs must get distinct scalar seeds";
+
+  spec.scalar_jitter = false;
+  for (const auto& stream : workloads::build_request_streams(spec, apps)) {
+    for (const auto& req : stream) EXPECT_EQ(req.jitter, 0u);
+  }
+}
+
+TEST_F(SpecTest, MalformedSpecsAreRejected) {
+  auto spec = base_spec();
+  spec.mix = {{"graphAnalytics", 60}, {"mlInference", 30}};  // sums to 90
+  EXPECT_THROW(workloads::build_request_streams(spec, apps), ContractError);
+
+  spec = base_spec();
+  spec.mix = {{"noSuchApp", 100}};
+  EXPECT_THROW(workloads::build_request_streams(spec, apps), ContractError);
+
+  spec = base_spec();
+  spec.mix.clear();
+  EXPECT_THROW(workloads::build_request_streams(spec, apps), ContractError);
+
+  spec = base_spec();
+  spec.request_count = 0;
+  EXPECT_THROW(workloads::build_request_streams(spec, apps), ContractError);
+}
+
+}  // namespace
+}  // namespace sigvp

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <vector>
 
 #include "interp/interpreter.hpp"
@@ -329,6 +330,180 @@ TEST_F(Funct, SmokeParticlesIntegrateVelocity) {
   for (std::uint64_t i = 0; i < n; ++i) {
     EXPECT_NEAR(mem.read<float>(vel + 4 * i), 0.897f, 1e-5f);
     EXPECT_NEAR(mem.read<float>(pos + 4 * i), 0.00897f, 1e-6f);
+  }
+}
+
+// ---- App-shaped pipeline apps: scalar golden models, byte-exact -------------
+
+/// Forces a rounding step per operation. The interpreter rounds every f32 op
+/// through a 32-bit register, so the golden models must too — and the
+/// volatile round-trip also stops the host compiler from contracting
+/// mul+add chains into FMAs the kernels don't use.
+float r32(float v) {
+  volatile float f = v;
+  return f;
+}
+
+/// Differential fixture for the pipeline apps: fills each app's input
+/// buffers with its own fill_inputs, runs all stages through the
+/// interpreter at a given worker count, and reads device results back.
+/// Every app is checked byte-exactly against a scalar C++ reference at
+/// workers {1, 2, 4, 8} — the grid-parallel interpreter must not perturb a
+/// single bit of any stage's output.
+class AppPipeline : public Funct {
+ protected:
+  /// Nonzero so the jitter-aware scalar arguments are exercised too.
+  static constexpr std::uint64_t kJitter = 12345;
+
+  std::vector<std::vector<std::uint8_t>> host;
+  std::vector<std::uint64_t> addrs;
+
+  void setup_buffers(const Workload& w, std::uint64_t n) {
+    const auto specs = w.buffers(n);
+    host.assign(specs.size(), {});
+    addrs.clear();
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      host[i].assign(specs[i].bytes, 0);
+      addrs.push_back(dalloc(specs[i].bytes));
+    }
+    if (w.fill_inputs) w.fill_inputs(n, host);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (specs[i].is_input) mem.copy_in(addrs[i], host[i].data(), host[i].size());
+    }
+  }
+
+  float in_f32(std::size_t buf, std::uint64_t i) const {
+    float v;
+    std::memcpy(&v, host[buf].data() + 4 * i, 4);
+    return v;
+  }
+
+  void run_pipeline(const Workload& w, std::uint64_t n, std::size_t workers) {
+    Interpreter::Options opts;
+    opts.workers = workers;
+    for (const auto& st : w.stages) {
+      interp.run(st.kernel, st.dims(n), st.args(addrs, n, kJitter), mem, opts);
+    }
+  }
+
+  std::vector<std::uint8_t> read_buf(std::size_t buf, std::uint64_t bytes) {
+    std::vector<std::uint8_t> out(bytes);
+    mem.copy_out(out.data(), addrs[buf], bytes);
+    return out;
+  }
+
+  static std::vector<std::uint8_t> bytes_of(const std::vector<float>& v) {
+    std::vector<std::uint8_t> out(4 * v.size());
+    std::memcpy(out.data(), v.data(), out.size());
+    return out;
+  }
+};
+
+TEST_F(AppPipeline, GraphAnalyticsMatchesScalarModelAtEveryWorkerCount) {
+  const Workload w = workloads::make_graph_analytics();
+  const std::uint64_t n = 256, deg = 8;  // buffers are laid out for degree 8
+  setup_buffers(w, n);
+
+  // Golden model, float ops in kernel order: BFS relaxation over the CSR
+  // neighbors, then PageRank contribute + gather.
+  std::vector<float> dist_out(n), contrib(n), rank_out(n);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    float best = in_f32(1, v);
+    for (std::uint64_t j = 0; j < deg; ++j) {
+      const std::uint64_t u = workloads::graph_neighbor(v, static_cast<std::uint32_t>(j), n);
+      best = std::fmin(best, r32(in_f32(1, u) + 1.0f));
+    }
+    dist_out[v] = best;
+  }
+  const float scale = workloads::graph_damping(kJitter) / static_cast<float>(deg);
+  for (std::uint64_t v = 0; v < n; ++v) contrib[v] = r32(in_f32(3, v) * scale);
+  const float base =
+      (1.0f - workloads::graph_damping(kJitter)) / static_cast<float>(n);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    float acc = 0.0f;
+    for (std::uint64_t j = 0; j < deg; ++j) {
+      const std::uint64_t u = workloads::graph_neighbor(v, static_cast<std::uint32_t>(j), n);
+      acc = r32(acc + contrib[u]);
+    }
+    rank_out[v] = r32(acc + base);
+  }
+
+  for (const std::size_t workers : {1, 2, 4, 8}) {
+    run_pipeline(w, n, workers);
+    EXPECT_EQ(read_buf(2, 4 * n), bytes_of(dist_out)) << "dist_out, workers=" << workers;
+    EXPECT_EQ(read_buf(5, 4 * n), bytes_of(rank_out)) << "rank_out, workers=" << workers;
+  }
+}
+
+TEST_F(AppPipeline, MlInferenceMatchesScalarModelAtEveryWorkerCount) {
+  const Workload w = workloads::make_ml_inference();
+  const std::uint64_t n = 128, d = 32;  // inner dim / softmax group size
+  setup_buffers(w, n);
+
+  std::vector<float> y0(n), y1(n), probs(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    float acc = 0.0f;
+    for (std::uint64_t k = 0; k < d; ++k) {
+      acc = r32(acc + r32(in_f32(0, k) * in_f32(1, i * d + k)));
+    }
+    y0[i] = acc;
+  }
+  const float gain = workloads::ml_gain(kJitter);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    float v = r32(y0[i] + in_f32(2, i));
+    v = std::fmax(v, 0.0f);  // ReLU
+    y1[i] = r32(v * gain);
+  }
+  const float invt = workloads::ml_inv_temperature(kJitter);
+  for (std::uint64_t g = 0; g < n / d; ++g) {
+    float m = y1[g * d];
+    for (std::uint64_t k = 1; k < d; ++k) m = std::fmax(m, y1[g * d + k]);
+    float sum = 0.0f;
+    for (std::uint64_t k = 0; k < d; ++k) {
+      float v = r32(y1[g * d + k] - m);
+      v = r32(v * invt);
+      const float e = std::exp(v);
+      sum = r32(sum + e);
+      probs[g * d + k] = e;
+    }
+    for (std::uint64_t k = 0; k < d; ++k) {
+      probs[g * d + k] = r32(probs[g * d + k] / sum);
+    }
+  }
+
+  for (const std::size_t workers : {1, 2, 4, 8}) {
+    run_pipeline(w, n, workers);
+    EXPECT_EQ(read_buf(3, 4 * n), bytes_of(y0)) << "y0, workers=" << workers;
+    EXPECT_EQ(read_buf(5, 4 * n), bytes_of(probs)) << "probs, workers=" << workers;
+  }
+}
+
+TEST_F(AppPipeline, CamPipelineMatchesScalarModelAtEveryWorkerCount) {
+  const Workload w = workloads::make_cam_pipeline();
+  const std::uint64_t n = 300;  // not a multiple of the block size: guard tail
+  setup_buffers(w, n);
+
+  std::vector<float> work(n), blur(n), outq(n);
+  const float gain = workloads::cam_gain(kJitter);
+  const float qstep = workloads::cam_qstep(kJitter);
+  for (std::uint64_t i = 0; i < n; ++i) work[i] = r32(in_f32(0, i) * gain);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t li = i > 0 ? i - 1 : 0;
+    const std::uint64_t ri = std::min(i + 1, n - 1);
+    float acc = r32(work[li] * 0.25f);
+    acc = r32(acc + r32(work[i] * 0.5f));
+    acc = r32(acc + r32(work[ri] * 0.25f));
+    blur[i] = acc;
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    float v = r32(blur[i] / qstep);
+    v = std::floor(v);
+    outq[i] = r32(v * qstep);
+  }
+
+  for (const std::size_t workers : {1, 2, 4, 8}) {
+    run_pipeline(w, n, workers);
+    EXPECT_EQ(read_buf(3, 4 * n), bytes_of(outq)) << "outq, workers=" << workers;
   }
 }
 
