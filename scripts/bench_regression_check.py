@@ -34,6 +34,7 @@ checking (for intentional perf/behaviour changes; commit the diff).
 
 import argparse
 import json
+import os
 import pathlib
 import shutil
 import sys
@@ -196,8 +197,12 @@ def main():
     if args.update:
         args.baseline_dir.mkdir(parents=True, exist_ok=True)
         for name, path, _ in pairs:
-            shutil.copyfile(path, args.baseline_dir / name)
-            print(f"updated {args.baseline_dir / name} from {path}")
+            # Atomic publish: never leave a torn baseline if interrupted.
+            dest = args.baseline_dir / name
+            tmp = dest.with_suffix(dest.suffix + f".tmp.{os.getpid()}")
+            shutil.copyfile(path, tmp)
+            os.replace(tmp, dest)
+            print(f"updated {dest} from {path}")
         return 0
 
     for name, path, check in pairs:

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "snapshot/serial.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
@@ -181,6 +182,21 @@ void RequestStream::finish_request(std::shared_ptr<Active> active, SimTime end) 
     return;
   }
   begin_next();
+}
+
+void RequestStream::capture_state(snapshot::Writer& w) const {
+  w.u64(pending_.size());
+  for (std::size_t idx : pending_) w.u64(idx);
+  w.boolean(busy_);
+  w.u64(completed_);
+  w.u64(kernels_launched_);
+  w.boolean(finished_);
+  w.f64(finished_at_);
+  w.u64_vec(latency_.counts);
+  w.u64(latency_.count);
+  w.f64(latency_.sum);
+  w.f64(latency_.min);
+  w.f64(latency_.max);
 }
 
 }  // namespace sigvp

@@ -14,6 +14,10 @@
 
 namespace sigvp {
 
+namespace snapshot {
+class Writer;
+}
+
 /// Open-loop request service for one VP: requests arrive at generator-
 /// stamped sim times (independent of prior completions) and are served
 /// FIFO — allocate the request's buffers, upload its inputs, chain its
@@ -49,6 +53,10 @@ class RequestStream : public std::enable_shared_from_this<RequestStream> {
 
   /// Latency histogram over the canonical ladder (trace::latency_buckets_us).
   const trace::Histogram& latency() const { return latency_; }
+
+  /// Serializes the stream's service state (pending/served cursors plus the
+  /// full latency histogram) for fleet-capture digests.
+  void capture_state(snapshot::Writer& w) const;
 
  private:
   struct Active;  // one in-service request's transient state

@@ -7,6 +7,7 @@
 #include "core/request_stream.hpp"
 #include "fault/health.hpp"
 #include "ipc/ipc_manager.hpp"
+#include "snapshot/serial.hpp"
 #include "trace/trace.hpp"
 #include "util/check.hpp"
 #include "vp/emulation_driver.hpp"
@@ -36,6 +37,12 @@ std::vector<AppInstance> replicate(const workloads::Workload& workload, std::uin
 }
 
 ScenarioResult run_scenario(const ScenarioConfig& config, const std::vector<AppInstance>& apps) {
+  return run_scenario(config, apps, CaptureOptions{}, nullptr);
+}
+
+ScenarioResult run_scenario(const ScenarioConfig& config, const std::vector<AppInstance>& apps,
+                            const CaptureOptions& capture,
+                            std::vector<FleetCapture>* out_captures) {
   SIGVP_REQUIRE(!apps.empty(), "scenario needs at least one application");
   for (const AppInstance& a : apps) {
     SIGVP_REQUIRE(a.workload != nullptr && a.n > 0, "malformed app instance");
@@ -195,7 +202,74 @@ ScenarioResult run_scenario(const ScenarioConfig& config, const std::vector<AppI
     if (runs[i]) runs[i]->start({});
     if (streams[i]) streams[i]->start({});
   }
+
+  // Periodic fleet capture: a self-rescheduling event that digests every
+  // stateful component at a fixed sim-time cadence. The capture event
+  // re-arms only while other events remain, so it never keeps the queue
+  // alive on its own — the scenario still terminates exactly when the
+  // fleet is done. With capture disabled none of this enters the queue,
+  // keeping the plain overload byte-identical.
+  std::size_t verify_idx = 0;
+  if (capture.every_us > 0.0) {
+    auto take = std::make_shared<std::function<void()>>();
+    *take = [&, take] {
+      FleetCapture fc;
+      fc.at_us = queue.now();
+      fc.events_processed = queue.events_processed();
+      snapshot::Writer w;
+      queue.capture_state(w);
+      if (device) device->capture_state(w, functional);
+      if (ipc) ipc->capture_state(w);
+      if (dispatcher) dispatcher->capture_state(w);
+      for (const auto& cpu : cpus) {
+        w.f64(cpu->busy_until());
+        w.f64(cpu->busy_total());
+      }
+      for (std::size_t i = 0; i < apps.size(); ++i) {
+        if (streams[i]) {
+          streams[i]->capture_state(w);
+        } else {
+          w.boolean(runs[i]->finished());
+          w.f64(runs[i]->finished_at());
+          w.u64(runs[i]->kernels_launched());
+        }
+      }
+      if (faults_on) {
+        w.u64(fault_stats->retransmits);
+        w.u64(fault_stats->duplicates_suppressed);
+        w.u64(fault_stats->launch_retries);
+        w.u64(fault_stats->fallback_jobs);
+        w.u64(fault_stats->unrecovered_jobs);
+      }
+      fc.digest = w.digest();
+      if (verify_idx < capture.expect.size()) {
+        const FleetCapture& e = capture.expect[verify_idx];
+        if (!(fc == e)) {
+          throw snapshot::SnapshotError(
+              "fleet capture " + std::to_string(verify_idx) + " diverged from checkpoint: " +
+              "expected t=" + std::to_string(e.at_us) + " events=" +
+              std::to_string(e.events_processed) + " digest=" + std::to_string(e.digest) +
+              ", got t=" + std::to_string(fc.at_us) + " events=" +
+              std::to_string(fc.events_processed) + " digest=" + std::to_string(fc.digest));
+        }
+      }
+      ++verify_idx;
+      if (out_captures != nullptr) out_captures->push_back(fc);
+      if (capture.on_capture) capture.on_capture(fc);
+      if (queue.pending() > 0) {
+        queue.schedule_at(queue.now() + capture.every_us, *take);
+      }
+    };
+    queue.schedule_at(capture.every_us, *take);
+  }
+
   queue.run();
+
+  if (verify_idx < capture.expect.size()) {
+    throw snapshot::SnapshotError(
+        "replay produced " + std::to_string(verify_idx) + " fleet captures but the checkpoint " +
+        "recorded " + std::to_string(capture.expect.size()) + " — runs diverged");
+  }
 
   // Stall detector: the event queue drained, so if the dispatcher still
   // holds queued or in-flight jobs the system deadlocked — fail loudly with

@@ -130,9 +130,50 @@ struct ScenarioResult {
   std::shared_ptr<trace::Metrics> metrics;
 };
 
+/// One deterministic mid-run observation of the whole fleet: taken at a
+/// fixed sim time, it digests every stateful component (event clock, GPU
+/// engines/streams/allocator, IPC endpoints, re-scheduler queue and
+/// coalescing window, CPU engines, request streams — and, in functional
+/// mode, the full device address-space content). Because a scenario is a
+/// pure function of its inputs, re-executing the same job MUST reproduce
+/// the same digest sequence — which is how a resumed run proves it walked
+/// through the exact states the interrupted run checkpointed.
+struct FleetCapture {
+  SimTime at_us = 0.0;
+  std::uint64_t events_processed = 0;
+  std::uint64_t digest = 0;
+
+  bool operator==(const FleetCapture&) const = default;
+};
+
+/// Periodic fleet-capture configuration for run_scenario.
+struct CaptureOptions {
+  /// Sim-time cadence between captures (µs); <= 0 disables capturing.
+  SimTime every_us = 0.0;
+
+  /// Replay verification: the capture sequence recorded by a previous run
+  /// of the same job. Each new capture must match the corresponding entry
+  /// (position, time, event count and digest) or run_scenario throws —
+  /// a restored run that diverges from its checkpoint is detected at the
+  /// first capture point, not at the final result diff.
+  std::vector<FleetCapture> expect;
+
+  /// Invoked after each capture is taken (and verified): the checkpoint
+  /// publication hook. Runs on the scenario's thread, mid-simulation.
+  std::function<void(const FleetCapture&)> on_capture;
+};
+
 /// Builds the full system for `config`, runs every app instance to
 /// completion on the discrete-event timeline, and reports the schedule.
 ScenarioResult run_scenario(const ScenarioConfig& config, const std::vector<AppInstance>& apps);
+
+/// Capture-enabled variant: additionally takes a FleetCapture every
+/// `capture.every_us` of sim time, appending to `out_captures` (may be
+/// null). The no-capture overload above is byte-identical to this one with
+/// a disabled CaptureOptions — the capture event never enters the queue.
+ScenarioResult run_scenario(const ScenarioConfig& config, const std::vector<AppInstance>& apps,
+                            const CaptureOptions& capture,
+                            std::vector<FleetCapture>* out_captures);
 
 /// Convenience: `count` identical instances of one workload at size n.
 std::vector<AppInstance> replicate(const workloads::Workload& workload, std::uint64_t n,

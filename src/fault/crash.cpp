@@ -1,0 +1,128 @@
+#include "fault/crash.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace sigvp {
+
+namespace {
+
+/// splitmix64 finalizer — same family as FaultPlan's hash: decisions are a
+/// pure function of (seed, site, index), independent of host scheduling.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+CrashSite parse_site(const std::string& name) {
+  if (name == "dispatch") return CrashSite::kDispatch;
+  if (name == "group") return CrashSite::kCoalescedGroup;
+  if (name == "snapshot") return CrashSite::kSnapshotWrite;
+  throw ContractError("SIGVP_CRASH: unknown crash site '" + name +
+                      "' (want dispatch|group|snapshot)");
+}
+
+}  // namespace
+
+const char* crash_site_name(CrashSite site) {
+  switch (site) {
+    case CrashSite::kDispatch: return "dispatch";
+    case CrashSite::kCoalescedGroup: return "group";
+    case CrashSite::kSnapshotWrite: return "snapshot";
+  }
+  return "?";
+}
+
+CrashPlan::CrashPlan() {
+  const char* spec = std::getenv("SIGVP_CRASH");
+  if (spec != nullptr && *spec != '\0') {
+    const std::string s(spec);
+    const std::size_t colon = s.find(':');
+    SIGVP_REQUIRE(colon != std::string::npos && colon + 1 < s.size(),
+                  "SIGVP_CRASH must be <site>:<nth-visit>, got '" + s + "'");
+    at_site_ = parse_site(s.substr(0, colon));
+    at_visit_ = std::strtoull(s.c_str() + colon + 1, nullptr, 10);
+    SIGVP_REQUIRE(at_visit_ > 0, "SIGVP_CRASH visit index is 1-based, got 0");
+    armed_.store(true, std::memory_order_release);
+  }
+  const char* seed = std::getenv("SIGVP_CRASH_SEED");
+  const char* rate = std::getenv("SIGVP_CRASH_RATE");
+  if (rate != nullptr && *rate != '\0') {
+    seed_ = seed != nullptr ? std::strtoull(seed, nullptr, 10) : 1;
+    rate_ = std::strtod(rate, nullptr);
+    if (rate_ > 0.0) armed_.store(true, std::memory_order_release);
+  }
+}
+
+CrashPlan& CrashPlan::instance() {
+  static CrashPlan plan;
+  return plan;
+}
+
+void CrashPlan::crash_point(CrashSite site) {
+  if (!armed_.load(std::memory_order_acquire)) return;
+  const auto idx = static_cast<std::size_t>(site);
+  // fetch_add gives every concurrent visit a unique 1-based index, so the
+  // counted mode kills the process at exactly the armed visit even when
+  // sweep workers race through the same site.
+  const std::uint64_t visit = counts_[idx].fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (at_visit_ > 0 && site == at_site_ && visit == at_visit_) die(site, visit);
+  if (rate_ > 0.0) {
+    const std::uint64_t h = mix64(seed_ ^ (static_cast<std::uint64_t>(site) << 56) ^ visit);
+    const double roll = static_cast<double>(h >> 11) * 0x1.0p-53;
+    if (roll < rate_) die(site, visit);
+  }
+}
+
+void CrashPlan::die(CrashSite site, std::uint64_t visit) {
+  if (exit_handler_) {
+    exit_handler_(kCrashExitCode);
+    return;
+  }
+  // stderr is unbuffered on purpose: this line must survive the _Exit.
+  std::fprintf(stderr, "[crash] injected process crash at site %s visit %llu\n",
+               crash_site_name(site), static_cast<unsigned long long>(visit));
+  std::fflush(stderr);
+  // _Exit, not exit: no atexit hooks, no stream flushing — the point is to
+  // model sudden death, leaving half-written state exactly as it was.
+  std::_Exit(kCrashExitCode);
+}
+
+void CrashPlan::arm_at(CrashSite site, std::uint64_t nth_visit) {
+  SIGVP_REQUIRE(nth_visit > 0, "crash visit index is 1-based");
+  at_site_ = site;
+  at_visit_ = nth_visit;
+  rate_ = 0.0;
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  armed_.store(true, std::memory_order_release);
+}
+
+void CrashPlan::arm_seeded(std::uint64_t seed, double rate) {
+  SIGVP_REQUIRE(rate >= 0.0 && rate <= 1.0, "crash rate must be in [0, 1]");
+  seed_ = seed;
+  rate_ = rate;
+  at_visit_ = 0;
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  armed_.store(rate > 0.0, std::memory_order_release);
+}
+
+void CrashPlan::disarm() {
+  armed_.store(false, std::memory_order_release);
+  at_visit_ = 0;
+  rate_ = 0.0;
+}
+
+std::uint64_t CrashPlan::visits(CrashSite site) const {
+  return counts_[static_cast<std::size_t>(site)].load(std::memory_order_acquire);
+}
+
+void CrashPlan::set_exit_handler(std::function<void(int)> handler) {
+  exit_handler_ = std::move(handler);
+}
+
+}  // namespace sigvp

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace sigvp {
+
+/// Process-death injection sites. Unlike the in-run FaultSite faults (which
+/// the tolerance layer recovers from inside one simulation), a crash site
+/// terminates the whole process — the failure mode the checkpoint/restore
+/// path exists for. Sites are chosen to die at the most state-laden moments:
+///  - kDispatch: between a job's dispatch accounting and its device
+///    submission (mid-flight scheduler state);
+///  - kCoalescedGroup: between a merged group's arena gathers and its
+///    single launch (multi-VP transaction half done);
+///  - kSnapshotWrite: between a checkpoint temp file becoming durable and
+///    its rename (the classic torn-publish window).
+enum class CrashSite : std::uint32_t {
+  kDispatch = 1,
+  kCoalescedGroup = 2,
+  kSnapshotWrite = 3,
+};
+
+const char* crash_site_name(CrashSite site);
+
+/// Exit status of an injected crash, distinct from every normal failure path
+/// so a supervising harness can tell "injected death" from a real bug.
+inline constexpr int kCrashExitCode = 86;
+
+/// Process-wide arming of crash points (the sites stay compiled in but cost
+/// one relaxed atomic load while disarmed). Armed from the environment at
+/// first use:
+///
+///   SIGVP_CRASH=<site>:<n>   die at the n-th visit (1-based) of the named
+///                            site ("dispatch", "group", "snapshot");
+///   SIGVP_CRASH_SEED=<s>     seeded probabilistic mode: every visit of every
+///   SIGVP_CRASH_RATE=<r>     site dies with probability r, decided by
+///                            hashing (seed, site, visit counter) — the same
+///                            pure-function determinism rule FaultPlan uses,
+///                            so a given (seed, rate) always kills the
+///                            process at the same visit of the same site.
+///
+/// The counted mode is exact even when sites race across sweep worker
+/// threads: visits are claimed with fetch_add, so exactly one thread sees
+/// the armed index.
+class CrashPlan {
+ public:
+  static CrashPlan& instance();
+
+  /// Counts this visit and terminates the process (exit code kCrashExitCode)
+  /// if the plan says so. No-op (after one atomic load) while disarmed.
+  void crash_point(CrashSite site);
+
+  /// Programmatic arming (tests; overrides any environment arming).
+  void arm_at(CrashSite site, std::uint64_t nth_visit);
+  void arm_seeded(std::uint64_t seed, double rate);
+  void disarm();
+
+  std::uint64_t visits(CrashSite site) const;
+
+  /// Replaces process termination (tests only). The handler receives the
+  /// would-be exit code; if it returns, execution continues past the site.
+  void set_exit_handler(std::function<void(int)> handler);
+
+ private:
+  CrashPlan();
+
+  static constexpr std::size_t kNumSites = 4;  // index by CrashSite value
+
+  std::atomic<bool> armed_{false};
+  std::atomic<std::uint64_t> counts_[kNumSites] = {};
+  // Counted mode: site + 1-based visit index (0 = off).
+  CrashSite at_site_ = CrashSite::kDispatch;
+  std::uint64_t at_visit_ = 0;
+  // Seeded mode (rate > 0 switches it on).
+  std::uint64_t seed_ = 0;
+  double rate_ = 0.0;
+  std::function<void(int)> exit_handler_;
+
+  void die(CrashSite site, std::uint64_t visit);
+};
+
+/// Convenience wrapper used at the instrumented sites.
+inline void crash_point(CrashSite site) { CrashPlan::instance().crash_point(site); }
+
+}  // namespace sigvp

@@ -1,5 +1,7 @@
 #include "fault/fault_plan.hpp"
 
+#include <algorithm>
+
 namespace sigvp {
 
 namespace {
@@ -15,6 +17,20 @@ std::uint64_t mix64(std::uint64_t z) {
 }
 
 }  // namespace
+
+SimTime retransmit_backoff(const RecoveryConfig& recovery, std::uint32_t attempts) {
+  if (attempts == 0) attempts = 1;
+  // Multiply-with-clamp instead of pow: once the delay reaches the cap the
+  // remaining exponent cannot matter, so arbitrarily high attempt counts
+  // never overflow to inf (which std::pow would happily produce around
+  // attempt ~1000 with the default multiplier).
+  SimTime delay = recovery.ack_timeout_us;
+  for (std::uint32_t i = 1; i < attempts; ++i) {
+    if (delay >= recovery.max_backoff_us) break;
+    delay *= recovery.backoff_mult;
+  }
+  return std::min(delay, recovery.max_backoff_us);
+}
 
 double FaultPlan::roll01(FaultSite site, std::uint64_t index) const {
   const std::uint64_t h =

@@ -23,6 +23,10 @@ enum class FaultSite : std::uint64_t {
   kAckDrop = 7,        // delivery acknowledgement lost (forces a retransmit)
   kLaunchFail = 8,     // transient kernel-launch failure on the host GPU
   kEngineHang = 9,     // compute engine stalls mid-launch
+  /// Whole-process death (ProcessCrash). Not recoverable inside a run: it is
+  /// injected by the CrashPlan (fault/crash.hpp) at counter-hashed sites and
+  /// survived only through the checkpoint/restore path (src/snapshot).
+  kProcessCrash = 10,
 };
 
 /// Declarative description of every fault a scenario run will experience.
@@ -71,9 +75,13 @@ struct FaultConfig {
 /// when the scenario's FaultConfig is enabled.
 struct RecoveryConfig {
   /// Watchdog timeout for the first delivery attempt of a message; each
-  /// retransmission multiplies it by `backoff_mult` (exponential backoff).
+  /// retransmission multiplies it by `backoff_mult` (exponential backoff),
+  /// clamped at `max_backoff_us` so a long retransmission tail (raised
+  /// max_retries) cannot grow the delay without bound or overflow it into
+  /// inf. Defaults leave every trajectory with attempts <= 7 untouched.
   SimTime ack_timeout_us = 600.0;
   double backoff_mult = 2.0;
+  SimTime max_backoff_us = 60000.0;
   /// Retransmissions before a message is declared undeliverable and the
   /// VP's traffic is escalated to the emulation fallback.
   std::uint32_t max_retries = 4;
@@ -86,6 +94,12 @@ struct RecoveryConfig {
   /// before the stall watchdog force-restarts the endpoint.
   SimTime vp_stall_timeout_us = 5000.0;
 };
+
+/// Watchdog delay before retransmission attempt `attempts` (1-based: the
+/// first transmission waits `ack_timeout_us`). Overflow-safe at any attempt
+/// count: the exponent saturates instead of producing inf, and the result is
+/// clamped to `max_backoff_us`.
+SimTime retransmit_backoff(const RecoveryConfig& recovery, std::uint32_t attempts);
 
 /// Seeded, event-queue-driven fault oracle. Holds no mutable state: every
 /// query hashes (seed, site, index), so the plan can be shared read-only by

@@ -5,6 +5,7 @@
 
 #include "gpu/launch_cache.hpp"
 
+#include "snapshot/serial.hpp"
 #include "trace/trace.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
@@ -296,6 +297,28 @@ const KernelExecStats& GpuDevice::last_kernel_stats() const {
 double GpuDevice::average_power_w(SimTime horizon_us) const {
   SIGVP_REQUIRE(horizon_us > 0.0, "power horizon must be positive");
   return arch_.static_power_w + dynamic_energy_j_ / s_from_us(horizon_us);
+}
+
+void GpuDevice::capture_state(snapshot::Writer& w, bool hash_memory) const {
+  w.f64(copy_in_engine_.free_at);
+  w.f64(copy_out_engine_.free_at);
+  w.f64(compute_engine_.free_at);
+  w.u64(streams_.size());
+  for (const Stream& s : streams_) w.f64(s.tail);
+  w.f64(copy_busy_);
+  w.f64(compute_busy_);
+  w.f64(dynamic_energy_j_);
+  w.u64(kernels_launched_);
+  w.u64(copies_submitted_);
+  w.u64(allocator_.bytes_allocated());
+  w.u64(live_ops_.size());
+  for (const auto& [op_id, end] : live_ops_) {
+    w.u64(op_id);
+    w.f64(end);
+  }
+  w.u64(next_op_id_);
+  w.u64(launch_roll_index_);
+  if (hash_memory) w.u64(memory_.hash_range(0, memory_.size(), 0x5157f4a7ULL));
 }
 
 }  // namespace sigvp

@@ -21,6 +21,9 @@ namespace sigvp {
 namespace trace {
 class RunTrace;
 }
+namespace snapshot {
+class Writer;
+}
 
 /// How a kernel launch is evaluated by the device model.
 enum class ExecMode {
@@ -171,6 +174,13 @@ class GpuDevice {
 
   /// Average power over [0, horizon]: static + dynamic energy / horizon.
   double average_power_w(SimTime horizon_us) const;
+
+  /// Serializes device state for a fleet capture: engine clocks, stream
+  /// tails, busy/energy accumulators, allocator level, live tracked ops and
+  /// the fault-roll counter. With `hash_memory` the full address-space
+  /// content is folded in too (functional scenarios — the base-image +
+  /// MemDelta state the paper-scale analytic runs never touch).
+  void capture_state(snapshot::Writer& w, bool hash_memory) const;
 
  private:
   struct Stream {

@@ -8,6 +8,7 @@
 #include "gpu/cache.hpp"
 #include "interp/decoded.hpp"
 #include "interp/interpreter.hpp"
+#include "snapshot/serial.hpp"
 #include "util/check.hpp"
 
 namespace sigvp {
@@ -460,6 +461,141 @@ void LaunchCache::insert(std::uint64_t base_key, std::shared_ptr<const Entry> en
   if (fifo_head_ > 64 && fifo_head_ * 2 > fifo_.size()) {
     fifo_.erase(fifo_.begin(), fifo_.begin() + static_cast<std::ptrdiff_t>(fifo_head_));
     fifo_head_ = 0;
+  }
+}
+
+// --- checkpoint export/import ------------------------------------------------
+
+namespace {
+
+void save_chunks(snapshot::Writer& w, const std::vector<MemChunk>& ranges) {
+  w.u64(ranges.size());
+  for (const MemChunk& r : ranges) {
+    w.u64(r.addr);
+    w.u64(r.size);
+  }
+}
+
+std::vector<MemChunk> load_chunks(snapshot::Reader& r) {
+  const std::uint64_t n = r.u64();
+  std::vector<MemChunk> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    MemChunk c;
+    c.addr = r.u64();
+    c.size = r.u64();
+    out.push_back(c);
+  }
+  return out;
+}
+
+void save_class_counts(snapshot::Writer& w, const ClassCounts& c) {
+  w.u64(c.counts.size());
+  for (std::uint64_t v : c.counts) w.u64(v);
+}
+
+void load_class_counts(snapshot::Reader& r, ClassCounts& c) {
+  const std::uint64_t n = r.u64();
+  if (n != c.counts.size()) {
+    throw snapshot::SnapshotError("launch cache entry: instruction class count mismatch");
+  }
+  for (auto& v : c.counts) v = r.u64();
+}
+
+void save_stats(snapshot::Writer& w, const KernelExecStats& s) {
+  save_class_counts(w, s.sigma);
+  w.u64(s.num_blocks);
+  w.u64(s.serial_blocks);
+  w.f64(s.issue_cycles);
+  w.f64(s.block_overhead_cycles);
+  w.f64(s.stall_cycles_data);
+  w.f64(s.stall_cycles_other);
+  w.f64(s.total_cycles);
+  w.f64(s.duration_us);
+  w.f64(s.dynamic_energy_j);
+  w.u64(s.cache.accesses);
+  w.u64(s.cache.hits);
+  w.u64(s.cache.misses);
+}
+
+void load_stats(snapshot::Reader& r, KernelExecStats& s) {
+  load_class_counts(r, s.sigma);
+  s.num_blocks = r.u64();
+  s.serial_blocks = r.u64();
+  s.issue_cycles = r.f64();
+  s.block_overhead_cycles = r.f64();
+  s.stall_cycles_data = r.f64();
+  s.stall_cycles_other = r.f64();
+  s.total_cycles = r.f64();
+  s.duration_us = r.f64();
+  s.dynamic_energy_j = r.f64();
+  s.cache.accesses = r.u64();
+  s.cache.hits = r.u64();
+  s.cache.misses = r.u64();
+}
+
+void save_profile(snapshot::Writer& w, const DynamicProfile& p) {
+  w.u64_vec(p.block_visits);
+  save_class_counts(w, p.instr_counts);
+  w.u64(p.global_load_bytes);
+  w.u64(p.global_store_bytes);
+  w.u64(p.barriers_waited);
+  w.u64(p.sfu_instrs);
+  w.u64(p.sqrt_instrs);
+}
+
+void load_profile(snapshot::Reader& r, DynamicProfile& p) {
+  p.block_visits = r.u64_vec();
+  load_class_counts(r, p.instr_counts);
+  p.global_load_bytes = r.u64();
+  p.global_store_bytes = r.u64();
+  p.barriers_waited = r.u64();
+  p.sfu_instrs = r.u64();
+  p.sqrt_instrs = r.u64();
+}
+
+}  // namespace
+
+void LaunchCache::export_state(snapshot::Writer& w) const {
+  // Holding fifo_mutex_ pins every resident entry: insert/evict also take
+  // it first, so the raw FifoRef pointers stay valid for the whole walk.
+  std::lock_guard<std::mutex> lock(fifo_mutex_);
+  w.u64(resident_entries_);
+  for (std::size_t i = fifo_head_; i < fifo_.size(); ++i) {
+    const Entry& e = *fifo_[i].entry;
+    w.u64(e.base_key);
+    save_chunks(w, e.read_ranges);
+    w.u64(e.input_hash);
+    save_stats(w, e.stats);
+    save_profile(w, e.profile);
+    save_chunks(w, e.writes.ranges);
+    w.byte_vec(e.writes.bytes);
+    w.u64(e.footprint);
+  }
+}
+
+void LaunchCache::import_state(snapshot::Reader& r) {
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    auto entry = std::make_shared<Entry>();
+    entry->base_key = r.u64();
+    entry->read_ranges = load_chunks(r);
+    entry->input_hash = r.u64();
+    load_stats(r, entry->stats);
+    load_profile(r, entry->profile);
+    entry->writes.ranges = load_chunks(r);
+    entry->writes.bytes = r.byte_vec();
+    if (entry->writes.total_bytes() !=
+        [&] {
+          std::uint64_t total = 0;
+          for (const MemChunk& c : entry->writes.ranges) total += c.size;
+          return total;
+        }()) {
+      throw snapshot::SnapshotError("launch cache entry: write-set ranges/bytes out of sync");
+    }
+    entry->footprint = r.u64();
+    const std::uint64_t key = entry->base_key;
+    insert(key, std::move(entry));  // re-takes fifo order, dedups duplicates
   }
 }
 

@@ -16,6 +16,11 @@
 
 namespace sigvp {
 
+namespace snapshot {
+class Writer;
+class Reader;
+}
+
 /// Monotonic counters of the process-wide launch cache. `snapshot()` deltas
 /// are what the sweep runner folds into the BENCH JSON `cache` block.
 struct LaunchCacheStats {
@@ -119,6 +124,16 @@ class LaunchCache {
 
   /// Monotonic counters + current residency, coherent snapshot.
   LaunchCacheStats stats() const;
+
+  /// Serializes every resident entry in global FIFO (fill) order — the
+  /// order eviction replays — so an import rebuilds a byte-identical
+  /// resident set including its future eviction sequence.
+  void export_state(snapshot::Writer& w) const;
+
+  /// Re-inserts entries previously written by export_state, preserving
+  /// fill order. Duplicate entries (already resident) are dropped by the
+  /// normal insert dedup, so importing over a warm cache is safe.
+  void import_state(snapshot::Reader& r);
 
  private:
   struct Entry;

@@ -1,9 +1,9 @@
 #include "ipc/ipc_manager.hpp"
 
-#include <cmath>
 #include <memory>
 #include <utility>
 
+#include "snapshot/serial.hpp"
 #include "trace/trace.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
@@ -214,10 +214,9 @@ void IpcManager::attempt_transfer(const std::shared_ptr<Transfer>& xfer) {
     }
   }
 
-  // Watchdog for this attempt, with exponential backoff.
-  const SimTime timeout =
-      recovery_.ack_timeout_us *
-      std::pow(recovery_.backoff_mult, static_cast<double>(xfer->attempts - 1));
+  // Watchdog for this attempt, with clamped exponential backoff
+  // (overflow-safe at any attempt count — see retransmit_backoff).
+  const SimTime timeout = retransmit_backoff(recovery_, xfer->attempts);
   queue_.schedule_after(timeout, [this, xfer] {
     if (xfer->acked) return;
     if (health_) health_->report_incident(xfer->vp_id);
@@ -435,6 +434,25 @@ void IpcManager::resume_vp(std::uint32_t vp_id) {
 bool IpcManager::is_stopped(std::uint32_t vp_id) const {
   SIGVP_REQUIRE(vp_id < vps_.size(), "unknown VP endpoint");
   return vps_[vp_id].stopped;
+}
+
+void IpcManager::capture_state(snapshot::Writer& w) const {
+  w.u64(next_job_id_);
+  w.u64(messages_sent_);
+  w.f64(transport_time_total_);
+  w.u64(msg_roll_index_);
+  w.u64(vps_.size());
+  for (const VpEndpoint& vp : vps_) {
+    w.boolean(vp.stopped);
+    w.u64(vp.held.size());
+    w.boolean(vp.wedged);
+    w.boolean(vp.stall_fired);
+    w.u64(vp.completions_delivered);
+    w.u64(vp.outstanding.size());
+    for (std::uint64_t seq : vp.outstanding) w.u64(seq);
+    w.u64(vp.ready.size());
+    for (const auto& [seq, fn] : vp.ready) w.u64(seq);
+  }
 }
 
 }  // namespace sigvp

@@ -20,6 +20,9 @@ namespace sigvp {
 namespace trace {
 class RunTrace;
 }
+namespace snapshot {
+class Writer;
+}
 
 /// Transport cost model of the VP↔host IPC channel.
 ///
@@ -116,6 +119,13 @@ class IpcManager {
   /// Invoked after every in-order completion release (any VP); the fallback
   /// path uses it to re-check its drain gate.
   void set_release_listener(std::function<void(std::uint32_t vp_id)> listener);
+
+  /// Serializes the transport and per-endpoint state a fleet capture must
+  /// pin down: message/fault-roll counters, and for every VP endpoint the
+  /// control state plus the retransmit/dedup/in-order-release buffers
+  /// (outstanding sequence numbers, parked out-of-order completions, held
+  /// notifications). Used as digest input for resume replay-verification.
+  void capture_state(snapshot::Writer& w) const;
 
   // --- stats ------------------------------------------------------------------
   std::uint64_t messages_sent() const { return messages_sent_; }

@@ -1,11 +1,11 @@
 #include "run/json_writer.hpp"
 
 #include <cstdio>
-#include <fstream>
 #include <sstream>
 
 #include "trace/metrics.hpp"
 #include "util/check.hpp"
+#include "util/fileio.hpp"
 #include "util/jsonfmt.hpp"
 #include "util/log.hpp"
 
@@ -43,15 +43,12 @@ std::string number(double v) { return util::json_number(v); }
 }  // namespace json
 
 bool try_write_json_file(const std::string& text, const std::string& path) {
-  std::ofstream f(path);
-  if (!f.good()) return false;
-  f << text;
-  // Flush before checking: a full device (e.g. --json /dev/full) only fails
-  // when buffered bytes actually hit the file, which without this happened
-  // in the destructor — after the old good() check had already passed.
-  f.flush();
-  f.close();
-  return f.good();
+  // Crash-safe publication: write-temp + fsync + atomic rename, so a process
+  // killed mid-write can never leave a torn BENCH/baseline file behind —
+  // readers see the previous version or the complete new one. Non-regular
+  // destinations (e.g. --json /dev/full in the error-path tests) are written
+  // directly, preserving the device node and its failure semantics.
+  return util::write_file_atomic(path, text);
 }
 
 void write_json_file(const std::string& text, const std::string& path) {

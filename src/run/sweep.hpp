@@ -57,12 +57,46 @@ struct SweepResult {
   SampleSummary summarize_group(const std::string& group) const;
 };
 
+/// Checkpoint/restore policy of a sweep run (DESIGN.md §14).
+struct SweepSnapshotOptions {
+  /// Checkpoint directory. Non-empty enables both periodic checkpoint
+  /// publication AND auto-resume from the newest valid checkpoint found
+  /// there (a cold start simply finds none). Empty disables everything —
+  /// the run is byte-identical to a build without the snapshot layer.
+  std::string dir;
+
+  /// Sim-time cadence (µs) of the per-job fleet captures that trigger
+  /// checkpoint publication. Must match the cadence of the interrupted run
+  /// being resumed — captures are verified position by position.
+  SimTime every_us = 5000.0;
+
+  /// Explicit snapshot file to resume from, tried before the `dir` scan.
+  /// If it fails validation it is rejected (logged) and the scan provides
+  /// the fallback.
+  std::string resume_path;
+};
+
+/// What a checkpointed/resumed sweep actually did, for harness assertions.
+struct SweepResumeInfo {
+  std::string resumed_from;            // checkpoint used ("" = cold start)
+  std::size_t jobs_resumed = 0;        // finished results spliced, not re-run
+  std::size_t jobs_replayed = 0;       // re-executed under digest verification
+  std::vector<std::string> rejected;   // snapshot files that failed validation
+};
+
 /// Shards a vector of scenario jobs across a fixed-size worker pool.
 ///
 /// Determinism contract: every job owns its private EventQueue, GPU device,
 /// IPC manager and dispatcher (all built inside `run_scenario`), so a job's
 /// ScenarioResult is a pure function of its SweepJob — bit-identical across
 /// runs and across worker counts. Only host wall-clock changes with N.
+///
+/// The checkpoint/restore path leans on exactly that contract: the durable
+/// unit of progress is a *finished job's result* (serialized bit-exact and
+/// spliced back without re-execution); an interrupted job re-executes from
+/// its inputs and must reproduce the fleet-capture digest sequence the
+/// checkpoint recorded — so a resumed sweep's output is bit-identical to a
+/// never-interrupted run at any worker count.
 class SweepRunner {
  public:
   /// `workers == 0` picks the host's hardware concurrency.
@@ -75,6 +109,14 @@ class SweepRunner {
   /// workers have drained.
   SweepResult run(const std::vector<SweepJob>& jobs) const;
 
+  /// Checkpoint-aware variant: resumes from `snap.dir`/`snap.resume_path`
+  /// when a valid checkpoint for this exact job list exists, publishes
+  /// rotating checkpoints while running, and reports what happened through
+  /// `resume_info` (may be null). With default options this is the plain
+  /// run() path.
+  SweepResult run(const std::vector<SweepJob>& jobs, const SweepSnapshotOptions& snap,
+                  SweepResumeInfo* resume_info) const;
+
  private:
   std::size_t workers_;
 };
@@ -85,10 +127,28 @@ class SweepRunner {
 /// to enable the Chrome/Perfetto tracer (equivalent to SIGVP_TRACE=PATH;
 /// parse_sweep_cli enables it immediately so every subsequent scenario is
 /// captured).
+///
+/// Checkpoint/restore knobs: `--snapshot-dir PATH` (or SIGVP_SNAPSHOT_DIR)
+/// enables rotating checkpoints plus auto-resume, `--snapshot-every US`
+/// (or SIGVP_SNAPSHOT_EVERY) sets the sim-time capture cadence in µs, and
+/// `--resume FILE` names an explicit snapshot file to resume from. Flags
+/// override the environment.
 struct SweepCli {
   std::size_t workers = 0;
   std::string json_path;
   std::string trace_path;
+  std::string snapshot_dir;
+  SimTime snapshot_every_us = 5000.0;
+  std::string resume_path;
+
+  /// The snapshot policy these CLI settings describe.
+  SweepSnapshotOptions snapshot_options() const {
+    SweepSnapshotOptions snap;
+    snap.dir = snapshot_dir;
+    snap.every_us = snapshot_every_us;
+    snap.resume_path = resume_path;
+    return snap;
+  }
 };
 
 SweepCli parse_sweep_cli(int argc, char** argv, const std::string& default_json);

@@ -4,6 +4,7 @@
 #include <bit>
 #include <memory>
 
+#include "fault/crash.hpp"
 #include "interp/decoded.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
@@ -112,6 +113,10 @@ SimTime Coalescer::execute(std::vector<Job> jobs, const GroupFaultHooks* hooks) 
     }
     device_.memcpy_d2d_batch(stream_, descs);
   }
+
+  // Injected process death mid-group: gathers submitted, merged launch not
+  // yet issued — the multi-VP transaction is half done.
+  crash_point(CrashSite::kCoalescedGroup);
 
   // 2. Merged launch request: arena pointers, summed element count, grid
   //    covering all elements in one well-aligned launch.

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <utility>
 
+#include "fault/crash.hpp"
+#include "snapshot/serial.hpp"
 #include "trace/trace.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
@@ -253,6 +255,9 @@ void Dispatcher::dispatch_single(Job job) {
   ++vp_inflight_[job.vp_id];
   ++in_flight_;
   ++jobs_dispatched_;
+  // Injected process death between dispatch accounting and device
+  // submission: the most scheduler-state-laden instant of a job's life.
+  crash_point(CrashSite::kDispatch);
   SIGVP_TRACE("dispatcher") << "dispatch job " << job.id << " vp" << job.vp_id << " kind="
                             << static_cast<int>(job.kind) << " t=" << events_.now();
   if (trace_ != nullptr) {
@@ -591,6 +596,34 @@ std::string Dispatcher::stall_report() const {
        << ", next_seq: " << next_seq_[vp] << "}";
   }
   return os.str();
+}
+
+void Dispatcher::capture_state(snapshot::Writer& w) const {
+  w.u64(queue_.size());
+  for (const Job& j : queue_) {
+    w.u64(j.id);
+    w.u32(j.vp_id);
+    w.u64(j.seq_in_vp);
+    w.u8(static_cast<std::uint8_t>(j.kind));
+    w.u64(j.bytes);
+    w.f64(j.enqueue_time);
+    w.u32(j.attempts);
+  }
+  w.u64_vec(next_seq_);
+  w.u64(vp_inflight_.size());
+  for (std::uint32_t v : vp_inflight_) w.u32(v);
+  for (std::uint32_t v : vp_group_inflight_) w.u32(v);
+  w.u32(in_flight_);
+  w.u64(jobs_dispatched_);
+  w.u64(reorders_);
+  w.f64(window_timer_at_);
+  w.u64(coalescer_.groups_executed());
+  w.u64(coalescer_.jobs_merged());
+  w.f64(service_.free_at());
+  w.f64(service_.busy_time());
+  w.u64(service_.jobs_submitted());
+  w.u64(kill_actions_.size());
+  for (const auto& [op_id, fn] : kill_actions_) w.u64(op_id);
 }
 
 }  // namespace sigvp

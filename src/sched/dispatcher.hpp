@@ -22,6 +22,9 @@ namespace sigvp {
 namespace trace {
 class RunTrace;
 }
+namespace snapshot {
+class Writer;
+}
 
 /// Policy knobs of the Re-scheduler + Job Dispatcher pair (paper Fig. 2).
 struct DispatchConfig {
@@ -105,6 +108,13 @@ class Dispatcher {
   /// Human-readable list of VPs with queued or in-flight jobs, for the
   /// stall detector's diagnostic when the event queue drains non-idle.
   std::string stall_report() const;
+
+  /// Serializes the re-scheduler state a fleet capture must pin down: the
+  /// job queue (ids, VPs, kinds, sequence numbers), per-VP dispatch cursors
+  /// and in-flight counters, the coalescing-window timer, the coalescer's
+  /// group counters, the service engine's clock, and the pending reset-kill
+  /// actions. Digest input for resume replay-verification.
+  void capture_state(snapshot::Writer& w) const;
 
   // --- stats -------------------------------------------------------------------
   std::uint64_t jobs_dispatched() const { return jobs_dispatched_; }

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "snapshot/serial.hpp"
 #include "util/check.hpp"
 
 namespace sigvp {
@@ -38,6 +39,13 @@ void EventQueue::run_until(SimTime t) {
   SIGVP_REQUIRE(t >= now_, "cannot run the queue backwards");
   while (!heap_.empty() && heap_.top().time <= t) step();
   now_ = t;
+}
+
+void EventQueue::capture_state(snapshot::Writer& w) const {
+  w.f64(now_);
+  w.u64(next_seq_);
+  w.u64(processed_);
+  w.u64(heap_.size());
 }
 
 }  // namespace sigvp

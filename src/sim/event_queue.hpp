@@ -9,6 +9,10 @@
 
 namespace sigvp {
 
+namespace snapshot {
+class Writer;
+}
+
 /// Deterministic discrete-event queue.
 ///
 /// Events scheduled for the same timestamp fire in insertion order (a strict
@@ -38,6 +42,13 @@ class EventQueue {
 
   std::size_t pending() const { return heap_.size(); }
   std::uint64_t events_processed() const { return processed_; }
+
+  /// Serializes the sim-domain clock and queue counters (clock, sequence
+  /// counter, processed count, pending count) into a fleet-capture digest.
+  /// The closures themselves are deliberately NOT serialized — restore works
+  /// by deterministic re-execution, and these counters are the part of the
+  /// queue a replayed run must reproduce exactly (DESIGN.md §14).
+  void capture_state(snapshot::Writer& w) const;
 
  private:
   struct Event {

@@ -1,0 +1,162 @@
+#include "snapshot/io.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "fault/crash.hpp"
+#include "util/fileio.hpp"
+#include "util/log.hpp"
+
+namespace sigvp::snapshot {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::size_t kHeaderSize = sizeof(kSnapshotMagic) + 4 + 8 + 8;
+
+void put_le32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_le64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t get_le32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_le64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+constexpr const char* kCheckpointPrefix = "checkpoint_";
+constexpr const char* kCheckpointSuffix = ".svps";
+
+/// checkpoint_<seq>.svps -> seq, or 0 when the name doesn't match.
+std::uint64_t parse_seq(const std::string& filename) {
+  const std::string prefix = kCheckpointPrefix;
+  const std::string suffix = kCheckpointSuffix;
+  if (filename.size() <= prefix.size() + suffix.size()) return 0;
+  if (filename.compare(0, prefix.size(), prefix) != 0) return 0;
+  if (filename.compare(filename.size() - suffix.size(), suffix.size(), suffix) != 0) return 0;
+  const std::string digits =
+      filename.substr(prefix.size(), filename.size() - prefix.size() - suffix.size());
+  if (digits.empty()) return 0;
+  std::uint64_t seq = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return 0;
+    seq = seq * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return seq;
+}
+
+/// Existing checkpoints, sorted by ascending sequence number.
+std::vector<std::pair<std::uint64_t, std::string>> list_checkpoints(const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    const std::uint64_t seq = parse_seq(name);
+    if (seq > 0) out.emplace_back(seq, entry.path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+bool save_snapshot_file(const std::string& path, const std::vector<std::uint8_t>& payload) {
+  std::string blob;
+  blob.reserve(kHeaderSize + payload.size());
+  blob.append(kSnapshotMagic, sizeof(kSnapshotMagic));
+  put_le32(blob, kSnapshotVersion);
+  put_le64(blob, payload.size());
+  put_le64(blob, fnv1a64(payload.data(), payload.size()));
+  blob.append(reinterpret_cast<const char*>(payload.data()), payload.size());
+  return util::write_file_atomic(path, blob,
+                                 [] { crash_point(CrashSite::kSnapshotWrite); });
+}
+
+std::vector<std::uint8_t> load_snapshot_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SnapshotError("snapshot file unreadable: " + path);
+  std::vector<std::uint8_t> blob((std::istreambuf_iterator<char>(in)),
+                                 std::istreambuf_iterator<char>());
+  if (blob.size() < kHeaderSize) {
+    throw SnapshotError("snapshot file truncated (header): " + path);
+  }
+  if (std::memcmp(blob.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    throw SnapshotError("snapshot file bad magic: " + path);
+  }
+  const std::uint32_t version = get_le32(blob.data() + sizeof(kSnapshotMagic));
+  if (version != kSnapshotVersion) {
+    throw SnapshotError("snapshot file unsupported version " + std::to_string(version) +
+                        ": " + path);
+  }
+  const std::uint64_t size = get_le64(blob.data() + sizeof(kSnapshotMagic) + 4);
+  if (blob.size() - kHeaderSize != size) {
+    throw SnapshotError("snapshot file truncated (payload): " + path);
+  }
+  const std::uint64_t checksum = get_le64(blob.data() + sizeof(kSnapshotMagic) + 4 + 8);
+  std::vector<std::uint8_t> payload(blob.begin() + kHeaderSize, blob.end());
+  if (fnv1a64(payload.data(), payload.size()) != checksum) {
+    throw SnapshotError("snapshot file checksum mismatch: " + path);
+  }
+  return payload;
+}
+
+CheckpointStore::CheckpointStore(std::string dir, std::size_t keep)
+    : dir_(std::move(dir)), keep_(keep == 0 ? 1 : keep) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  // Resume from the highest existing sequence so a restarted process never
+  // re-publishes (and silently clobbers) a checkpoint name it didn't write.
+  for (const auto& [seq, path] : list_checkpoints(dir_)) {
+    next_seq_ = std::max(next_seq_, seq + 1);
+  }
+}
+
+std::string CheckpointStore::publish(const std::vector<std::uint8_t>& payload) {
+  const std::uint64_t seq = next_seq_++;
+  const std::string path =
+      (fs::path(dir_) / (kCheckpointPrefix + std::to_string(seq) + kCheckpointSuffix)).string();
+  if (!save_snapshot_file(path, payload)) {
+    SIGVP_WARN("snapshot") << "failed to publish checkpoint " << path;
+    return {};
+  }
+  auto existing = list_checkpoints(dir_);
+  while (existing.size() > keep_) {
+    std::error_code ec;
+    fs::remove(existing.front().second, ec);
+    existing.erase(existing.begin());
+  }
+  return path;
+}
+
+CheckpointStore::Latest CheckpointStore::find_latest_valid() const {
+  Latest out;
+  auto existing = list_checkpoints(dir_);
+  for (auto it = existing.rbegin(); it != existing.rend(); ++it) {
+    try {
+      out.payload = load_snapshot_file(it->second);
+      out.path = it->second;
+      return out;
+    } catch (const SnapshotError& e) {
+      SIGVP_WARN("snapshot") << "rejected " << it->second << ": " << e.what();
+      out.rejected.push_back(it->second);
+    }
+  }
+  return out;
+}
+
+}  // namespace sigvp::snapshot

@@ -1,0 +1,312 @@
+#include "snapshot/state.hpp"
+
+namespace sigvp::snapshot {
+
+void save_histogram(Writer& w, const trace::Histogram& h) {
+  w.f64_vec(h.edges);
+  w.u64_vec(h.counts);
+  w.u64(h.count);
+  w.f64(h.sum);
+  w.f64(h.min);
+  w.f64(h.max);
+}
+
+trace::Histogram load_histogram(Reader& r) {
+  trace::Histogram h(r.f64_vec());
+  h.counts = r.u64_vec();
+  if (h.counts.size() != h.edges.size() + 1) {
+    throw SnapshotError("histogram bucket count does not match its edges");
+  }
+  h.count = r.u64();
+  h.sum = r.f64();
+  h.min = r.f64();
+  h.max = r.f64();
+  return h;
+}
+
+void save_metrics(Writer& w, const trace::Metrics& m) {
+  w.u64(m.counters().size());
+  for (const auto& [name, c] : m.counters()) {
+    w.str(name);
+    w.u64(c.value);
+  }
+  w.u64(m.gauges().size());
+  for (const auto& [name, g] : m.gauges()) {
+    w.str(name);
+    w.f64(g.value);
+    w.boolean(g.set);
+  }
+  w.u64(m.histograms().size());
+  for (const auto& [name, h] : m.histograms()) {
+    w.str(name);
+    save_histogram(w, h);
+  }
+}
+
+trace::Metrics load_metrics(Reader& r) {
+  trace::Metrics m;
+  const std::uint64_t nc = r.u64();
+  for (std::uint64_t i = 0; i < nc; ++i) {
+    const std::string name = r.str();
+    m.counter(name).value = r.u64();
+  }
+  const std::uint64_t ng = r.u64();
+  for (std::uint64_t i = 0; i < ng; ++i) {
+    const std::string name = r.str();
+    trace::Gauge& g = m.gauge(name);
+    g.value = r.f64();
+    g.set = r.boolean();
+  }
+  const std::uint64_t nh = r.u64();
+  for (std::uint64_t i = 0; i < nh; ++i) {
+    const std::string name = r.str();
+    trace::Histogram h = load_histogram(r);
+    trace::Histogram& dst = m.histogram(name, h.edges);
+    dst = std::move(h);
+  }
+  return m;
+}
+
+void save_fault_stats(Writer& w, const FaultStats& s) {
+  w.boolean(s.active);
+  w.u64(s.messages_dropped);
+  w.u64(s.messages_duplicated);
+  w.u64(s.latency_spikes);
+  w.u64(s.acks_dropped);
+  w.u64(s.launch_failures);
+  w.u64(s.engine_hangs);
+  w.u64(s.device_resets);
+  w.u64(s.ops_killed_by_reset);
+  w.u64(s.vp_stalls);
+  w.u64(s.retransmits);
+  w.u64(s.duplicates_suppressed);
+  w.u64(s.launch_retries);
+  w.u64(s.reset_requeues);
+  w.u64(s.group_resplits);
+  w.u64(s.vps_quarantined);
+  w.u64(s.vp_restarts);
+  w.u64(s.fallbacks);
+  w.u64(s.fallback_jobs);
+  w.u64(s.unrecovered_jobs);
+  w.f64(s.recovery_latency_total_us);
+  w.f64(s.recovery_latency_max_us);
+  w.u64(s.recovery_events);
+}
+
+FaultStats load_fault_stats(Reader& r) {
+  FaultStats s;
+  s.active = r.boolean();
+  s.messages_dropped = r.u64();
+  s.messages_duplicated = r.u64();
+  s.latency_spikes = r.u64();
+  s.acks_dropped = r.u64();
+  s.launch_failures = r.u64();
+  s.engine_hangs = r.u64();
+  s.device_resets = r.u64();
+  s.ops_killed_by_reset = r.u64();
+  s.vp_stalls = r.u64();
+  s.retransmits = r.u64();
+  s.duplicates_suppressed = r.u64();
+  s.launch_retries = r.u64();
+  s.reset_requeues = r.u64();
+  s.group_resplits = r.u64();
+  s.vps_quarantined = r.u64();
+  s.vp_restarts = r.u64();
+  s.fallbacks = r.u64();
+  s.fallback_jobs = r.u64();
+  s.unrecovered_jobs = r.u64();
+  s.recovery_latency_total_us = r.f64();
+  s.recovery_latency_max_us = r.f64();
+  s.recovery_events = r.u64();
+  return s;
+}
+
+void save_scenario_result(Writer& w, const ScenarioResult& result) {
+  w.f64(result.makespan_us);
+  w.f64_vec(result.app_done_us);
+  w.u64(result.jobs_dispatched);
+  w.u64(result.reorders);
+  w.u64(result.coalesced_groups);
+  w.u64(result.coalesced_jobs);
+  w.u64(result.ipc_messages);
+  w.f64(result.gpu_dynamic_energy_j);
+  w.f64(result.gpu_compute_busy_us);
+  w.f64(result.gpu_copy_busy_us);
+  save_fault_stats(w, result.fault);
+  w.u64(result.app_outputs.size());
+  for (const auto& bytes : result.app_outputs) w.byte_vec(bytes);
+  save_histogram(w, result.latency);
+  w.u64(result.requests_completed);
+  w.boolean(result.metrics != nullptr);
+  if (result.metrics != nullptr) save_metrics(w, *result.metrics);
+}
+
+ScenarioResult load_scenario_result(Reader& r) {
+  ScenarioResult result;
+  result.makespan_us = r.f64();
+  result.app_done_us = r.f64_vec();
+  result.jobs_dispatched = r.u64();
+  result.reorders = r.u64();
+  result.coalesced_groups = r.u64();
+  result.coalesced_jobs = r.u64();
+  result.ipc_messages = r.u64();
+  result.gpu_dynamic_energy_j = r.f64();
+  result.gpu_compute_busy_us = r.f64();
+  result.gpu_copy_busy_us = r.f64();
+  result.fault = load_fault_stats(r);
+  const std::uint64_t n_outputs = r.u64();
+  result.app_outputs.reserve(n_outputs);
+  for (std::uint64_t i = 0; i < n_outputs; ++i) result.app_outputs.push_back(r.byte_vec());
+  result.latency = load_histogram(r);
+  result.requests_completed = r.u64();
+  if (r.boolean()) {
+    result.metrics = std::make_shared<trace::Metrics>(load_metrics(r));
+  }
+  return result;
+}
+
+void save_capture(Writer& w, const FleetCapture& c) {
+  w.f64(c.at_us);
+  w.u64(c.events_processed);
+  w.u64(c.digest);
+}
+
+FleetCapture load_capture(Reader& r) {
+  FleetCapture c;
+  c.at_us = r.f64();
+  c.events_processed = r.u64();
+  c.digest = r.u64();
+  return c;
+}
+
+void save_cache_stats(Writer& w, const LaunchCacheStats& s) {
+  w.u64(s.hits);
+  w.u64(s.misses);
+  w.u64(s.bypasses);
+  w.u64(s.bytes_replayed);
+  w.u64(s.evictions);
+  w.u64(s.entries);
+  w.u64(s.bytes);
+}
+
+LaunchCacheStats load_cache_stats(Reader& r) {
+  LaunchCacheStats s;
+  s.hits = r.u64();
+  s.misses = r.u64();
+  s.bypasses = r.u64();
+  s.bytes_replayed = r.u64();
+  s.evictions = r.u64();
+  s.entries = r.u64();
+  s.bytes = r.u64();
+  return s;
+}
+
+std::vector<std::uint8_t> encode_sweep_checkpoint(const SweepCheckpoint& cp) {
+  Writer w;
+  w.u64(cp.fingerprint);
+  w.u64(cp.jobs.size());
+  for (const JobCheckpoint& job : cp.jobs) {
+    w.boolean(job.done);
+    if (job.done) {
+      save_scenario_result(w, job.result);
+    } else {
+      w.u64(job.captures.size());
+      for (const FleetCapture& c : job.captures) save_capture(w, c);
+    }
+  }
+  w.byte_vec(cp.cache_blob);
+  save_cache_stats(w, cp.cache_delta);
+  return w.take();
+}
+
+SweepCheckpoint decode_sweep_checkpoint(const std::vector<std::uint8_t>& payload) {
+  Reader r(payload);
+  SweepCheckpoint cp;
+  cp.fingerprint = r.u64();
+  const std::uint64_t n = r.u64();
+  cp.jobs.resize(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    JobCheckpoint& job = cp.jobs[i];
+    job.done = r.boolean();
+    if (job.done) {
+      job.result = load_scenario_result(r);
+    } else {
+      const std::uint64_t nc = r.u64();
+      job.captures.reserve(nc);
+      for (std::uint64_t c = 0; c < nc; ++c) job.captures.push_back(load_capture(r));
+    }
+  }
+  cp.cache_blob = r.byte_vec();
+  cp.cache_delta = load_cache_stats(r);
+  if (!r.done()) {
+    throw SnapshotError("sweep checkpoint has " + std::to_string(r.remaining()) +
+                        " trailing bytes");
+  }
+  return cp;
+}
+
+std::uint64_t scenario_fingerprint(const std::string& name, const std::string& group,
+                                   const ScenarioConfig& config,
+                                   const std::vector<AppInstance>& apps) {
+  Writer w;
+  w.str(name);
+  w.str(group);
+  w.u8(static_cast<std::uint8_t>(config.backend));
+  w.boolean(config.dispatch.interleave);
+  w.boolean(config.dispatch.coalesce);
+  w.f64(config.dispatch.coalesce_window_us);
+  w.u32(config.dispatch.coalesce_eager_peers);
+  w.f64(config.dispatch.dispatch_overhead_us);
+  w.f64(config.calib.host_cpu.effective_ips);
+  w.f64(config.calib.host_cpu.memcpy_gbps);
+  w.f64(config.calib.host_cpu.native_call_overhead_us);
+  w.f64(config.calib.vp.bt_slowdown);
+  w.f64(config.calib.vp.emul_isa_expansion);
+  w.f64(config.calib.vp.user_lib_instrs_per_call);
+  w.f64(config.calib.vp.driver_instrs_per_call);
+  w.str(config.calib.ipc.name);
+  w.f64(config.calib.ipc.per_message_us);
+  w.f64(config.calib.ipc.bandwidth_gbps);
+  w.str(config.gpu.name);
+  w.u64(config.gpu_mem_bytes);
+  w.u8(static_cast<std::uint8_t>(config.mode));
+  w.boolean(config.async_launches);
+  w.boolean(config.functional_io);
+  w.u64(config.fault.seed);
+  w.f64(config.fault.drop_rate);
+  w.f64(config.fault.dup_rate);
+  w.f64(config.fault.latency_spike_rate);
+  w.f64(config.fault.latency_spike_us);
+  w.f64(config.fault.launch_fail_rate);
+  w.f64(config.fault.launch_fail_latency_us);
+  w.f64(config.fault.engine_hang_rate);
+  w.f64(config.fault.engine_hang_us);
+  w.f64_vec(config.fault.device_reset_at_us);
+  w.f64(config.fault.device_reset_latency_us);
+  w.i64(config.fault.stall_vp);
+  w.u32(config.fault.stall_after_completions);
+  w.f64(config.recovery.ack_timeout_us);
+  w.f64(config.recovery.backoff_mult);
+  w.f64(config.recovery.max_backoff_us);
+  w.u32(config.recovery.max_retries);
+  w.u32(config.recovery.max_launch_retries);
+  w.u32(config.recovery.quarantine_threshold);
+  w.f64(config.recovery.vp_stall_timeout_us);
+  w.u64(apps.size());
+  for (const AppInstance& a : apps) {
+    w.str(a.workload->app);
+    w.u64(a.n);
+    w.boolean(a.traits.has_value());
+    w.u64(a.jitter);
+    w.f64_vec(a.arrivals);
+    w.u64(a.requests.size());
+    for (const workloads::Request& req : a.requests) {
+      w.str(req.workload->app);
+      w.u64(req.n);
+      w.u64(req.jitter);
+    }
+  }
+  return w.digest();
+}
+
+}  // namespace sigvp::snapshot

@@ -2,11 +2,11 @@
 
 #include <atomic>
 #include <cstdlib>
-#include <fstream>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "util/fileio.hpp"
 #include "util/jsonfmt.hpp"
 #include "util/log.hpp"
 
@@ -194,15 +194,10 @@ std::string Tracer::to_json() const {
 
 bool Tracer::write() const {
   const std::string text = to_json();
-  std::ofstream f(path_);
-  if (!f.good()) {
-    SIGVP_WARN("trace") << "cannot open '" << path_ << "' for writing";
-    return false;
-  }
-  f << text;
-  f.flush();
-  f.close();
-  if (!f.good()) {
+  // Atomic publish (temp + fsync + rename): the atexit-hook write path may
+  // run while the process is dying, and a torn trace JSON is worse than the
+  // previous intact one.
+  if (!util::write_file_atomic(path_, text)) {
     SIGVP_WARN("trace") << "failed writing '" << path_ << "'";
     return false;
   }

@@ -1,0 +1,75 @@
+#include "util/fileio.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+
+namespace sigvp::util {
+
+namespace {
+
+bool write_all(int fd, std::string_view contents) {
+  const char* p = contents.data();
+  std::size_t left = contents.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Direct (non-atomic) write for non-regular destinations: preserves the
+/// node and its error semantics (a full device fails the write itself).
+bool write_direct(const std::string& path, std::string_view contents) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_TRUNC);
+  if (fd < 0) return false;
+  const bool ok = write_all(fd, contents);
+  return (::close(fd) == 0) && ok;
+}
+
+bool fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
+
+bool write_file_atomic(const std::string& path, std::string_view contents,
+                       const std::function<void()>& before_rename) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) == 0 && !S_ISREG(st.st_mode)) {
+    return write_direct(path, contents);
+  }
+
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  bool ok = write_all(fd, contents);
+  ok = (::fsync(fd) == 0) && ok;
+  ok = (::close(fd) == 0) && ok;
+  if (ok && before_rename) before_rename();
+  if (ok) ok = ::rename(tmp.c_str(), path.c_str()) == 0;
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // Durability of the rename itself; the publish already happened, so a
+  // failure here (exotic filesystems) does not un-publish the file.
+  fsync_parent_dir(path);
+  return true;
+}
+
+}  // namespace sigvp::util

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace sigvp::util {
+
+/// Crash-safe file publication: writes `contents` to `<path>.tmp.<pid>`,
+/// fsyncs it, renames it over `path`, and fsyncs the containing directory,
+/// so readers only ever observe either the previous file or the complete new
+/// one — never a torn prefix. Returns false (leaving any previous `path`
+/// intact and removing the temp file) on any failure.
+///
+/// When `path` already exists and is not a regular file (e.g. `/dev/full`,
+/// `/dev/null`, a FIFO used by a test harness), the bytes are written
+/// directly instead: renaming over a device node would *replace the node*,
+/// which is never what a caller targeting a device means.
+///
+/// `before_rename`, when set, runs after the temp file is durable but before
+/// the rename — the mid-snapshot-write crash-injection window: a process
+/// killed there leaves only a stale temp file, and the previously published
+/// `path` still wins.
+bool write_file_atomic(const std::string& path, std::string_view contents,
+                       const std::function<void()>& before_rename = {});
+
+}  // namespace sigvp::util

@@ -1,12 +1,69 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
+#include "fault/fault_plan.hpp"
 #include "ipc/ipc_manager.hpp"
 #include "util/check.hpp"
 
 namespace sigvp {
 namespace {
+
+// -- Retransmission backoff (watchdog timeout curve) -------------------------
+
+TEST(RetransmitBackoff, MatchesPowTrajectoryBelowTheCap) {
+  const RecoveryConfig r;  // 600 us, x2, capped at 60 ms
+  for (std::uint32_t attempts = 1; attempts <= 5; ++attempts) {
+    EXPECT_DOUBLE_EQ(retransmit_backoff(r, attempts),
+                     r.ack_timeout_us * std::pow(r.backoff_mult, attempts - 1))
+        << "attempts=" << attempts;
+  }
+}
+
+TEST(RetransmitBackoff, ZeroAttemptsTreatedAsFirst) {
+  const RecoveryConfig r;
+  EXPECT_DOUBLE_EQ(retransmit_backoff(r, 0), r.ack_timeout_us);
+}
+
+TEST(RetransmitBackoff, MonotoneNondecreasingUpToTheCap) {
+  const RecoveryConfig r;
+  double prev = 0.0;
+  for (std::uint32_t attempts = 1; attempts <= 64; ++attempts) {
+    const double d = retransmit_backoff(r, attempts);
+    EXPECT_GE(d, prev) << "attempts=" << attempts;
+    EXPECT_LE(d, r.max_backoff_us) << "attempts=" << attempts;
+    prev = d;
+  }
+}
+
+TEST(RetransmitBackoff, ClampsExactlyAtMaxBackoff) {
+  RecoveryConfig r;
+  r.ack_timeout_us = 600.0;
+  r.backoff_mult = 2.0;
+  r.max_backoff_us = 60000.0;
+  // 600 * 2^7 = 76800 > 60000: attempt 8 is the first clamped one.
+  EXPECT_LT(retransmit_backoff(r, 7), r.max_backoff_us);
+  EXPECT_DOUBLE_EQ(retransmit_backoff(r, 8), r.max_backoff_us);
+  EXPECT_DOUBLE_EQ(retransmit_backoff(r, 9), r.max_backoff_us);
+}
+
+TEST(RetransmitBackoff, FiniteAtAbsurdAttemptCounts) {
+  // std::pow(2.0, 10000) is inf; the saturating multiply loop must not be.
+  const RecoveryConfig r;
+  const double d = retransmit_backoff(r, 10000);
+  EXPECT_TRUE(std::isfinite(d));
+  EXPECT_DOUBLE_EQ(d, r.max_backoff_us);
+  EXPECT_DOUBLE_EQ(retransmit_backoff(r, 0xFFFFFFFFu), r.max_backoff_us);
+}
+
+TEST(RetransmitBackoff, CapBelowFirstTimeoutStillClamps) {
+  RecoveryConfig r;
+  r.ack_timeout_us = 600.0;
+  r.max_backoff_us = 100.0;  // pathological config: cap under the base timeout
+  EXPECT_DOUBLE_EQ(retransmit_backoff(r, 1), 100.0);
+  EXPECT_DOUBLE_EQ(retransmit_backoff(r, 50), 100.0);
+}
 
 TEST(IpcCostModel, MessageCostHasPayloadTerm) {
   const IpcCostModel shm = IpcCostModel::shared_memory();

@@ -207,6 +207,50 @@ TEST(Histogram, MergeSumsBucketwiseAndRequiresIdenticalEdges) {
   EXPECT_EQ(a.count, 3u);
 }
 
+TEST(Histogram, MergeIntoEmptyAdoptsOtherMinMaxExactly) {
+  // The empty side's 0.0 min/max are sentinels, not samples: folding a
+  // populated histogram into a fresh one must copy the observed extremes,
+  // not min() them against the sentinel (min would wrongly stay 0.0).
+  trace::Histogram into({1.0, 2.0});
+  trace::Histogram from({1.0, 2.0});
+  from.record(1.5);
+  from.record(9.0);
+  into.merge(from);
+  EXPECT_EQ(into.count, 2u);
+  EXPECT_EQ(into.min, 1.5);
+  EXPECT_EQ(into.max, 9.0);
+  EXPECT_EQ(into.sum, 10.5);
+  EXPECT_EQ(into.counts[1], 1u);
+  EXPECT_EQ(into.counts[2], 1u);
+}
+
+TEST(Histogram, MergeOfEmptyIsByteExactNoOp) {
+  // A restored zero-traffic scenario merges an all-zero latency histogram
+  // into the sweep fold; every field (including the min/max sentinels) must
+  // come through untouched so the merged result — and the JSON schema
+  // decision `count > 0` drives — is byte-identical to a run where the
+  // empty histogram never existed.
+  trace::Histogram a({1.0, 2.0});
+  a.record(0.5);
+  a.record(1.7);
+  const trace::Histogram before = a;
+  trace::Histogram empty_same({1.0, 2.0});
+  a.merge(empty_same);
+  EXPECT_EQ(a.count, before.count);
+  EXPECT_EQ(a.counts, before.counts);
+  EXPECT_EQ(a.sum, before.sum);
+  EXPECT_EQ(a.min, before.min);
+  EXPECT_EQ(a.max, before.max);
+
+  trace::Histogram e1({5.0});
+  trace::Histogram e2({5.0});
+  e1.merge(e2);  // empty into empty: still empty, sentinels intact
+  EXPECT_EQ(e1.count, 0u);
+  EXPECT_EQ(e1.min, 0.0);
+  EXPECT_EQ(e1.max, 0.0);
+  EXPECT_EQ(e1.quantile(0.99), 0.0);
+}
+
 TEST(Histogram, CanonicalLaddersAreStrictlyAscending) {
   for (const auto* edges : {&trace::latency_buckets_us(), &trace::depth_buckets(),
                             &trace::group_size_buckets(), &trace::bytes_buckets()}) {
