@@ -46,9 +46,19 @@ struct RunSample {
 
 struct AppReport {
   std::string app;
+  std::string kernel;  // kernel name, for per-kernel attribution (tier bench)
   bool atomic = false;
   std::uint64_t n = 0;
   std::vector<RunSample> runs;
+
+  /// Per-kernel Minstr/s at workers=1 — the number the tier bench and the
+  /// baseline gate attribute wins/regressions to.
+  double minstr_per_sec_w1() const {
+    for (const RunSample& s : runs) {
+      if (s.workers == 1) return s.instrs_per_sec / 1e6;
+    }
+    return runs.empty() ? 0.0 : runs.front().instrs_per_sec / 1e6;
+  }
 };
 
 /// One timed launch of `w` at size `n` with the given worker count. Fresh
@@ -106,8 +116,9 @@ std::string to_json(const std::vector<AppReport>& apps,
   os << "  \"apps\": [\n";
   for (std::size_t i = 0; i < apps.size(); ++i) {
     const AppReport& a = apps[i];
-    os << "    {\"app\": \"" << escape(a.app) << "\", \"atomic\": "
-       << (a.atomic ? "true" : "false") << ", \"n\": " << a.n << ", \"runs\": [";
+    os << "    {\"app\": \"" << escape(a.app) << "\", \"kernel\": \"" << escape(a.kernel)
+       << "\", \"atomic\": " << (a.atomic ? "true" : "false") << ", \"n\": " << a.n
+       << ", \"minstr_per_sec_w1\": " << number(a.minstr_per_sec_w1()) << ", \"runs\": [";
     for (std::size_t r = 0; r < a.runs.size(); ++r) {
       const RunSample& s = a.runs[r];
       if (r != 0) os << ", ";
@@ -165,6 +176,7 @@ int main(int argc, char** argv) {
   for (const auto& w : suite) {
     AppReport rep;
     rep.app = w.app;
+    rep.kernel = w.kernel.name;
     rep.atomic = Interpreter::uses_global_atomics(w.kernel);
     rep.n = size_override != 0 ? size_override
                                : (w.estimate_n != 0 ? w.estimate_n : w.test_n);

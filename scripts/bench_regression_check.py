@@ -18,6 +18,10 @@ baselines in bench/baselines/ and exits nonzero on:
     whole per-job object is a pure function of the job config, so it is
     compared exactly; only the top-level workers/wall_ms fields are host-
     dependent and ignored.
+  * tier_throughput: ANY change to the per-kernel promotion bookkeeping
+    (promoted flag, compiles, fused superinstruction counts — all pure
+    functions of the launch stream), or a Tier-2 throughput/speedup drop
+    beyond the tolerance band.
 
 Divergence regressions (parallel interpreter vs serial profile, cached vs
 uncached byte-identity) are enforced by the benches themselves via nonzero
@@ -141,6 +145,48 @@ def check_cache(baseline, current, tolerance):
                f"{cur_shared['hits']}/{cur_shared['misses']} unchanged")
 
 
+def check_tier(baseline, current, tolerance):
+    print(f"== tier_throughput (promotion bookkeeping: exact; throughput: -{tolerance:.0%})")
+    base_kernels = {k["kernel"]: k for k in baseline["kernels"]}
+    cur_kernels = {k["kernel"]: k for k in current["kernels"]}
+    for name, base in sorted(base_kernels.items()):
+        cur = cur_kernels.get(name)
+        if cur is None:
+            fail(f"tier: kernel '{name}' disappeared from the bench")
+            continue
+        # Promotion decisions and lowering stats are pure functions of the
+        # launch stream: any change is a behavioural regression (or an
+        # intentional policy change -> --update).
+        exact = ("promoted", "compiles", "fused_superinsts", "instrs")
+        changed = [f for f in exact if cur.get(f) != base.get(f)]
+        if changed:
+            fail(f"tier: {name} promotion bookkeeping changed "
+                 f"({', '.join(f'{f}: {base.get(f)} -> {cur.get(f)}' for f in changed)})")
+        else:
+            ok(f"{name}: promoted={base['promoted']}, "
+               f"fused={base['fused_superinsts']} unchanged")
+        floor = base["t2_minstr_per_sec"] * (1.0 - tolerance)
+        if cur["t2_minstr_per_sec"] < floor:
+            fail(f"tier: {name} Tier-2 throughput {cur['t2_minstr_per_sec']:.1f} "
+                 f"Minstr/s < floor {floor:.1f} "
+                 f"(baseline {base['t2_minstr_per_sec']:.1f})")
+        else:
+            ok(f"{name}: {cur['t2_minstr_per_sec']:.1f} Minstr/s >= floor {floor:.1f}")
+        if base.get("promoted") and base.get("speedup", 0.0) > 1.0:
+            sfloor = base["speedup"] * (1.0 - tolerance)
+            if cur.get("speedup", 0.0) < sfloor:
+                fail(f"tier: {name} speedup {cur.get('speedup', 0.0):.2f}x < "
+                     f"floor {sfloor:.2f}x (baseline {base['speedup']:.2f}x)")
+    for name in sorted(set(cur_kernels) - set(base_kernels)):
+        fail(f"tier: new kernel '{name}' has no baseline "
+             f"(run with --update to record it)")
+    for field in ("promoted_kernels", "total_compiles", "total_fused_superinsts"):
+        if current.get(field) != baseline.get(field):
+            fail(f"tier: {field} changed {baseline.get(field)} -> {current.get(field)}")
+        else:
+            ok(f"{field}: {baseline.get(field)} unchanged")
+
+
 def check_app_suite(baseline, current, tolerance):
     del tolerance  # sim-domain results are exact, not banded
     print("== app_suite (sim-domain scenario results: exact)")
@@ -178,6 +224,8 @@ def main():
                         help="fresh BENCH_launch_cache_speedup.json to check")
     parser.add_argument("--app-suite", type=pathlib.Path,
                         help="fresh BENCH_app_suite.json to check")
+    parser.add_argument("--tier", type=pathlib.Path,
+                        help="fresh BENCH_tier.json to check")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional throughput drop (default 0.25)")
     parser.add_argument("--update", action="store_true",
@@ -191,8 +239,11 @@ def main():
         pairs.append(("launch_cache_speedup.json", args.cache, check_cache))
     if args.app_suite:
         pairs.append(("app_suite.json", args.app_suite, check_app_suite))
+    if args.tier:
+        pairs.append(("tier_throughput.json", args.tier, check_tier))
     if not pairs:
-        parser.error("nothing to do: pass --interp, --cache, and/or --app-suite")
+        parser.error(
+            "nothing to do: pass --interp, --cache, --app-suite, and/or --tier")
 
     if args.update:
         args.baseline_dir.mkdir(parents=True, exist_ok=True)

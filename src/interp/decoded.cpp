@@ -591,18 +591,67 @@ std::shared_ptr<const DecodedProgram> DecodedCache::get(const KernelIR& ir) {
   // in parallel; a rare duplicate decode of the same kernel is harmless.
   std::shared_ptr<const DecodedProgram> prog = decode_kernel(ir);
   std::lock_guard<std::mutex> lock(mutex_);
-  map_[&ir] = prog;
+  auto it = map_.find(&ir);
+  if (it != map_.end()) {
+    // Stale (or racing) entry: replace in place, keeping the key's original
+    // FIFO position so eviction order stays a function of first insertion.
+    cur_bytes_ -= program_bytes(*it->second);
+    it->second = prog;
+  } else {
+    map_.emplace(&ir, prog);
+    fifo_.push_back(&ir);
+  }
+  cur_bytes_ += program_bytes(*prog);
+  evict_to_cap_locked();
   return prog;
 }
 
 void DecodedCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   map_.clear();
+  fifo_.clear();
+  fifo_head_ = 0;
+  cur_bytes_ = 0;
 }
 
 std::size_t DecodedCache::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return map_.size();
+}
+
+std::uint64_t DecodedCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+void DecodedCache::set_capacity(std::size_t max_entries, std::size_t max_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  max_entries_ = max_entries;
+  max_bytes_ = max_bytes;
+  evict_to_cap_locked();
+}
+
+std::size_t DecodedCache::program_bytes(const DecodedProgram& prog) {
+  return prog.code.size() * sizeof(DecodedInstr) +
+         prog.blocks.size() * sizeof(DecodedBlock);
+}
+
+void DecodedCache::evict_to_cap_locked() {
+  while (map_.size() > max_entries_ || cur_bytes_ > max_bytes_) {
+    if (fifo_head_ >= fifo_.size()) break;  // invariant: never reached
+    const KernelIR* victim = fifo_[fifo_head_++];
+    auto it = map_.find(victim);
+    if (it != map_.end()) {
+      cur_bytes_ -= program_bytes(*it->second);
+      map_.erase(it);
+      ++evictions_;
+    }
+  }
+  // Amortized compaction of the consumed FIFO prefix.
+  if (fifo_head_ > 64 && fifo_head_ * 2 > fifo_.size()) {
+    fifo_.erase(fifo_.begin(), fifo_.begin() + static_cast<std::ptrdiff_t>(fifo_head_));
+    fifo_head_ = 0;
+  }
 }
 
 void run_decoded_block(const DecodedProgram& prog, const KernelIR& ir, const LaunchDims& dims,

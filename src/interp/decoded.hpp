@@ -86,8 +86,17 @@ std::shared_ptr<const DecodedProgram> decode_kernel(const KernelIR& ir);
 /// in place (same KernelIR object, new body) re-decodes on the next launch.
 /// Thread-safe; entries are shared_ptrs so a concurrent invalidation never
 /// pulls a program out from under a running launch.
+///
+/// Bounded: under kernel churn the map would grow without limit, so the
+/// cache enforces a deterministic entries/bytes cap with FIFO eviction in
+/// insertion order (the launch cache's policy). An in-place fingerprint
+/// refresh keeps the entry's original FIFO position. Evicted programs are
+/// merely re-decoded on their next launch — results are unaffected.
 class DecodedCache {
  public:
+  static constexpr std::size_t kDefaultMaxEntries = 512;
+  static constexpr std::size_t kDefaultMaxBytes = 256u << 20;
+
   static DecodedCache& instance();
 
   /// Returns the cached decode of `ir`, re-decoding when absent or stale.
@@ -98,9 +107,24 @@ class DecodedCache {
 
   std::size_t size() const;
 
+  /// Total FIFO evictions since process start (clear() does not count).
+  std::uint64_t evictions() const;
+
+  /// Reconfigures the cap and immediately evicts down to it.
+  void set_capacity(std::size_t max_entries, std::size_t max_bytes);
+
  private:
+  static std::size_t program_bytes(const DecodedProgram& prog);
+  void evict_to_cap_locked();
+
   mutable std::mutex mutex_;
   std::unordered_map<const KernelIR*, std::shared_ptr<const DecodedProgram>> map_;
+  std::vector<const KernelIR*> fifo_;  // keys in insertion order
+  std::size_t fifo_head_ = 0;
+  std::size_t max_entries_ = kDefaultMaxEntries;
+  std::size_t max_bytes_ = kDefaultMaxBytes;
+  std::size_t cur_bytes_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 /// Per-thread execution state. Registers live in the arena's slab, not in

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "interp/decoded.hpp"
+#include "interp/tier2.hpp"
 #include "run/thread_pool.hpp"
 #include "trace/trace.hpp"
 #include "util/check.hpp"
@@ -29,6 +30,9 @@ using interp_detail::DecodedCache;
 using interp_detail::DecodedProgram;
 using interp_detail::ExecArena;
 using interp_detail::run_decoded_block;
+using interp_detail::run_tier2_block;
+using interp_detail::Tier2Arena;
+using interp_detail::Tier2Program;
 
 /// Upper bound on canonical chunks. Chosen so an 8-worker run still has ~8
 /// chunks per worker to balance uneven block costs, while per-chunk L2
@@ -58,26 +62,35 @@ ChunkRange chunk_range(std::uint64_t num_blocks, std::size_t chunks, std::size_t
   return r;
 }
 
-/// Executes the blocks of one canonical chunk serially in row-major order,
-/// accumulating λ/barrier counts into `chunk_profile` (full-size
-/// block_visits; merged by the caller in chunk order).
-void run_chunk(const DecodedProgram& prog, const KernelIR& ir, const LaunchDims& dims,
-               const KernelArgs& args, AddressSpace& global, const MemAccessHook* hook,
-               const Interpreter::Options& options, ExecArena& arena,
-               DynamicProfile& chunk_profile, ChunkRange range) {
+/// Per-runner scratch: the Tier-1 arena plus the Tier-2 slab arena. Only the
+/// tier the launch selected allocates anything.
+struct RunnerArenas {
+  ExecArena t1;
+  Tier2Arena t2;
+};
+
+/// Executes the blocks of one canonical chunk serially in row-major order on
+/// whichever tier the launch selected (`t2` non-null ⇒ Tier 2), accumulating
+/// λ/barrier counts into `chunk_profile` (full-size block_visits; merged by
+/// the caller in chunk order). Per-block observables are tier-invariant, so
+/// the chunk/hook plumbing is shared.
+void run_chunk(const DecodedProgram& prog, const Tier2Program* t2, const KernelIR& ir,
+               const LaunchDims& dims, const KernelArgs& args, AddressSpace& global,
+               const MemAccessHook* hook, const Interpreter::Options& options,
+               RunnerArenas& arenas, DynamicProfile& chunk_profile, ChunkRange range) {
   for (std::uint64_t lin = range.first; lin < range.last; ++lin) {
     const auto bx = static_cast<std::uint32_t>(lin % dims.grid_x);
     const auto by = static_cast<std::uint32_t>(lin / dims.grid_x);
-    run_decoded_block(prog, ir, dims, args, global, hook, options.max_instrs_per_thread,
-                      options.strict_barriers, arena, chunk_profile, bx, by);
+    if (t2 != nullptr) {
+      run_tier2_block(*t2, ir, dims, args, global, hook, options.max_instrs_per_thread,
+                      arenas.t2, chunk_profile, bx, by);
+    } else {
+      run_decoded_block(prog, ir, dims, args, global, hook, options.max_instrs_per_thread,
+                        options.strict_barriers, arenas.t1, chunk_profile, bx, by);
+    }
   }
 }
 
-/// Derives every λ-reconstructible counter of `profile` from its merged
-/// block_visits and the decoded per-block static summaries. By the
-/// interpreter's documented contract (profile.hpp) these equal what
-/// per-instruction counting would have produced, so the post-pass replaces
-/// hundreds of millions of hot-loop increments with one pass over blocks.
 /// Composes the per-chunk observer for canonical chunk `c`: the capture
 /// recorder (if any) fires first so it can snapshot pre-store bytes, then
 /// the shard/mem observer. Returns an empty hook when nothing observes.
@@ -100,6 +113,11 @@ MemAccessHook compose_chunk_hook(const Interpreter::Options& options, std::size_
   return base ? std::move(base) : std::move(capture);
 }
 
+/// Derives every λ-reconstructible counter of `profile` from its merged
+/// block_visits and the decoded per-block static summaries. By the
+/// interpreter's documented contract (profile.hpp) these equal what
+/// per-instruction counting would have produced, so the post-pass replaces
+/// hundreds of millions of hot-loop increments with one pass over blocks.
 void finalize_from_visits(const DecodedProgram& prog, DynamicProfile& profile) {
   for (std::size_t b = 0; b < prog.blocks.size(); ++b) {
     const auto& db = prog.blocks[b];
@@ -111,6 +129,109 @@ void finalize_from_visits(const DecodedProgram& prog, DynamicProfile& profile) {
     profile.global_load_bytes += lambda * db.global_load_bytes;
     profile.global_store_bytes += lambda * db.global_store_bytes;
   }
+}
+
+/// Runs one decoded launch end to end on the tier picked by the caller
+/// (`t2` null ⇒ Tier 1) and returns the finalized profile. Factored out of
+/// Interpreter::run so the SIGVP_TIER_VERIFY oracle can re-execute the same
+/// launch on Tier 1 without re-entering tier selection.
+DynamicProfile execute_launch(const KernelIR& ir, const DecodedProgram& prog,
+                              const Tier2Program* t2, const LaunchDims& dims,
+                              const KernelArgs& args, AddressSpace& global,
+                              const Interpreter::Options& options) {
+  DynamicProfile profile;
+  profile.block_visits.assign(ir.blocks.size(), 0);
+
+  const std::uint64_t num_blocks = dims.num_blocks();
+  const std::size_t chunks = Interpreter::canonical_chunks(dims);
+
+  // Resolve the worker budget. The legacy mem_hook observes accesses in
+  // global serial order, and global atomics make cross-chunk memory order
+  // observable — both force serial chunk execution (which reproduces the
+  // old row-major serial semantics exactly).
+  std::size_t workers = run::inner_parallel_workers(options.workers);
+  if (options.mem_hook || prog.has_global_atomics) workers = 1;
+  workers = std::min(workers, chunks);
+
+  // Host-domain chunk spans: how the simulator's own threads spent their
+  // wall-clock interpreting this launch. One pointer test when tracing is
+  // off; never feeds the deterministic metrics.
+  trace::Tracer* tracer = trace::Tracer::active();
+  const char* const span_cat = t2 != nullptr ? "tier2" : "interp";
+
+  if (workers <= 1) {
+    // Serial path: chunks in canonical order on the calling thread. Shard
+    // hooks still see per-chunk streams so results match the parallel path.
+    RunnerArenas arenas;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      MemAccessHook combined = compose_chunk_hook(options, c);
+      const MemAccessHook* hook = combined ? &combined : nullptr;
+      const double host_t0 = tracer != nullptr ? tracer->host_now_us() : 0.0;
+      run_chunk(prog, t2, ir, dims, args, global, hook, options, arenas, profile,
+                chunk_range(num_blocks, chunks, c));
+      if (tracer != nullptr) {
+        tracer->complete(tracer->host_pid(), tracer->host_tid(), span_cat,
+                         ir.name + "#" + std::to_string(c), host_t0,
+                         tracer->host_now_us() - host_t0,
+                         {trace::arg("chunk", static_cast<int>(c))});
+      }
+    }
+    finalize_from_visits(prog, profile);
+    return profile;
+  }
+
+  // Parallel path: `workers` runner tasks pull chunk indices from a shared
+  // counter. Each chunk accumulates into a private profile (and optional
+  // private shard hook); merges happen below in canonical chunk order.
+  std::vector<DynamicProfile> chunk_profiles(chunks);
+  for (DynamicProfile& p : chunk_profiles) p.block_visits.assign(ir.blocks.size(), 0);
+  std::vector<std::exception_ptr> chunk_errors(chunks);
+  std::atomic<std::size_t> next_chunk{0};
+  std::atomic<bool> failed{false};
+
+  run::ThreadPool& pool = interp_pool();
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.submit([&] {
+      RunnerArenas arenas;  // reused across every chunk this runner executes
+      for (;;) {
+        const std::size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+        if (c >= chunks || failed.load(std::memory_order_relaxed)) return;
+        try {
+          MemAccessHook combined = compose_chunk_hook(options, c);
+          const MemAccessHook* hook = combined ? &combined : nullptr;
+          const double host_t0 = tracer != nullptr ? tracer->host_now_us() : 0.0;
+          run_chunk(prog, t2, ir, dims, args, global, hook, options, arenas,
+                    chunk_profiles[c], chunk_range(num_blocks, chunks, c));
+          if (tracer != nullptr) {
+            tracer->complete(tracer->host_pid(), tracer->host_tid(), span_cat,
+                             ir.name + "#" + std::to_string(c), host_t0,
+                             tracer->host_now_us() - host_t0,
+                             {trace::arg("chunk", static_cast<int>(c))});
+          }
+        } catch (...) {
+          chunk_errors[c] = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  pool.wait_idle();
+
+  // Deterministic error reporting: the lowest-numbered failing chunk wins,
+  // independent of which worker hit it first.
+  for (const std::exception_ptr& e : chunk_errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const DynamicProfile& p = chunk_profiles[c];
+    for (std::size_t b = 0; b < profile.block_visits.size(); ++b) {
+      profile.block_visits[b] += p.block_visits[b];
+    }
+    profile.barriers_waited += p.barriers_waited;
+  }
+  finalize_from_visits(prog, profile);
+  return profile;
 }
 
 }  // namespace
@@ -143,98 +264,29 @@ DynamicProfile Interpreter::run(const KernelIR& ir, const LaunchDims& dims,
 
   const std::shared_ptr<const DecodedProgram> prog = DecodedCache::instance().get(ir);
 
-  DynamicProfile profile;
-  profile.block_visits.assign(ir.blocks.size(), 0);
+  // Tier decision: a pure function of the sim-domain launch stream (see
+  // Tier2Engine::select). Launch observables are byte-exact either way.
+  Tier2Engine& engine = Tier2Engine::instance();
+  const std::shared_ptr<const Tier2Program> t2 = engine.select(
+      ir, *prog, dims, args, static_cast<bool>(options.mem_hook), options.strict_barriers);
 
-  const std::uint64_t num_blocks = dims.num_blocks();
-  const std::size_t chunks = canonical_chunks(dims);
-
-  // Resolve the worker budget. The legacy mem_hook observes accesses in
-  // global serial order, and global atomics make cross-chunk memory order
-  // observable — both force serial chunk execution (which reproduces the
-  // old row-major serial semantics exactly).
-  std::size_t workers = run::inner_parallel_workers(options.workers);
-  if (options.mem_hook || prog->has_global_atomics) workers = 1;
-  workers = std::min(workers, chunks);
-
-  // Host-domain chunk spans: how the simulator's own threads spent their
-  // wall-clock interpreting this launch. One pointer test when tracing is
-  // off; never feeds the deterministic metrics.
-  trace::Tracer* tracer = trace::Tracer::active();
-
-  if (workers <= 1) {
-    // Serial path: chunks in canonical order on the calling thread. Shard
-    // hooks still see per-chunk streams so results match the parallel path.
-    ExecArena arena;
-    for (std::size_t c = 0; c < chunks; ++c) {
-      MemAccessHook combined = compose_chunk_hook(options, c);
-      const MemAccessHook* hook = combined ? &combined : nullptr;
-      const double host_t0 = tracer != nullptr ? tracer->host_now_us() : 0.0;
-      run_chunk(*prog, ir, dims, args, global, hook, options, arena, profile,
-                chunk_range(num_blocks, chunks, c));
-      if (tracer != nullptr) {
-        tracer->complete(tracer->host_pid(), tracer->host_tid(), "interp",
-                         ir.name + "#" + std::to_string(c), host_t0,
-                         tracer->host_now_us() - host_t0,
-                         {trace::arg("chunk", static_cast<int>(c))});
-      }
-    }
-    finalize_from_visits(*prog, profile);
-    return profile;
+  if (t2 != nullptr && engine.verify()) {
+    // SIGVP_TIER_VERIFY divergence oracle: snapshot memory, run Tier 2 for
+    // real (hooks and all), then replay the launch from the snapshot on a
+    // serial hook-free Tier 1 and insist on identical profile + memory.
+    AddressSpace reference = global;
+    DynamicProfile got = execute_launch(ir, *prog, t2.get(), dims, args, global, options);
+    Options ref_options;
+    ref_options.max_instrs_per_thread = options.max_instrs_per_thread;
+    ref_options.workers = 1;
+    DynamicProfile ref =
+        execute_launch(ir, *prog, nullptr, dims, args, reference, ref_options);
+    interp_detail::check_tier_divergence(ir, ref, got, reference, global);
+    engine.note_verified();
+    return got;
   }
 
-  // Parallel path: `workers` runner tasks pull chunk indices from a shared
-  // counter. Each chunk accumulates into a private profile (and optional
-  // private shard hook); merges happen below in canonical chunk order.
-  std::vector<DynamicProfile> chunk_profiles(chunks);
-  for (DynamicProfile& p : chunk_profiles) p.block_visits.assign(ir.blocks.size(), 0);
-  std::vector<std::exception_ptr> chunk_errors(chunks);
-  std::atomic<std::size_t> next_chunk{0};
-  std::atomic<bool> failed{false};
-
-  run::ThreadPool& pool = interp_pool();
-  for (std::size_t w = 0; w < workers; ++w) {
-    pool.submit([&] {
-      ExecArena arena;  // reused across every chunk this runner executes
-      for (;;) {
-        const std::size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
-        if (c >= chunks || failed.load(std::memory_order_relaxed)) return;
-        try {
-          MemAccessHook combined = compose_chunk_hook(options, c);
-          const MemAccessHook* hook = combined ? &combined : nullptr;
-          const double host_t0 = tracer != nullptr ? tracer->host_now_us() : 0.0;
-          run_chunk(*prog, ir, dims, args, global, hook, options, arena,
-                    chunk_profiles[c], chunk_range(num_blocks, chunks, c));
-          if (tracer != nullptr) {
-            tracer->complete(tracer->host_pid(), tracer->host_tid(), "interp",
-                             ir.name + "#" + std::to_string(c), host_t0,
-                             tracer->host_now_us() - host_t0,
-                             {trace::arg("chunk", static_cast<int>(c))});
-          }
-        } catch (...) {
-          chunk_errors[c] = std::current_exception();
-          failed.store(true, std::memory_order_relaxed);
-        }
-      }
-    });
-  }
-  pool.wait_idle();
-
-  // Deterministic error reporting: the lowest-numbered failing chunk wins,
-  // independent of which worker hit it first.
-  for (const std::exception_ptr& e : chunk_errors) {
-    if (e) std::rethrow_exception(e);
-  }
-
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const DynamicProfile& p = chunk_profiles[c];
-    for (std::size_t b = 0; b < profile.block_visits.size(); ++b) {
-      profile.block_visits[b] += p.block_visits[b];
-    }
-    profile.barriers_waited += p.barriers_waited;
-  }
-  finalize_from_visits(*prog, profile);
-  return profile;
+  return execute_launch(ir, *prog, t2.get(), dims, args, global, options);
 }
 
 }  // namespace sigvp

@@ -1,0 +1,519 @@
+// Differential battery for the Tier-2 threaded-code engine (DESIGN.md §15):
+// for every workload in the suite the Tier-2 memory image and DynamicProfile
+// must be byte-exact vs the Tier-1 interpreter at every worker count; the
+// promotion decision must be a pure function of the sim-domain launch stream
+// (identical across worker counts and across resume-from-checkpoint); cold,
+// atomic, hooked and strict-barrier launches must route back to Tier 1; an
+// in-place kernel rebuild must re-lower through the fingerprint; and the
+// SIGVP_TIER_VERIFY oracle must pass cleanly on the whole suite.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "interp/decoded.hpp"
+#include "interp/interpreter.hpp"
+#include "interp/tier2.hpp"
+#include "ir/builder.hpp"
+#include "mem/allocator.hpp"
+#include "run/sweep.hpp"
+#include "snapshot/io.hpp"
+#include "snapshot/serial.hpp"
+#include "snapshot/state.hpp"
+#include "util/check.hpp"
+#include "workloads/suite.hpp"
+
+namespace sigvp {
+namespace {
+
+namespace fs = std::filesystem;
+using workloads::Workload;
+
+constexpr std::uint64_t kSpace = 64ull * 1024 * 1024;
+
+/// The tier engine is a process-wide singleton; every test that touches it
+/// runs inside a sandbox that starts from a clean slate and restores the
+/// entry mode/verify flag plus the default knobs on exit, so test order
+/// never leaks tier state (into this binary or the tests around it).
+struct EngineSandbox {
+  Tier2Engine::Mode mode;
+  bool verify;
+  EngineSandbox()
+      : mode(Tier2Engine::instance().mode()), verify(Tier2Engine::instance().verify()) {
+    Tier2Engine::instance().reset();
+  }
+  ~EngineSandbox() {
+    Tier2Engine& e = Tier2Engine::instance();
+    e.set_mode(mode);
+    e.set_verify(verify);
+    e.set_promotion(Tier2Engine::kDefaultMinStaticHeat, Tier2Engine::kDefaultWarmupLaunches);
+    e.set_capacity(Tier2Engine::kDefaultMaxEntries, Tier2Engine::kDefaultMaxBytes);
+    e.reset();
+  }
+};
+
+struct RunResult {
+  std::vector<std::uint8_t> memory;
+  DynamicProfile profile;
+};
+
+/// Fresh memory, deterministic inputs, one launch at `w.test_n` under the
+/// given tier mode and worker count; returns memory image + profile.
+RunResult run_workload(const Workload& w, std::size_t workers, Tier2Engine::Mode mode,
+                       Interpreter::Options options = {}) {
+  Tier2Engine::instance().set_mode(mode);
+  AddressSpace mem(kSpace, "m");
+  FreeListAllocator alloc(4096, mem.size() - 4096);
+  const auto bufs = w.buffers(w.test_n);
+  std::vector<std::uint64_t> addrs;
+  for (const auto& b : bufs) {
+    const auto a = alloc.allocate(b.bytes);
+    EXPECT_TRUE(a.has_value()) << w.app;
+    addrs.push_back(*a);
+  }
+  for (std::size_t i = 0; i < bufs.size(); ++i) {
+    if (!bufs[i].is_input) continue;
+    for (std::uint64_t off = 0; off + 4 <= bufs[i].bytes; off += 4) {
+      mem.write<float>(addrs[i] + off, 0.5f);
+    }
+  }
+
+  Interpreter interp;
+  options.workers = workers;
+  RunResult out;
+  out.profile = interp.run(w.kernel, w.dims(w.test_n), w.args(addrs, w.test_n), mem, options);
+  out.memory.resize(mem.size());
+  mem.copy_out(out.memory.data(), 0, out.memory.size());
+  return out;
+}
+
+void expect_profiles_identical(const DynamicProfile& a, const DynamicProfile& b,
+                               const std::string& label) {
+  EXPECT_EQ(a.block_visits, b.block_visits) << label;
+  EXPECT_EQ(a.instr_counts, b.instr_counts) << label;
+  EXPECT_EQ(a.global_load_bytes, b.global_load_bytes) << label;
+  EXPECT_EQ(a.global_store_bytes, b.global_store_bytes) << label;
+  EXPECT_EQ(a.barriers_waited, b.barriers_waited) << label;
+  EXPECT_EQ(a.sfu_instrs, b.sfu_instrs) << label;
+  EXPECT_EQ(a.sqrt_instrs, b.sqrt_instrs) << label;
+}
+
+// --- suite-wide tier differential ---------------------------------------------
+
+class Tier2DifferentialTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static const std::vector<Workload>& suite() {
+    static const std::vector<Workload> s = workloads::make_suite();
+    return s;
+  }
+  const Workload& workload() const { return workloads::find(suite(), GetParam()); }
+};
+
+TEST_P(Tier2DifferentialTest, MemoryAndProfileByteExactVsTier1AtEveryWorkerCount) {
+  EngineSandbox sandbox;
+  const Workload& w = workload();
+  const RunResult t1 = run_workload(w, 1, Tier2Engine::Mode::kForceTier1);
+  for (std::size_t workers : {1u, 2u, 4u, 8u}) {
+    const RunResult t2 = run_workload(w, workers, Tier2Engine::Mode::kForceTier2);
+    const std::string label = w.app + " tier2 @ workers=" + std::to_string(workers);
+    EXPECT_TRUE(t2.memory == t1.memory) << label << ": memory image diverged";
+    expect_profiles_identical(t1.profile, t2.profile, label);
+  }
+}
+
+std::vector<std::string> all_names() {
+  std::vector<std::string> names;
+  for (const auto& w : workloads::make_suite()) names.push_back(w.app);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, Tier2DifferentialTest, ::testing::ValuesIn(all_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return n;
+                         });
+
+// --- budget exhaustion --------------------------------------------------------
+
+TEST(Tier2Differential, BudgetExhaustionThrowsAtTheSamePointWithTheSameSideEffects) {
+  EngineSandbox sandbox;
+  const auto suite = workloads::make_suite();
+  const Workload& w = workloads::find(suite, "matrixMul");
+  // Budgets inside the vector prologue (1), mid-prologue (3) and mid-loop:
+  // Tier 2 must throw the identical ContractError with the identical partial
+  // memory image (serial execution so the partial state is deterministic).
+  const auto run_with_budget = [&w](Tier2Engine::Mode mode, std::uint64_t budget,
+                                    std::vector<std::uint8_t>& memory) {
+    Tier2Engine::instance().set_mode(mode);
+    AddressSpace mem(kSpace, "m");
+    FreeListAllocator alloc(4096, mem.size() - 4096);
+    const auto bufs = w.buffers(w.test_n);
+    std::vector<std::uint64_t> addrs;
+    for (const auto& b : bufs) addrs.push_back(*alloc.allocate(b.bytes));
+    for (std::size_t i = 0; i < bufs.size(); ++i) {
+      if (!bufs[i].is_input) continue;
+      for (std::uint64_t off = 0; off + 4 <= bufs[i].bytes; off += 4) {
+        mem.write<float>(addrs[i] + off, 0.5f);
+      }
+    }
+    Interpreter::Options opts;
+    opts.max_instrs_per_thread = budget;
+    opts.workers = 1;
+    std::string what;
+    try {
+      Interpreter().run(w.kernel, w.dims(w.test_n), w.args(addrs, w.test_n), mem, opts);
+    } catch (const ContractError& e) {
+      what = e.what();
+    }
+    memory.resize(mem.size());
+    mem.copy_out(memory.data(), 0, memory.size());
+    return what;
+  };
+  for (const std::uint64_t budget : {1ull, 3ull, 17ull, 200ull}) {
+    SCOPED_TRACE("budget=" + std::to_string(budget));
+    std::vector<std::uint8_t> mem1, mem2;
+    const std::string what1 = run_with_budget(Tier2Engine::Mode::kForceTier1, budget, mem1);
+    const std::string what2 = run_with_budget(Tier2Engine::Mode::kForceTier2, budget, mem2);
+    EXPECT_TRUE(mem1 == mem2) << "partial memory image diverged";
+    // The REQUIRE preamble embeds the throw site (file:line), which rightly
+    // differs between tiers — compare the kernel-facing message after it.
+    const auto msg = [](const std::string& what) {
+      const std::size_t dash = what.find("\xE2\x80\x94");
+      return dash == std::string::npos ? what : what.substr(dash);
+    };
+    EXPECT_FALSE(what1.empty());
+    EXPECT_FALSE(what2.empty());
+    EXPECT_EQ(msg(what1), msg(what2));
+  }
+}
+
+// --- promotion policy ---------------------------------------------------------
+
+TEST(Tier2Promotion, WarmupOrdinalGatesTheFirstLaunchesPerKey) {
+  EngineSandbox sandbox;
+  Tier2Engine& eng = Tier2Engine::instance();
+  eng.set_mode(Tier2Engine::Mode::kAuto);
+  eng.set_promotion(/*min_static_heat=*/1, /*warmup_launches=*/2);
+  const auto suite = workloads::make_suite();
+  const Workload& w = workloads::find(suite, "vectorAdd");
+
+  const Tier2Stats before = eng.stats();
+  for (int i = 0; i < 3; ++i) run_workload(w, 1, Tier2Engine::Mode::kAuto);
+  const Tier2Stats d = eng.stats() - before;
+  EXPECT_EQ(d.launches_warming, 2u);  // launches 1 and 2 warm the key
+  EXPECT_EQ(d.launches_tier2, 1u);    // launch 3 promotes
+  EXPECT_EQ(d.compiles, 1u);          // lowered exactly once
+  EXPECT_EQ(d.launches_tier1, 0u);
+}
+
+TEST(Tier2Promotion, ColdKernelsStayOnTier1WithoutCompiling) {
+  EngineSandbox sandbox;
+  Tier2Engine& eng = Tier2Engine::instance();
+  eng.set_mode(Tier2Engine::Mode::kAuto);
+  eng.set_promotion(/*min_static_heat=*/~0ull, /*warmup_launches=*/0);
+  const auto suite = workloads::make_suite();
+  const Workload& w = workloads::find(suite, "vectorAdd");
+
+  const Tier2Stats before = eng.stats();
+  run_workload(w, 1, Tier2Engine::Mode::kAuto);
+  const Tier2Stats d = eng.stats() - before;
+  EXPECT_EQ(d.launches_tier1, 1u);
+  EXPECT_EQ(d.launches_tier2, 0u);
+  EXPECT_EQ(d.compiles, 0u);  // never lowered: cold code costs nothing
+}
+
+TEST(Tier2Promotion, DecisionStreamIsIdenticalAcrossWorkerCounts) {
+  // The tier decision is a pure function of the sim-domain launch stream:
+  // replaying the same launches at a different worker count must produce the
+  // identical stats delta (DESIGN.md §15 determinism contract).
+  EngineSandbox sandbox;
+  Tier2Engine& eng = Tier2Engine::instance();
+  eng.set_mode(Tier2Engine::Mode::kAuto);
+  const auto suite = workloads::make_suite();
+  const std::vector<const Workload*> seq = {
+      &workloads::find(suite, "vectorAdd"), &workloads::find(suite, "matrixMul"),
+      &workloads::find(suite, "reduction"), &workloads::find(suite, "histogram")};
+
+  std::vector<Tier2Stats> deltas;
+  for (const std::size_t workers : {1u, 8u}) {
+    eng.reset();
+    const Tier2Stats before = eng.stats();
+    for (int round = 0; round < 2; ++round) {
+      for (const Workload* w : seq) run_workload(*w, workers, Tier2Engine::Mode::kAuto);
+    }
+    deltas.push_back(eng.stats() - before);
+  }
+  EXPECT_EQ(deltas[0], deltas[1]);
+  EXPECT_EQ(deltas[0].launches_tier2 + deltas[0].launches_warming +
+                deltas[0].launches_tier1,
+            2u * seq.size());
+}
+
+// --- fallback routing ---------------------------------------------------------
+
+TEST(Tier2Fallback, GlobalAtomicsRouteToTier1EvenWhenForced) {
+  EngineSandbox sandbox;
+  Tier2Engine& eng = Tier2Engine::instance();
+  const auto suite = workloads::make_suite();
+  const Workload& w = workloads::find(suite, "histogram");  // global atomics
+
+  const Tier2Stats before = eng.stats();
+  run_workload(w, 1, Tier2Engine::Mode::kForceTier2);
+  const Tier2Stats d = eng.stats() - before;
+  EXPECT_EQ(d.launches_tier1, 1u);
+  EXPECT_EQ(d.launches_tier2, 0u);
+  EXPECT_EQ(d.compiles, 0u);
+}
+
+TEST(Tier2Fallback, LegacyMemHookRoutesToTier1) {
+  EngineSandbox sandbox;
+  Tier2Engine& eng = Tier2Engine::instance();
+  const auto suite = workloads::make_suite();
+  const Workload& w = workloads::find(suite, "vectorAdd");
+
+  std::uint64_t accesses = 0;
+  Interpreter::Options opts;
+  opts.mem_hook = [&accesses](std::uint64_t, std::uint32_t, bool) { ++accesses; };
+  const Tier2Stats before = eng.stats();
+  run_workload(w, 1, Tier2Engine::Mode::kForceTier2, opts);
+  const Tier2Stats d = eng.stats() - before;
+  EXPECT_EQ(d.launches_tier1, 1u);
+  EXPECT_EQ(d.launches_tier2, 0u);
+  EXPECT_GT(accesses, 0u);  // the hook really observed the Tier-1 run
+}
+
+TEST(Tier2Fallback, StrictBarrierDiagnosticsRouteToTier1) {
+  EngineSandbox sandbox;
+  Tier2Engine& eng = Tier2Engine::instance();
+  const auto suite = workloads::make_suite();
+  const Workload& w = workloads::find(suite, "reduction");  // barriers, uniform
+
+  Interpreter::Options opts;
+  opts.strict_barriers = true;
+  const Tier2Stats before = eng.stats();
+  run_workload(w, 1, Tier2Engine::Mode::kForceTier2, opts);
+  const Tier2Stats d = eng.stats() - before;
+  EXPECT_EQ(d.launches_tier1, 1u);
+  EXPECT_EQ(d.launches_tier2, 0u);
+}
+
+// --- fingerprint invalidation -------------------------------------------------
+
+KernelIR make_store_const_kernel(std::int64_t value) {
+  KernelBuilder b("t2mut", 1);
+  const auto out = b.reg(), v = b.reg();
+  b.block("entry");
+  b.ld_param(out, 0);
+  b.mov_imm_i(v, value);
+  b.st_global_i64(v, out);
+  b.ret();
+  return b.build();
+}
+
+TEST(Tier2Promotion, InPlaceKernelRebuildRelowersThroughTheFingerprint) {
+  EngineSandbox sandbox;
+  Tier2Engine& eng = Tier2Engine::instance();
+  eng.set_mode(Tier2Engine::Mode::kAuto);
+  eng.set_promotion(/*min_static_heat=*/0, /*warmup_launches=*/0);  // promote instantly
+
+  KernelIR ir = make_store_const_kernel(111);
+  AddressSpace mem(1 << 16, "m");
+  KernelArgs args;
+  args.push_ptr(64);
+
+  const Tier2Stats before = eng.stats();
+  Interpreter().run(ir, LaunchDims{}, args, mem);
+  EXPECT_EQ(mem.read<std::int64_t>(64), 111);
+  EXPECT_EQ((eng.stats() - before).compiles, 1u);
+
+  // Rebuild the kernel in place (same KernelIR object, different body): the
+  // next launch must execute the NEW body through a fresh lowering, not the
+  // stale Tier-2 code cached under the old fingerprint.
+  const KernelIR next = make_store_const_kernel(222);
+  ir.blocks = next.blocks;
+  Interpreter().run(ir, LaunchDims{}, args, mem);
+  EXPECT_EQ(mem.read<std::int64_t>(64), 222);
+  EXPECT_EQ((eng.stats() - before).compiles, 2u);
+
+  // Same fingerprint again: cached, no third compile.
+  Interpreter().run(ir, LaunchDims{}, args, mem);
+  EXPECT_EQ((eng.stats() - before).compiles, 2u);
+}
+
+// --- SIGVP_TIER_VERIFY oracle -------------------------------------------------
+
+TEST(Tier2Verify, OracleRunsCleanOnSuiteKernels) {
+  EngineSandbox sandbox;
+  Tier2Engine& eng = Tier2Engine::instance();
+  eng.set_verify(true);
+  const auto suite = workloads::make_suite();
+
+  const Tier2Stats before = eng.stats();
+  const RunResult t2 = run_workload(workloads::find(suite, "matrixMul"), 4,
+                                    Tier2Engine::Mode::kForceTier2);
+  run_workload(workloads::find(suite, "convolutionSeparable"), 4,
+               Tier2Engine::Mode::kForceTier2);
+  const Tier2Stats d = eng.stats() - before;
+  EXPECT_EQ(d.verify_launches, 2u);  // both launches were cross-checked
+
+  // And the verified result still matches a plain Tier-1 run.
+  eng.set_verify(false);
+  const RunResult t1 = run_workload(workloads::find(suite, "matrixMul"), 1,
+                                    Tier2Engine::Mode::kForceTier1);
+  EXPECT_TRUE(t1.memory == t2.memory);
+  expect_profiles_identical(t1.profile, t2.profile, "verify smoke");
+}
+
+TEST(Tier2Verify, DivergenceCheckerAcceptsIdenticalAndRejectsPerturbed) {
+  using interp_detail::check_tier_divergence;
+  const auto suite = workloads::make_suite();
+  const Workload& w = workloads::find(suite, "vectorAdd");
+  EngineSandbox sandbox;
+  const RunResult r = run_workload(w, 1, Tier2Engine::Mode::kForceTier1);
+
+  AddressSpace a(1 << 20, "a"), b(1 << 20, "b");
+  EXPECT_NO_THROW(check_tier_divergence(w.kernel, r.profile, r.profile, a, b));
+
+  DynamicProfile bad = r.profile;
+  bad.global_store_bytes += 4;
+  EXPECT_THROW(check_tier_divergence(w.kernel, r.profile, bad, a, b), ContractError);
+
+  b.write<std::uint8_t>(12345, 0xAB);  // one flipped byte in the memory image
+  EXPECT_THROW(check_tier_divergence(w.kernel, r.profile, r.profile, a, b), ContractError);
+}
+
+// --- bounded DecodedCache (Tier-1 decode cache) -------------------------------
+
+TEST(DecodedCacheBound, FifoEvictionKeepsTheCacheWithinItsCaps) {
+  using interp_detail::DecodedCache;
+  DecodedCache& cache = DecodedCache::instance();
+  cache.clear();
+  cache.set_capacity(/*max_entries=*/2, DecodedCache::kDefaultMaxBytes);
+
+  const KernelIR k1 = make_store_const_kernel(1);
+  const KernelIR k2 = make_store_const_kernel(2);
+  const KernelIR k3 = make_store_const_kernel(3);
+  const std::uint64_t evictions0 = cache.evictions();
+
+  const auto p1 = cache.get(k1);
+  const auto p2 = cache.get(k2);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), evictions0);
+
+  const auto p3 = cache.get(k3);  // over cap: k1 (FIFO head) is evicted
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), evictions0 + 1);
+  EXPECT_NE(p3, nullptr);
+  // The evicted program stays alive through the returned shared_ptr, and a
+  // re-get simply re-decodes.
+  const auto p1b = cache.get(k1);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), evictions0 + 2);
+  EXPECT_EQ(p1->fingerprint, p1b->fingerprint);
+
+  // Byte cap alone also evicts: a cap smaller than any program empties the
+  // FIFO on every insert while the caller's shared_ptr stays valid.
+  cache.set_capacity(DecodedCache::kDefaultMaxEntries, /*max_bytes=*/1);
+  const auto p2b = cache.get(k2);
+  EXPECT_NE(p2b, nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+
+  cache.set_capacity(DecodedCache::kDefaultMaxEntries, DecodedCache::kDefaultMaxBytes);
+  cache.clear();
+}
+
+// --- promotion across resume-from-checkpoint ----------------------------------
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag)
+      : path(fs::temp_directory_path() /
+             ("sigvp_tier2_test_" + tag + "_" + std::to_string(::getpid()))) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  std::string str() const { return path.string(); }
+};
+
+std::vector<std::vector<std::uint8_t>> sweep_bytes(const run::SweepResult& r) {
+  std::vector<std::vector<std::uint8_t>> out;
+  for (const auto& j : r.jobs) {
+    snapshot::Writer w;
+    snapshot::save_scenario_result(w, j.result);
+    out.push_back(w.take());
+  }
+  return out;
+}
+
+run::SweepJob functional_job(const Workload& w, const char* name, std::size_t vps) {
+  run::SweepJob job;
+  job.name = name;
+  job.group = w.app;
+  job.config.mode = ExecMode::kFunctional;
+  job.config.functional_io = true;
+  job.config.gpu_mem_bytes = 16ull * 1024 * 1024;  // keep fleet captures small
+  workloads::AppTraits t = w.traits;
+  t.iterations = 1;
+  for (std::size_t i = 0; i < vps; ++i) {
+    AppInstance a;
+    a.workload = &w;
+    a.n = w.test_n;
+    a.traits = t;
+    job.apps.push_back(std::move(a));
+  }
+  return job;
+}
+
+TEST(Tier2Promotion, ResumedSweepIsBitIdenticalDespiteColdTierState) {
+  // A resumed process starts with an empty lowered cache and zeroed warmup
+  // ordinals, so the re-run jobs make *different* tier decisions than the
+  // uninterrupted run did at the same point in the stream. The results must
+  // not care: tier choice is invisible in the sim domain.
+  EngineSandbox sandbox;
+  Tier2Engine& eng = Tier2Engine::instance();
+  eng.set_mode(Tier2Engine::Mode::kAuto);
+  const auto suite = workloads::make_suite();
+  std::vector<run::SweepJob> jobs;
+  jobs.push_back(functional_job(workloads::find(suite, "vectorAdd"), "t2-va", 2));
+  jobs.push_back(functional_job(workloads::find(suite, "reduction"), "t2-red", 2));
+
+  eng.reset();
+  const auto golden = sweep_bytes(run::SweepRunner(2).run(jobs));
+
+  const TempDir tmp("resume");
+  run::SweepSnapshotOptions snap;
+  snap.dir = tmp.str();
+  snap.every_us = 300.0;
+  eng.reset();
+  run::SweepResumeInfo cold;
+  EXPECT_EQ(sweep_bytes(run::SweepRunner(2).run(jobs, snap, &cold)), golden);
+  EXPECT_TRUE(cold.resumed_from.empty());
+
+  // Craft the checkpoint a crash between the two jobs would leave: job 0
+  // finished (splice), job 1 untouched (fresh run in the resumed process).
+  snapshot::CheckpointStore store(tmp.str());
+  ASSERT_FALSE(store.find_latest_valid().path.empty());
+  snapshot::SweepCheckpoint cp = snapshot::decode_sweep_checkpoint(
+      snapshot::load_snapshot_file(store.find_latest_valid().path));
+  ASSERT_EQ(cp.jobs.size(), 2u);
+  cp.jobs[1] = snapshot::JobCheckpoint{};
+  snapshot::CheckpointStore(tmp.str()).publish(snapshot::encode_sweep_checkpoint(cp));
+
+  eng.reset();  // the process restart loses all warm tier state
+  run::SweepResumeInfo ri;
+  const run::SweepResult resumed = run::SweepRunner(2).run(jobs, snap, &ri);
+  EXPECT_EQ(ri.jobs_resumed, 1u);
+  EXPECT_FALSE(ri.resumed_from.empty());
+  EXPECT_EQ(sweep_bytes(resumed), golden);
+}
+
+}  // namespace
+}  // namespace sigvp
