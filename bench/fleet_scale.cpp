@@ -1,0 +1,287 @@
+// Fleet-scale bench (DESIGN.md §16): one ΣVP scenario per point, growing the
+// VP count 64 → 131072 (100k+) across sharded scheduler/dispatcher domains,
+// reporting host wall time, VPs/s, and honest bytes-per-VP (the deterministic
+// peak-resident estimate the executor publishes as FleetStats::resident_bytes).
+//
+// Two contracts ride along and make the numbers trustworthy:
+//
+//   * shard determinism — the dispatch-bound 1k-VP fleet is re-run at
+//     --shards {1, 2, 4, 8} and its full BENCH JSON (every sim-domain byte,
+//     fleet block included) must be identical; any divergence exits nonzero.
+//   * shard speedup — the same 1k-VP point is timed at 1 vs 8 shards; on a
+//     host with >= 8 cores the 8-shard run must be >= 2x faster (skipped,
+//     but still reported, on smaller hosts where the target is unreachable).
+//
+//   fleet_scale [--max-vps N] [--scale-shards N] [--reps R] [--json PATH]
+//               [--no-speedup-gate]
+//
+// scripts/bench_regression_check.py --fleet bands VPs/s (25%), compares
+// resident_bytes and sync_rounds exactly (both are pure functions of the
+// scenario), and fails if shard_determinism is not true.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "run/json_writer.hpp"
+#include "run/sweep.hpp"
+#include "run/thread_pool.hpp"
+#include "util/table.hpp"
+#include "workloads/suite.hpp"
+
+namespace sigvp {
+namespace {
+
+/// VP counts of the scale ladder; trimmed by --max-vps for smoke runs.
+constexpr std::size_t kLadder[] = {64, 512, 4096, 32768, 131072};
+
+std::uint32_t domains_for(std::size_t vps) {
+  return static_cast<std::uint32_t>(
+      std::clamp<std::size_t>(vps / 512, 2, 256));
+}
+
+ScenarioConfig fleet_config(std::uint32_t domains, SimTime edge_latency_us) {
+  ScenarioConfig cfg;
+  cfg.backend = Backend::kSigmaVp;
+  cfg.mode = ExecMode::kAnalytic;
+  cfg.gpu_mem_bytes = 32ull * 1024 * 1024;  // per-domain device arena
+  cfg.fleet.domains = domains;
+  cfg.fleet.edge_latency_us = edge_latency_us;
+  return cfg;
+}
+
+std::vector<AppInstance> make_fleet(const workloads::Workload& w, std::uint64_t n,
+                                    std::size_t vps, std::uint32_t iterations) {
+  workloads::AppTraits t = w.traits;
+  t.iterations = iterations;
+  t.launches_per_iter = 1;
+  t.iter_h2d_bytes = 0;
+  t.iter_d2h_bytes = 0;
+  t.noncuda_guest_instrs = 0.0;
+  std::vector<AppInstance> apps;
+  apps.reserve(vps);
+  for (std::size_t i = 0; i < vps; ++i) apps.push_back(AppInstance{&w, n, t});
+  return apps;
+}
+
+/// run_scenario under a wall clock; best-of-`reps` wall, first result kept.
+ScenarioResult timed_run(const ScenarioConfig& cfg, const std::vector<AppInstance>& apps,
+                         std::size_t reps, double& best_ms) {
+  ScenarioResult result;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    ScenarioResult got = run_scenario(cfg, apps);
+    const double ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (r == 0) {
+      result = std::move(got);
+      best_ms = ms;
+    } else if (ms < best_ms) {
+      best_ms = ms;
+    }
+  }
+  return result;
+}
+
+/// Full sim-domain JSON of one result — the byte-identity probe. Host-only
+/// fields (workers, wall_ms) are pinned so only simulation bytes remain.
+std::string result_json(const ScenarioResult& r) {
+  run::SweepResult one;
+  one.jobs.push_back(run::SweepJobResult{"probe", "fleet", r});
+  one.workers = 1;
+  one.wall_ms = 0.0;
+  return run::sweep_to_json(one, "fleet_scale_probe");
+}
+
+struct Point {
+  std::size_t vps = 0;
+  std::uint32_t domains = 0;
+  double wall_ms = 0.0;
+  double vps_per_sec = 0.0;
+  std::uint64_t resident_bytes = 0;
+  double bytes_per_vp = 0.0;
+  std::uint64_t sync_rounds = 0;
+  std::uint64_t fabric_messages = 0;
+};
+
+}  // namespace
+}  // namespace sigvp
+
+int main(int argc, char** argv) {
+  using namespace sigvp;
+
+  std::size_t max_vps = kLadder[sizeof(kLadder) / sizeof(kLadder[0]) - 1];
+  std::size_t scale_shards = std::min<std::size_t>(8, run::ThreadPool::default_workers());
+  std::size_t reps = 1;
+  std::string json_path = "BENCH_fleet_scale.json";
+  bool speedup_gate = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--max-vps" && i + 1 < argc) {
+      max_vps = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--scale-shards" && i + 1 < argc) {
+      scale_shards = std::max<std::size_t>(1, std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = std::max<std::size_t>(1, std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--no-speedup-gate") {
+      speedup_gate = false;
+    }
+  }
+
+  const auto suite = workloads::make_suite();
+  const workloads::Workload& w = workloads::find(suite, "vectorAdd");
+  bool failed = false;
+
+  std::cout << "== fleet_scale: sharded fleet simulation, 64 -> " << max_vps
+            << " VPs ==\n   (" << scale_shards << " shard threads, "
+            << run::ThreadPool::default_workers() << " host cores)\n\n";
+
+  // --- scale ladder -----------------------------------------------------------
+  run::set_fleet_shards(scale_shards);
+  std::vector<Point> points;
+  TablePrinter table({"VPs", "Domains", "Wall ms", "VPs/s", "Resident", "B/VP",
+                      "Sync rounds"});
+  for (const std::size_t vps : kLadder) {
+    if (vps > max_vps) break;
+    const std::uint32_t domains = domains_for(vps);
+    const ScenarioConfig cfg = fleet_config(domains, /*edge_latency_us=*/200.0);
+    const auto apps = make_fleet(w, /*n=*/64, vps, /*iterations=*/1);
+    Point p;
+    p.vps = vps;
+    p.domains = domains;
+    const ScenarioResult r = timed_run(cfg, apps, reps, p.wall_ms);
+    p.vps_per_sec = p.wall_ms > 0.0 ? static_cast<double>(vps) / (p.wall_ms / 1e3) : 0.0;
+    p.resident_bytes = r.fleet.resident_bytes;
+    p.bytes_per_vp = static_cast<double>(p.resident_bytes) / static_cast<double>(vps);
+    p.sync_rounds = r.fleet.sync_rounds;
+    p.fabric_messages = r.fleet.fabric_messages;
+    if (r.app_done_us.size() != vps) {
+      std::cerr << "FLEET INCOMPLETE: " << vps << " VPs, only " << r.app_done_us.size()
+                << " completions\n";
+      failed = true;
+    }
+    table.add_row({fmt_int(static_cast<long long>(p.vps)),
+                   fmt_int(static_cast<long long>(p.domains)), fmt_fixed(p.wall_ms, 1),
+                   fmt_fixed(p.vps_per_sec, 0),
+                   fmt_int(static_cast<long long>(p.resident_bytes)),
+                   fmt_fixed(p.bytes_per_vp, 1),
+                   fmt_int(static_cast<long long>(p.sync_rounds))});
+    points.push_back(p);
+  }
+  table.print(std::cout);
+
+  // --- dispatch-bound 1k-VP point: shard speedup + byte-identity --------------
+  constexpr std::size_t kDispatchVps = 1024;
+  constexpr std::uint32_t kDispatchDomains = 16;
+  ScenarioConfig dcfg = fleet_config(kDispatchDomains, /*edge_latency_us=*/500.0);
+  dcfg.dispatch.interleave = true;
+  dcfg.async_launches = true;
+  const auto dispatch_apps = make_fleet(w, /*n=*/256, kDispatchVps, /*iterations=*/4);
+
+  const std::size_t dispatch_reps = std::max<std::size_t>(reps, 3);
+  run::set_fleet_shards(1);
+  double wall_1shard = 0.0;
+  const ScenarioResult base = timed_run(dcfg, dispatch_apps, dispatch_reps, wall_1shard);
+  run::set_fleet_shards(8);
+  double wall_8shards = 0.0;
+  const ScenarioResult at8 = timed_run(dcfg, dispatch_apps, dispatch_reps, wall_8shards);
+  const double speedup = wall_8shards > 0.0 ? wall_1shard / wall_8shards : 0.0;
+
+  std::cout << "\ndispatch-bound " << kDispatchVps << " VPs x " << kDispatchDomains
+            << " domains: " << fmt_fixed(wall_1shard, 1) << " ms at 1 shard, "
+            << fmt_fixed(wall_8shards, 1) << " ms at 8 shards (" << fmt_ratio(speedup)
+            << "x)\n";
+
+  // Byte-identity battery: every shard count must produce the same JSON,
+  // and the two executor stats that deliberately stay out of sweep JSON
+  // (sync_rounds, resident_bytes — see json_writer.cpp) must match too:
+  // shard threads only parallelize domain advancement inside a round, so
+  // the round structure is a pure function of the simulation.
+  auto exec_stats_match = [&](const ScenarioResult& got, std::size_t shards) {
+    if (got.fleet.sync_rounds == base.fleet.sync_rounds &&
+        got.fleet.resident_bytes == base.fleet.resident_bytes) {
+      return true;
+    }
+    std::cerr << "SHARD DIVERGENCE: --shards " << shards << " changed executor stats ("
+              << got.fleet.sync_rounds << " rounds / " << got.fleet.resident_bytes
+              << " resident vs " << base.fleet.sync_rounds << " / "
+              << base.fleet.resident_bytes << ")\n";
+    return false;
+  };
+  const std::string golden = result_json(base);
+  if (result_json(at8) != golden) {
+    std::cerr << "SHARD DIVERGENCE: --shards 8 changed simulation bytes\n";
+    failed = true;
+  }
+  if (!exec_stats_match(at8, 8)) failed = true;
+  bool determinism = !failed;
+  for (const std::size_t shards : {2u, 4u}) {
+    run::set_fleet_shards(shards);
+    double ms = 0.0;
+    const ScenarioResult got = timed_run(dcfg, dispatch_apps, 1, ms);
+    if (result_json(got) != golden || !exec_stats_match(got, shards)) {
+      std::cerr << "SHARD DIVERGENCE: --shards " << shards << " changed simulation bytes\n";
+      determinism = false;
+      failed = true;
+    }
+  }
+  run::set_fleet_shards(1);
+  std::cout << "shard determinism: "
+            << (determinism ? "byte-identical at shards {1, 2, 4, 8}" : "FAILED") << "\n";
+
+  // The >= 2x target needs real cores under the 8 shard threads; report
+  // always, enforce only where the hardware can possibly deliver it.
+  if (speedup_gate && run::ThreadPool::default_workers() >= 8 && speedup < 2.0) {
+    std::cerr << "SHARD SPEEDUP REGRESSION: " << fmt_ratio(speedup)
+              << "x at 8 shards on a >= 8-core host (target >= 2x)\n";
+    failed = true;
+  }
+
+  // --- JSON -------------------------------------------------------------------
+  using run::json::number;
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"fleet_scale\",\n";
+  os << "  \"scale_shards\": " << scale_shards << ",\n";
+  os << "  \"shard_determinism\": " << (determinism ? "true" : "false") << ",\n";
+  os << "  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    os << "    {\"vps\": " << p.vps << ", \"domains\": " << p.domains
+       << ", \"wall_ms\": " << number(p.wall_ms)
+       << ", \"vps_per_sec\": " << number(p.vps_per_sec)
+       << ", \"resident_bytes\": " << p.resident_bytes
+       << ", \"bytes_per_vp\": " << number(p.bytes_per_vp)
+       << ", \"sync_rounds\": " << p.sync_rounds
+       << ", \"fabric_messages\": " << p.fabric_messages << "}"
+       << (i + 1 != points.size() ? ",\n" : "\n");
+  }
+  os << "  ],\n";
+  os << "  \"dispatch_bound\": {\"vps\": " << kDispatchVps
+     << ", \"domains\": " << kDispatchDomains
+     << ", \"wall_ms_1shard\": " << number(wall_1shard)
+     << ", \"wall_ms_8shards\": " << number(wall_8shards)
+     << ", \"shard_speedup\": " << number(speedup)
+     << ", \"host_cores\": " << run::ThreadPool::default_workers() << "}\n";
+  os << "}\n";
+
+  if (!run::try_write_json_file(os.str(), json_path)) {
+    std::cerr << "error: failed writing JSON results file: " << json_path << "\n";
+    return 1;
+  }
+  std::cout << "\nwrote " << json_path << "\n";
+
+  if (failed) {
+    std::cerr << "\nfleet_scale: contract checks FAILED\n";
+    return 1;
+  }
+  return 0;
+}

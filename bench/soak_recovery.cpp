@@ -54,6 +54,70 @@ int run_child(int argc, char** argv) {
 }
 
 // ---------------------------------------------------------------------------
+// Fleet child: sharded multi-domain scenarios (DESIGN.md §16) under the same
+// checkpoint/crash machinery. SIGVP_SHARDS (read by parse_sweep_cli) decides
+// how many host threads advance the domains — crash sites then fire from
+// shard threads, and the resumed output must still match a serial golden run.
+// ---------------------------------------------------------------------------
+
+std::vector<run::SweepJob> build_fleet_soak_jobs() {
+  static const auto suite = workloads::make_suite();
+  const workloads::Workload& va = workloads::find(suite, "vectorAdd");
+  const workloads::Workload& bs = workloads::find(suite, "BlackScholes");
+
+  std::vector<run::SweepJob> jobs;
+  run::SweepJob flat;
+  flat.name = "fleet-flat";
+  flat.group = "fleet";
+  flat.config.backend = Backend::kSigmaVp;
+  flat.config.mode = ExecMode::kAnalytic;
+  flat.config.gpu_mem_bytes = 16ull * 1024 * 1024;
+  flat.config.fleet.domains = 4;
+  flat.config.fault.seed = 7;
+  flat.config.fault.drop_rate = 0.04;
+  flat.config.fault.dup_rate = 0.02;
+  flat.config.fault.stall_vp = 5;  // lands in a non-root domain's slice
+  {
+    workloads::AppTraits t = va.traits;
+    t.iterations = 3;
+    for (std::size_t i = 0; i < 12; ++i) {
+      flat.apps.push_back(AppInstance{&va, va.test_n, t});
+      flat.apps.back().jitter = i;
+    }
+  }
+  jobs.push_back(std::move(flat));
+
+  run::SweepJob tree;
+  tree.name = "fleet-tree";
+  tree.group = "fleet";
+  tree.config.backend = Backend::kSigmaVp;
+  tree.config.mode = ExecMode::kAnalytic;
+  tree.config.gpu_mem_bytes = 16ull * 1024 * 1024;
+  tree.config.fleet.domains = 3;
+  tree.config.fleet.topology = "(1,(2):25)";
+  {
+    workloads::AppTraits t = bs.traits;
+    t.iterations = 2;
+    for (std::size_t i = 0; i < 9; ++i) tree.apps.push_back(AppInstance{&bs, bs.test_n, t});
+  }
+  jobs.push_back(std::move(tree));
+  return jobs;
+}
+
+int run_child_fleet(int argc, char** argv) {
+  const run::SweepCli cli = run::parse_sweep_cli(argc, argv, "BENCH_fleet_soak.json");
+  const std::vector<run::SweepJob> jobs = build_fleet_soak_jobs();
+  const run::SweepRunner runner(cli.workers);
+  run::SweepResumeInfo resume;
+  const run::SweepResult sweep = runner.run(jobs, cli.snapshot_options(), &resume);
+  std::cout << "SOAK_CHILD resumed_from=" << resume.resumed_from
+            << " resumed=" << resume.jobs_resumed << " replayed=" << resume.jobs_replayed
+            << " rejected=" << resume.rejected.size() << "\n";
+  if (!run::try_write_sweep_json(sweep, "fleet_soak", cli.json_path)) return 1;
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
 // Parent-side helpers.
 // ---------------------------------------------------------------------------
 
@@ -103,17 +167,25 @@ struct ChildRun {
   std::string log;
 };
 
+/// Which child sweep a supervised run executes, and how many shard threads
+/// advance sharded fleets inside it (exported as SIGVP_SHARDS).
+struct ChildMode {
+  const char* flag = "--child";
+  std::size_t shards = 1;
+};
+
 /// One supervised child run: `crash_spec` arms SIGVP_CRASH (empty = disarmed),
 /// `snapshot_dir` arms checkpointing + auto-resume (empty = plain run).
-ChildRun spawn_child(const std::string& exe, std::size_t workers,
+ChildRun spawn_child(const std::string& exe, const ChildMode& mode, std::size_t workers,
                      const std::string& crash_spec, const fs::path& snapshot_dir,
                      const fs::path& json_path, const fs::path& log_path) {
   std::ostringstream cmd;
   cmd << "SIGVP_CRASH='" << crash_spec << "'"
       << " SIGVP_CRASH_RATE='' SIGVP_CRASH_SEED=''"
       << " SIGVP_SNAPSHOT_DIR='" << snapshot_dir.string() << "'"
+      << " SIGVP_SHARDS='" << mode.shards << "'"
       << " SIGVP_TRACE='' SIGVP_METRICS=''"
-      << " '" << exe << "' --child --workers " << workers << " --json '"
+      << " '" << exe << "' " << mode.flag << " --workers " << workers << " --json '"
       << json_path.string() << "' >'" << log_path.string() << "' 2>&1";
   const int raw = std::system(cmd.str().c_str());
   ChildRun r;
@@ -154,7 +226,7 @@ void truncate_newest_checkpoint(const fs::path& dir) {
 /// Kill–resume loop at one worker count: crash the child at each scheduled
 /// site (in order), optionally tearing a checkpoint along the way, then let
 /// an unarmed run finish. Returns the number of injected crashes observed.
-std::size_t soak_loop(const std::string& exe, std::size_t workers,
+std::size_t soak_loop(const std::string& exe, const ChildMode& mode, std::size_t workers,
                       const std::vector<std::string>& schedule, int tear_after_crash,
                       const fs::path& snapshot_dir, const fs::path& json_path,
                       const fs::path& workdir) {
@@ -164,9 +236,12 @@ std::size_t soak_loop(const std::string& exe, std::size_t workers,
   const std::size_t max_cycles = schedule.size() + 8;
   for (std::size_t cycle = 0; cycle < max_cycles; ++cycle) {
     const std::string spec = cycle < schedule.size() ? schedule[cycle] : "";
-    const fs::path log =
-        workdir / ("child_w" + std::to_string(workers) + "_c" + std::to_string(cycle) + ".log");
-    const ChildRun r = spawn_child(exe, workers, spec, snapshot_dir, json_path, log);
+    const fs::path log = workdir / ("child" +
+                                    std::string(std::string(mode.flag) == "--child" ? "" : "f") +
+                                    "_w" + std::to_string(workers) + "_s" +
+                                    std::to_string(mode.shards) + "_c" +
+                                    std::to_string(cycle) + ".log");
+    const ChildRun r = spawn_child(exe, mode, workers, spec, snapshot_dir, json_path, log);
     std::cout << "[soak] workers=" << workers << " cycle=" << cycle << " crash='" << spec
               << "' exit=" << r.exit_code << "\n";
     if (cycle > 0) {
@@ -211,6 +286,7 @@ int main(int argc, char** argv) {
   using namespace sigvp;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--child") return run_child(argc, argv);
+    if (std::string(argv[i]) == "--child-fleet") return run_child_fleet(argc, argv);
   }
   bool keep = false;
   for (int i = 1; i < argc; ++i) {
@@ -238,9 +314,10 @@ int main(int argc, char** argv) {
   // -- Golden: uninterrupted runs at workers 1 and 8 -------------------------
   const fs::path golden1 = workdir / "golden_w1.json";
   const fs::path golden8 = workdir / "golden_w8.json";
+  const ChildMode app_mode;  // --child, shards=1 (app-suite jobs are unsharded)
   {
-    const ChildRun g1 = spawn_child(exe, 1, "", "", golden1, workdir / "golden_w1.log");
-    const ChildRun g8 = spawn_child(exe, 8, "", "", golden8, workdir / "golden_w8.log");
+    const ChildRun g1 = spawn_child(exe, app_mode, 1, "", "", golden1, workdir / "golden_w1.log");
+    const ChildRun g8 = spawn_child(exe, app_mode, 8, "", "", golden8, workdir / "golden_w8.log");
     check(g1.exit_code == 0, "golden run (workers 1) failed");
     check(g8.exit_code == 0, "golden run (workers 8) failed");
   }
@@ -265,7 +342,7 @@ int main(int argc, char** argv) {
   // deep into the replay. After crash #3 the newest checkpoint is truncated.
   const fs::path soak8_json = workdir / "soak_w8.json";
   const std::size_t crashes8 =
-      soak_loop(exe, 8, {"dispatch:40", "group:2", "snapshot:3", "dispatch:150"},
+      soak_loop(exe, app_mode, 8, {"dispatch:40", "group:2", "snapshot:3", "dispatch:150"},
                 /*tear_after_crash=*/3, workdir / "ckpt_w8", soak8_json, workdir);
   check(crashes8 >= 3, "soak (workers 8): expected at least 3 injected crashes, got " +
                            std::to_string(crashes8));
@@ -283,20 +360,53 @@ int main(int argc, char** argv) {
 
   // -- Mini soak at workers 1: serial resume path ----------------------------
   const fs::path soak1_json = workdir / "soak_w1.json";
-  const std::size_t crashes1 = soak_loop(exe, 1, {"dispatch:60"}, /*tear_after_crash=*/0,
-                                         workdir / "ckpt_w1", soak1_json, workdir);
+  const std::size_t crashes1 = soak_loop(exe, app_mode, 1, {"dispatch:60"},
+                                         /*tear_after_crash=*/0, workdir / "ckpt_w1",
+                                         soak1_json, workdir);
   check(crashes1 >= 1, "soak (workers 1): scheduled crash never fired");
   check(normalize_wall_ms(read_file(soak1_json)) == gold1,
         "soak (workers 1): resumed output differs from uninterrupted golden");
   std::cout << "[soak] workers=1: " << crashes1
             << " crash, resumed output byte-identical to golden\n";
 
+  // -- Sharded fleet soak (DESIGN.md §16) ------------------------------------
+  // Golden: serial shard advancement at workers 1. Soak: 8 shard threads and
+  // 2 sweep workers, killed mid-dispatch (the crash fires from a shard
+  // thread) and mid-checkpoint-write, then resumed — every simulation byte
+  // must match the serial golden run.
+  std::cout << "\n== Sharded fleet: kill-resume with --shards 8 ==\n";
+  const fs::path fleet_golden = workdir / "fleet_golden.json";
+  {
+    const ChildMode serial{"--child-fleet", 1};
+    const ChildRun g = spawn_child(exe, serial, 1, "", "", fleet_golden,
+                                   workdir / "fleet_golden.log");
+    check(g.exit_code == 0, "fleet golden run failed");
+  }
+  const std::string fleet_gold = normalize_wall_ms(read_file(fleet_golden));
+
+  const ChildMode sharded{"--child-fleet", 8};
+  const fs::path fleet_json = workdir / "fleet_soak.json";
+  const std::size_t fleet_crashes =
+      soak_loop(exe, sharded, 2, {"dispatch:20", "snapshot:2"}, /*tear_after_crash=*/0,
+                workdir / "ckpt_fleet", fleet_json, workdir);
+  check(fleet_crashes >= 2, "fleet soak: expected 2 injected crashes, got " +
+                                std::to_string(fleet_crashes));
+  {
+    std::string soak = read_file(fleet_json);
+    const std::size_t at = soak.find("\"workers\": 2");
+    if (at != std::string::npos) soak.replace(at, 12, "\"workers\": 1");
+    check(normalize_wall_ms(soak) == fleet_gold,
+          "fleet soak: sharded resumed output differs from serial golden");
+  }
+  std::cout << "[soak] fleet: " << fleet_crashes
+            << " crashes at 8 shard threads, resumed output byte-identical to serial golden\n";
+
   if (!g_ok) {
     std::cerr << "\nSoak recovery FAILED; work directory kept at " << workdir << "\n";
     return 1;
   }
   std::cout << "\nAll soak-recovery contracts hold: no request lost or duplicated across "
-            << crashes8 + crashes1 << " injected crashes.\n";
+            << crashes8 + crashes1 + fleet_crashes << " injected crashes.\n";
   if (!keep) fs::remove_all(workdir);
   return 0;
 }

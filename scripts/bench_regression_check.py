@@ -22,6 +22,10 @@ baselines in bench/baselines/ and exits nonzero on:
     (promoted flag, compiles, fused superinstruction counts — all pure
     functions of the launch stream), or a Tier-2 throughput/speedup drop
     beyond the tolerance band.
+  * fleet_scale: shard_determinism must be true (sharded runs byte-identical
+    at --shards {1,2,4,8}); per-point resident_bytes/sync_rounds/
+    fabric_messages compared exactly (pure functions of the scenario); VPs/s
+    banded like the other wall-clock throughputs.
 
 Divergence regressions (parallel interpreter vs serial profile, cached vs
 uncached byte-identity) are enforced by the benches themselves via nonzero
@@ -187,6 +191,45 @@ def check_tier(baseline, current, tolerance):
             ok(f"{field}: {baseline.get(field)} unchanged")
 
 
+def check_fleet(baseline, current, tolerance):
+    print(f"== fleet_scale (determinism/resident: exact; VPs/s: -{tolerance:.0%})")
+    # The bench exits nonzero itself on divergence; the recorded flag guards
+    # against a stale JSON from a run whose exit code was ignored.
+    if current.get("shard_determinism") is not True:
+        fail("fleet: shard_determinism is not true — sharded runs diverged")
+    else:
+        ok("shard determinism: byte-identical across --shards {1,2,4,8}")
+    base_points = {p["vps"]: p for p in baseline["points"]}
+    cur_points = {p["vps"]: p for p in current["points"]}
+    for vps, base in sorted(base_points.items()):
+        cur = cur_points.get(vps)
+        if cur is None:
+            fail(f"fleet: vps={vps} point missing from the bench")
+            continue
+        # Resident bytes and sync rounds are pure functions of the scenario:
+        # any change is behavioural (or an intentional change -> --update).
+        exact = ("domains", "resident_bytes", "sync_rounds", "fabric_messages")
+        changed = [f for f in exact if cur.get(f) != base.get(f)]
+        if changed:
+            fail(f"fleet: vps={vps} deterministic fields changed "
+                 f"({', '.join(f'{f}: {base.get(f)} -> {cur.get(f)}' for f in changed)})")
+        else:
+            ok(f"vps={vps}: {base['domains']} domains, "
+               f"{base['resident_bytes']} resident bytes "
+               f"({cur['bytes_per_vp']:.1f} B/VP) unchanged")
+        floor = base["vps_per_sec"] * (1.0 - tolerance)
+        if cur["vps_per_sec"] < floor:
+            fail(f"fleet: vps={vps} throughput {cur['vps_per_sec']:.0f} VPs/s "
+                 f"< floor {floor:.0f} (baseline {base['vps_per_sec']:.0f})")
+        else:
+            ok(f"vps={vps}: {cur['vps_per_sec']:.0f} VPs/s >= floor {floor:.0f}")
+    db = current.get("dispatch_bound", {})
+    if db:
+        ok(f"dispatch-bound {db.get('vps')}-VP point: "
+           f"{db.get('shard_speedup', 0.0):.2f}x at 8 shards "
+           f"({db.get('host_cores')} host cores; informational)")
+
+
 def check_app_suite(baseline, current, tolerance):
     del tolerance  # sim-domain results are exact, not banded
     print("== app_suite (sim-domain scenario results: exact)")
@@ -226,6 +269,8 @@ def main():
                         help="fresh BENCH_app_suite.json to check")
     parser.add_argument("--tier", type=pathlib.Path,
                         help="fresh BENCH_tier.json to check")
+    parser.add_argument("--fleet", type=pathlib.Path,
+                        help="fresh BENCH_fleet_scale.json to check")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional throughput drop (default 0.25)")
     parser.add_argument("--update", action="store_true",
@@ -241,9 +286,12 @@ def main():
         pairs.append(("app_suite.json", args.app_suite, check_app_suite))
     if args.tier:
         pairs.append(("tier_throughput.json", args.tier, check_tier))
+    if args.fleet:
+        pairs.append(("fleet_scale.json", args.fleet, check_fleet))
     if not pairs:
         parser.error(
-            "nothing to do: pass --interp, --cache, --app-suite, and/or --tier")
+            "nothing to do: pass --interp, --cache, --app-suite, --tier, "
+            "and/or --fleet")
 
     if args.update:
         args.baseline_dir.mkdir(parents=True, exist_ok=True)

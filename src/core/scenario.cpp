@@ -3,16 +3,11 @@
 #include <algorithm>
 #include <memory>
 
-#include "core/app_run.hpp"
-#include "core/request_stream.hpp"
-#include "fault/health.hpp"
-#include "ipc/ipc_manager.hpp"
+#include "core/fleet.hpp"
+#include "sched/dispatcher.hpp"
 #include "snapshot/serial.hpp"
 #include "trace/trace.hpp"
 #include "util/check.hpp"
-#include "vp/emulation_driver.hpp"
-#include "vp/native_driver.hpp"
-#include "vp/sigmavp_driver.hpp"
 
 namespace sigvp {
 
@@ -55,153 +50,21 @@ ScenarioResult run_scenario(const ScenarioConfig& config, const std::vector<AppI
                   "per-request overrides must align with the arrival schedule");
   }
 
-  EventQueue queue;
-  const Calibration& calib = config.calib;
-
-  // Host-side infrastructure (only built when the backend needs it).
-  std::unique_ptr<GpuDevice> device;
-  std::unique_ptr<IpcManager> ipc;
-  std::unique_ptr<Dispatcher> dispatcher;
-  const bool needs_gpu =
-      config.backend == Backend::kNativeGpu || config.backend == Backend::kSigmaVp;
-  if (needs_gpu) {
-    device = std::make_unique<GpuDevice>(queue, config.gpu, config.gpu_mem_bytes, "hostGPU");
-  }
-  if (config.backend == Backend::kSigmaVp) {
-    ipc = std::make_unique<IpcManager>(queue, calib.ipc);
-    dispatcher = std::make_unique<Dispatcher>(queue, *device, config.dispatch);
-    ipc->set_sink([&d = *dispatcher](Job job) { d.submit(std::move(job)); });
+  SIGVP_REQUIRE(config.fleet.domains >= 1, "fleet.domains must be >= 1");
+  if (config.fleet.domains > 1) {
+    // Sharded fleet: D scheduler/dispatcher domains over contiguous app
+    // slices, advanced between conservative synchronization horizons.
+    return run_scenario_sharded(config, apps, capture, out_captures);
   }
 
-  // Observability (ΣVP only): one track group + metrics registry per
-  // scenario. Built only when collection is on, so the default path hands
-  // every component a null pointer — a branch-on-null no-op.
-  std::unique_ptr<trace::RunTrace> rt;
-  if (config.backend == Backend::kSigmaVp && trace::collecting()) {
-    rt = std::make_unique<trace::RunTrace>(
-        backend_name(config.backend) + " x" + std::to_string(apps.size()));
-    ipc->set_trace(rt.get());
-    dispatcher->set_trace(rt.get());
-    device->set_trace(rt.get());
-  }
-
-  // Fault injection + tolerance (ΣVP only). A zero-fault config builds none
-  // of this, so the legacy code paths stay byte-identical.
-  const bool faults_on = config.backend == Backend::kSigmaVp && config.fault.enabled();
-  std::unique_ptr<FaultPlan> fault_plan;
-  std::unique_ptr<FaultStats> fault_stats;
-  std::unique_ptr<HealthPolicy> health;
-  std::vector<std::unique_ptr<EmulationDriver>> fallback_drivers;
-  std::vector<SigmaVpDriver*> sigma_drivers;
-  if (faults_on) {
-    fault_plan = std::make_unique<FaultPlan>(config.fault);
-    fault_stats = std::make_unique<FaultStats>();
-    fault_stats->active = true;
-    health = std::make_unique<HealthPolicy>(config.recovery, *fault_stats);
-    device->set_fault(fault_plan.get(), fault_stats.get());
-    ipc->set_fault(fault_plan.get(), fault_stats.get(), health.get(), config.recovery);
-    dispatcher->set_fault(fault_plan.get(), fault_stats.get(), health.get(), config.recovery);
-    for (SimTime t : config.fault.device_reset_at_us) {
-      queue.schedule_at(t, [&d = *dispatcher] { d.inject_device_reset(); });
-    }
-  }
-
-  // Per-app CPU contexts and drivers. On the paper's 32-core host each VP
-  // gets its own core, so CPU contexts run concurrently in simulated time.
-  std::vector<std::unique_ptr<Processor>> cpus;
-  std::vector<std::unique_ptr<cuda::DeviceDriver>> drivers;
-  const bool functional = config.mode == ExecMode::kFunctional;
-
-  for (std::size_t i = 0; i < apps.size(); ++i) {
-    const std::string tag = "app" + std::to_string(i);
-    switch (config.backend) {
-      case Backend::kNativeGpu: {
-        cpus.push_back(std::make_unique<Processor>(queue, tag + ".hostcpu",
-                                                   calib.host_cpu.effective_ips));
-        drivers.push_back(std::make_unique<NativeDriver>(queue, *device, calib.host_cpu));
-        break;
-      }
-      case Backend::kEmulationHostCpu: {
-        EmulationConfig ec = calib.emulation_on_host(functional);
-        ec.cpu_ips /= calib.emulation_contention(apps.size());
-        cpus.push_back(std::make_unique<Processor>(queue, tag + ".hostcpu", ec.cpu_ips));
-        drivers.push_back(std::make_unique<EmulationDriver>(*cpus.back(), ec));
-        break;
-      }
-      case Backend::kEmulationOnVp: {
-        EmulationConfig ec = calib.emulation_on_vp(functional);
-        ec.cpu_ips /= calib.emulation_contention(apps.size());
-        cpus.push_back(std::make_unique<Processor>(queue, tag + ".guest", ec.cpu_ips));
-        drivers.push_back(std::make_unique<EmulationDriver>(*cpus.back(), ec));
-        break;
-      }
-      case Backend::kSigmaVp: {
-        cpus.push_back(std::make_unique<Processor>(queue, tag + ".guest",
-                                                   calib.vp.guest_ips(calib.host_cpu)));
-        const std::uint32_t ipc_id = ipc->register_vp(tag);
-        dispatcher->register_vp();
-        auto drv =
-            std::make_unique<SigmaVpDriver>(*cpus.back(), *ipc, *device, ipc_id, calib.vp);
-        if (faults_on) {
-          health->register_vp();
-          // Graceful-degradation path: an emulation driver on the guest CPU
-          // that borrows the real device's address space, so jobs escalated
-          // mid-run keep operating on valid device pointers and data.
-          fallback_drivers.push_back(std::make_unique<EmulationDriver>(
-              *cpus.back(), calib.emulation_on_vp(functional), device->memory()));
-          drv->enable_fallback(fallback_drivers.back().get());
-          sigma_drivers.push_back(drv.get());
-        }
-        drivers.push_back(std::move(drv));
-        break;
-      }
-    }
-  }
-
-  if (faults_on) {
-    // One escalation funnel for both escalation sources (IPC retry-budget
-    // exhaustion and dispatcher launch-retry exhaustion / failed-VP purge):
-    // hand the job to its driver's seq-ordered fallback queue.
-    auto escalate = [&stats = *fault_stats, &sigma = sigma_drivers](std::uint32_t vp_id,
-                                                                    Job job) {
-      ++stats.fallback_jobs;
-      sigma.at(vp_id)->run_fallback_job(std::move(job));
-    };
-    ipc->set_escalation(escalate);
-    dispatcher->set_escalation(escalate);
-    // Every in-order completion release may unblock the next parked
-    // fallback job of that VP.
-    ipc->set_release_listener(
-        [&sigma = sigma_drivers](std::uint32_t vp_id) { sigma.at(vp_id)->pump_fallback(); });
-    // When a VP is declared failed, its queued (not yet dispatched) jobs
-    // escalate with it so nothing is stranded behind the failure.
-    health->on_failed = [&d = *dispatcher](std::uint32_t vp_id) { d.purge_vp(vp_id); };
-  }
-
-  // Launch every application — closed-loop AppRun by default, open-loop
-  // RequestStream when the instance carries an arrival schedule — and run
-  // the timeline to completion. `runs`/`streams` are index-aligned with
-  // `apps` (exactly one non-null per slot).
-  std::vector<std::shared_ptr<AppRun>> runs(apps.size());
-  std::vector<std::shared_ptr<RequestStream>> streams(apps.size());
-  for (std::size_t i = 0; i < apps.size(); ++i) {
-    if (!apps[i].arrivals.empty()) {
-      streams[i] = std::make_shared<RequestStream>(queue, *drivers[i], *apps[i].workload,
-                                                   apps[i].n, config.mode, apps[i].jitter,
-                                                   apps[i].arrivals, apps[i].requests);
-      continue;
-    }
-    const workloads::AppTraits* traits =
-        apps[i].traits.has_value() ? &*apps[i].traits : nullptr;
-    runs[i] = std::make_shared<AppRun>(queue, *drivers[i], *cpus[i], *apps[i].workload,
-                                       apps[i].n, config.mode, traits,
-                                       config.async_launches,
-                                       config.functional_io && functional, apps[i].jitter);
-  }
-  for (std::size_t i = 0; i < apps.size(); ++i) {
-    if (runs[i]) runs[i]->start({});
-    if (streams[i]) streams[i]->start({});
-  }
+  // Single-domain (classic) path: one FleetDomain covering every app —
+  // construction, event composition and result assembly are the exact
+  // pre-sharding sequences, so results stay byte-identical to every release
+  // before the fleet executor existed.
+  FleetDomain dom;
+  dom.build(config, apps, 0, apps.size(), 0, 1,
+            backend_name(config.backend) + " x" + std::to_string(apps.size()));
+  dom.start({});
 
   // Periodic fleet capture: a self-rescheduling event that digests every
   // stateful component at a fixed sim-time cadence. The capture event
@@ -214,33 +77,10 @@ ScenarioResult run_scenario(const ScenarioConfig& config, const std::vector<AppI
     auto take = std::make_shared<std::function<void()>>();
     *take = [&, take] {
       FleetCapture fc;
-      fc.at_us = queue.now();
-      fc.events_processed = queue.events_processed();
+      fc.at_us = dom.queue.now();
+      fc.events_processed = dom.queue.events_processed();
       snapshot::Writer w;
-      queue.capture_state(w);
-      if (device) device->capture_state(w, functional);
-      if (ipc) ipc->capture_state(w);
-      if (dispatcher) dispatcher->capture_state(w);
-      for (const auto& cpu : cpus) {
-        w.f64(cpu->busy_until());
-        w.f64(cpu->busy_total());
-      }
-      for (std::size_t i = 0; i < apps.size(); ++i) {
-        if (streams[i]) {
-          streams[i]->capture_state(w);
-        } else {
-          w.boolean(runs[i]->finished());
-          w.f64(runs[i]->finished_at());
-          w.u64(runs[i]->kernels_launched());
-        }
-      }
-      if (faults_on) {
-        w.u64(fault_stats->retransmits);
-        w.u64(fault_stats->duplicates_suppressed);
-        w.u64(fault_stats->launch_retries);
-        w.u64(fault_stats->fallback_jobs);
-        w.u64(fault_stats->unrecovered_jobs);
-      }
+      dom.capture_components(w, dom.functional);
       fc.digest = w.digest();
       if (verify_idx < capture.expect.size()) {
         const FleetCapture& e = capture.expect[verify_idx];
@@ -256,14 +96,14 @@ ScenarioResult run_scenario(const ScenarioConfig& config, const std::vector<AppI
       ++verify_idx;
       if (out_captures != nullptr) out_captures->push_back(fc);
       if (capture.on_capture) capture.on_capture(fc);
-      if (queue.pending() > 0) {
-        queue.schedule_at(queue.now() + capture.every_us, *take);
+      if (dom.queue.pending() > 0) {
+        dom.queue.schedule_at(dom.queue.now() + capture.every_us, *take);
       }
     };
-    queue.schedule_at(capture.every_us, *take);
+    dom.queue.schedule_at(capture.every_us, *take);
   }
 
-  queue.run();
+  dom.queue.run();
 
   if (verify_idx < capture.expect.size()) {
     throw snapshot::SnapshotError(
@@ -274,59 +114,30 @@ ScenarioResult run_scenario(const ScenarioConfig& config, const std::vector<AppI
   // Stall detector: the event queue drained, so if the dispatcher still
   // holds queued or in-flight jobs the system deadlocked — fail loudly with
   // a per-VP diagnostic instead of reporting a bogus "finished" scenario.
-  if (dispatcher && !dispatcher->idle()) {
+  if (dom.dispatcher && !dom.dispatcher->idle()) {
     SIGVP_ASSERT(false, "event queue drained with the dispatcher stalled — " +
-                            dispatcher->stall_report());
+                            dom.dispatcher->stall_report());
   }
 
   ScenarioResult result;
-  for (std::size_t i = 0; i < apps.size(); ++i) {
-    if (streams[i]) {
-      SIGVP_ASSERT(streams[i]->finished(),
-                   "event queue drained but a request stream never finished");
-      result.app_done_us.push_back(streams[i]->finished_at());
-      result.makespan_us = std::max(result.makespan_us, streams[i]->finished_at());
-      // Canonical input order, so the folded histogram is bit-identical for
-      // any sweep worker count.
-      result.latency.merge(streams[i]->latency());
-      result.requests_completed += streams[i]->requests_completed();
-      continue;
-    }
-    const auto& run = runs[i];
-    SIGVP_ASSERT(run->finished(), "event queue drained but an app never finished");
-    result.app_done_us.push_back(run->finished_at());
-    result.makespan_us = std::max(result.makespan_us, run->finished_at());
-    if (config.functional_io && functional) result.app_outputs.push_back(run->output_bytes());
-  }
-  if (dispatcher) {
-    result.jobs_dispatched = dispatcher->jobs_dispatched();
-    result.reorders = dispatcher->reorders();
-    result.coalesced_groups = dispatcher->coalesced_groups();
-    result.coalesced_jobs = dispatcher->coalesced_jobs();
-  }
-  if (ipc) result.ipc_messages = ipc->messages_sent();
-  if (device) {
-    result.gpu_dynamic_energy_j = device->dynamic_energy_j();
-    result.gpu_compute_busy_us = device->compute_busy_us();
-    result.gpu_copy_busy_us = device->copy_busy_us();
-  }
-  if (faults_on) result.fault = *fault_stats;
-  if (rt) {
+  dom.append_app_results(result, config.functional_io && dom.functional);
+  dom.fold_counters(result);
+  if (dom.rt) {
     // Close out run-level gauges; everything here is a pure function of the
     // scenario (sim-domain), so the registry stays deterministic.
-    rt->metrics.gauge("run.makespan_us").record_max(result.makespan_us);
+    dom.rt->metrics.gauge("run.makespan_us").record_max(result.makespan_us);
     if (result.latency.count > 0) {
-      rt->metrics.counter("traffic.requests").value += result.requests_completed;
-      rt->metrics.histogram("traffic.request_latency_us", trace::latency_buckets_us())
+      dom.rt->metrics.counter("traffic.requests").value += result.requests_completed;
+      dom.rt->metrics.histogram("traffic.request_latency_us", trace::latency_buckets_us())
           .merge(result.latency);
     }
-    if (result.makespan_us > 0.0 && device) {
-      rt->metrics.gauge("gpu.compute_utilization")
+    if (result.makespan_us > 0.0 && dom.device) {
+      dom.rt->metrics.gauge("gpu.compute_utilization")
           .record_max(result.gpu_compute_busy_us / result.makespan_us);
-      rt->metrics.gauge("gpu.copy_utilization")
+      dom.rt->metrics.gauge("gpu.copy_utilization")
           .record_max(result.gpu_copy_busy_us / result.makespan_us);
     }
-    result.metrics = std::make_shared<trace::Metrics>(std::move(rt->metrics));
+    result.metrics = std::make_shared<trace::Metrics>(std::move(dom.rt->metrics));
   }
   return result;
 }

@@ -60,10 +60,36 @@ struct AppInstance {
   std::vector<workloads::Request> requests;
 };
 
+/// Sharded-fleet model (DESIGN.md §16): how many scheduler/dispatcher
+/// domains the fleet is partitioned into and how the host-side fabric
+/// stitches them together.
+///
+/// This is a *semantic* knob: it changes what system is simulated (D job
+/// queues, D coalescing windows, D launch-cache shards, fabric latency on
+/// cross-domain completion traffic), so it is part of the scenario
+/// fingerprint. How many host threads advance those domains is the
+/// *execution-only* `--shards` / SIGVP_SHARDS knob (run::set_fleet_shards),
+/// which never changes a result byte.
+struct FleetConfig {
+  /// Number of scheduler/dispatcher domains. 1 (the default) is the classic
+  /// unsharded fleet — byte-identical to every release before sharding
+  /// existed. >= 2 requires Backend::kSigmaVp and at most one domain per
+  /// app; apps are partitioned into contiguous, near-equal slices.
+  std::uint32_t domains = 1;
+
+  /// Fabric topology spec (see sim/topology.hpp); "" = flat star.
+  std::string topology;
+
+  /// Default per-edge fabric latency (µs); individual edges may override it
+  /// in the topology spec. Also the conservative lookahead floor.
+  SimTime edge_latency_us = 50.0;
+};
+
 struct ScenarioConfig {
   Backend backend = Backend::kSigmaVp;
   DispatchConfig dispatch;   // ΣVP only
   Calibration calib;
+  FleetConfig fleet;         // ΣVP only when fleet.domains >= 2
   GpuArch gpu = make_quadro4000();
   std::uint64_t gpu_mem_bytes = 2ull * 1024 * 1024 * 1024;
   ExecMode mode = ExecMode::kAnalytic;
@@ -91,6 +117,31 @@ struct ScenarioConfig {
   bool functional_io = false;
 };
 
+/// Sharded-fleet observables; `domains == 0` means the scenario ran the
+/// classic unsharded path and the whole block is absent from JSON/snapshot
+/// comparisons of legacy runs.
+struct FleetStats {
+  std::uint32_t domains = 0;
+  SimTime lookahead_us = 0.0;        // conservative horizon increment
+  std::uint64_t sync_rounds = 0;     // barrier rounds the executor ran
+  std::uint64_t fabric_messages = 0; // completion reports + acks routed
+  std::uint64_t fabric_hops = 0;     // summed edge traversals of the above
+  /// Sim time at which the root (domain 0) has processed the completion
+  /// report of every app — the fleet-level "all done" instant, later than
+  /// makespan_us by the fabric flight time of the final report.
+  SimTime fleet_done_us = 0.0;
+  /// Deterministic size-based estimate of peak resident fleet state (VP
+  /// structs, event heaps, dispatcher queues, cache shards) — the honest
+  /// denominator behind bench/fleet_scale's bytes-per-VP. Also recorded as
+  /// the `fleet.resident_bytes` metrics gauge when collection is on.
+  std::uint64_t resident_bytes = 0;
+  /// Per-domain launch-cache shard activity, summed in domain order.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+
+  bool operator==(const FleetStats&) const = default;
+};
+
 struct ScenarioResult {
   /// Completion time of the last application (the number the paper's
   /// Fig. 11 reports per app: "time for completing all the executions").
@@ -110,6 +161,9 @@ struct ScenarioResult {
   /// Fault-injection and recovery counters; `fault.active` is false (and
   /// every counter zero) unless the scenario ran with an enabled FaultConfig.
   FaultStats fault;
+
+  /// Sharded-fleet observables; inert (domains == 0) on the unsharded path.
+  FleetStats fleet;
 
   /// Per app: the concatenated bytes of its output buffers after teardown.
   /// Populated only when `ScenarioConfig::functional_io` is set.

@@ -59,6 +59,39 @@ struct FaultStats {
                                       static_cast<double>(recovery_events);
   }
 
+  /// Folds another run's (or fleet domain's) stats into this one: `active`
+  /// ORs, every counter and latency total adds, the worst-case latency keeps
+  /// the max. Called in canonical domain order by the sharded fleet
+  /// executor; folding into a default-constructed instance reproduces the
+  /// source exactly, so the single-domain path can share this too.
+  void merge(const FaultStats& o) {
+    active = active || o.active;
+    messages_dropped += o.messages_dropped;
+    messages_duplicated += o.messages_duplicated;
+    latency_spikes += o.latency_spikes;
+    acks_dropped += o.acks_dropped;
+    launch_failures += o.launch_failures;
+    engine_hangs += o.engine_hangs;
+    device_resets += o.device_resets;
+    ops_killed_by_reset += o.ops_killed_by_reset;
+    vp_stalls += o.vp_stalls;
+    retransmits += o.retransmits;
+    duplicates_suppressed += o.duplicates_suppressed;
+    launch_retries += o.launch_retries;
+    reset_requeues += o.reset_requeues;
+    group_resplits += o.group_resplits;
+    vps_quarantined += o.vps_quarantined;
+    vp_restarts += o.vp_restarts;
+    fallbacks += o.fallbacks;
+    fallback_jobs += o.fallback_jobs;
+    unrecovered_jobs += o.unrecovered_jobs;
+    recovery_latency_total_us += o.recovery_latency_total_us;
+    if (o.recovery_latency_max_us > recovery_latency_max_us) {
+      recovery_latency_max_us = o.recovery_latency_max_us;
+    }
+    recovery_events += o.recovery_events;
+  }
+
   bool operator==(const FaultStats&) const = default;
 };
 

@@ -195,8 +195,9 @@ SimTime GpuDevice::launch(StreamId stream, const LaunchRequest& request, KernelC
     // injected hangs and resets must observe real executions.
     const LaunchCache::Bypass bypass =
         fault_tracking() ? LaunchCache::Bypass::kFault : LaunchCache::Bypass::kNone;
-    LaunchEvaluation eval = LaunchCache::instance().evaluate(
-        arch_, *request.kernel, request.dims, request.args, memory_, bypass);
+    LaunchCache& cache = launch_cache_ != nullptr ? *launch_cache_ : LaunchCache::instance();
+    LaunchEvaluation eval =
+        cache.evaluate(arch_, *request.kernel, request.dims, request.args, memory_, bypass);
     stats = eval.stats;
     cache_outcome = eval.cache;
   } else {

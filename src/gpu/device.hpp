@@ -18,6 +18,7 @@
 
 namespace sigvp {
 
+class LaunchCache;
 namespace trace {
 class RunTrace;
 }
@@ -76,6 +77,12 @@ class GpuDevice {
   /// Installs the scenario's trace/metrics context (null = off; the default).
   /// Must outlive the device.
   void set_trace(trace::RunTrace* trace) { trace_ = trace; }
+
+  /// Routes functional launches through a private launch-cache shard instead
+  /// of the process singleton (null = singleton; the default). Sharded
+  /// fleets give each domain its own shard so hit/miss sequences are a pure
+  /// function of the domain's launch stream. Must outlive the device.
+  void set_launch_cache(LaunchCache* cache) { launch_cache_ = cache; }
 
   // --- memory management -----------------------------------------------------
   /// Allocates device memory; throws on exhaustion (paper-scale workloads
@@ -182,6 +189,15 @@ class GpuDevice {
   /// MemDelta state the paper-scale analytic runs never touch).
   void capture_state(snapshot::Writer& w, bool hash_memory) const;
 
+  /// Deterministic size-based estimate of the model's resident host memory:
+  /// struct plus container capacities (streams, live-op map nodes). The
+  /// modeled device address space is excluded — it is simulated state, not
+  /// per-VP host residency.
+  std::uint64_t resident_bytes() const {
+    return sizeof(GpuDevice) + streams_.capacity() * sizeof(Stream) +
+           live_ops_.size() * (sizeof(std::uint64_t) + sizeof(SimTime) + 48);
+  }
+
  private:
   struct Stream {
     SimTime tail = 0.0;  // completion time of the last op in this stream
@@ -206,6 +222,7 @@ class GpuDevice {
   AddressSpace memory_;
   FreeListAllocator allocator_;
   trace::RunTrace* trace_ = nullptr;
+  LaunchCache* launch_cache_ = nullptr;  // null = process singleton
 
   EngineState copy_in_engine_;
   EngineState copy_out_engine_;

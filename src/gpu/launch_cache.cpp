@@ -273,6 +273,10 @@ LaunchCache& LaunchCache::instance() {
   return cache;
 }
 
+std::unique_ptr<LaunchCache> LaunchCache::create_shard() {
+  return std::unique_ptr<LaunchCache>(new LaunchCache());
+}
+
 void LaunchCache::set_capacity(std::uint64_t max_entries, std::uint64_t max_bytes) {
   SIGVP_REQUIRE(max_entries > 0 && max_bytes > 0, "launch cache capacity must be positive");
   std::lock_guard<std::mutex> lock(fifo_mutex_);

@@ -100,6 +100,15 @@ class LaunchCache {
   /// SIGVP_LAUNCH_CACHE_VERIFY ("1" enables recompute-and-diff on hits).
   static LaunchCache& instance();
 
+  /// A private cache instance for one fleet domain (launch-cache sharding by
+  /// VP slice, DESIGN.md §16): same environment-derived configuration as the
+  /// singleton, but an independent resident set and counters, so a sharded
+  /// domain's hit/miss sequence is a pure function of its own launch stream
+  /// no matter how shard threads interleave.
+  static std::unique_ptr<LaunchCache> create_shard();
+
+  ~LaunchCache();  // public so create_shard() shards can be owned by callers
+
   /// Evaluates one functional launch through the cache: lookup → replay on
   /// hit, execute-with-capture → fill on miss, or plain execution when
   /// disabled/bypassed. `bypass` carries the caller-known reason (kFault);
@@ -139,8 +148,7 @@ class LaunchCache {
   struct Entry;
   struct Shard;
 
-  LaunchCache();
-  ~LaunchCache();  // out-of-line: Shard/Entry are incomplete here
+  LaunchCache();  // out-of-line: Shard/Entry are incomplete here
   LaunchCache(const LaunchCache&) = delete;
   LaunchCache& operator=(const LaunchCache&) = delete;
 

@@ -132,6 +132,12 @@ class IpcManager {
   SimTime transport_time_total() const { return transport_time_total_; }
   const IpcCostModel& cost_model() const { return cost_; }
 
+  /// Deterministic size-based estimate of resident host memory: struct plus
+  /// per-VP endpoint capacity (the fleet bytes-per-VP denominator).
+  std::uint64_t resident_bytes() const {
+    return sizeof(IpcManager) + vps_.capacity() * sizeof(VpEndpoint);
+  }
+
  private:
   struct VpEndpoint {
     std::string name;

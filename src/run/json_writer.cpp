@@ -148,6 +148,23 @@ std::string sweep_to_json(const SweepResult& sweep, const std::string& bench_nam
       append_number(os, f.recovery_latency_max_us);
       os << "}";
     }
+    // Sharded-fleet observables (DESIGN.md §16); absent on the classic
+    // single-domain path, so legacy BENCH JSON stays byte-identical.
+    // sync_rounds / resident_bytes stay OUT of this block on purpose: an
+    // armed snapshotter's capture-cadence events are real events in the
+    // domain queues, so those two executor stats see them — emitting them
+    // here would break §14's "checkpointing never changes a result byte"
+    // contract. They are reported via the metrics block and bench/fleet_scale.
+    if (r.fleet.domains > 0) {
+      const FleetStats& fl = r.fleet;
+      os << ", \"fleet\": {\"domains\": " << fl.domains << ", \"lookahead_us\": ";
+      append_number(os, fl.lookahead_us);
+      os << ", \"fabric_messages\": " << fl.fabric_messages
+         << ", \"fabric_hops\": " << fl.fabric_hops << ", \"fleet_done_us\": ";
+      append_number(os, fl.fleet_done_us);
+      os << ", \"cache_hits\": " << fl.cache_hits
+         << ", \"cache_misses\": " << fl.cache_misses << "}";
+    }
     os << "}";
     if (i + 1 != sweep.jobs.size()) os << ",";
     os << "\n";

@@ -259,6 +259,9 @@ SweepCli parse_sweep_cli(int argc, char** argv, const std::string& default_json)
     const double us = std::strtod(every, nullptr);
     if (us > 0.0) cli.snapshot_every_us = us;
   }
+  if (const char* shards = std::getenv("SIGVP_SHARDS"); shards != nullptr && *shards != '\0') {
+    cli.shards = static_cast<std::size_t>(std::strtoul(shards, nullptr, 10));
+  }
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--workers" && i + 1 < argc) {
@@ -274,9 +277,12 @@ SweepCli parse_sweep_cli(int argc, char** argv, const std::string& default_json)
       if (us > 0.0) cli.snapshot_every_us = us;
     } else if (arg == "--resume" && i + 1 < argc) {
       cli.resume_path = argv[++i];
+    } else if (arg == "--shards" && i + 1 < argc) {
+      cli.shards = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     }
   }
   if (!cli.trace_path.empty()) trace::Tracer::enable(cli.trace_path);
+  set_fleet_shards(cli.shards);
   return cli;
 }
 

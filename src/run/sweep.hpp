@@ -133,8 +133,15 @@ class SweepRunner {
 /// (or SIGVP_SNAPSHOT_EVERY) sets the sim-time capture cadence in µs, and
 /// `--resume FILE` names an explicit snapshot file to resume from. Flags
 /// override the environment.
+///
+/// Fleet sharding: `--shards N` (or SIGVP_SHARDS) sets how many host
+/// threads advance a sharded fleet's simulation domains between
+/// synchronization horizons (run::set_fleet_shards). Execution-only: any
+/// value produces byte-identical BENCH JSON; 1 (the default) advances
+/// domains serially.
 struct SweepCli {
   std::size_t workers = 0;
+  std::size_t shards = 1;
   std::string json_path;
   std::string trace_path;
   std::string snapshot_dir;

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -13,11 +15,15 @@ namespace sigvp::run {
 /// Fixed-size pool of host worker threads.
 ///
 /// The simulation itself is single-threaded by design (one deterministic
-/// EventQueue per scenario); the pool provides *host-side* parallelism across
-/// independent scenario runs — the sharding layer every sweep-shaped workload
-/// in this repository (Fig. 11 suite, design-space exploration, ablations)
-/// funnels through. Tasks are drained FIFO; worker count is fixed at
-/// construction.
+/// EventQueue per domain); the pool provides *host-side* parallelism across
+/// independent units of work — sweep jobs, and the fleet executor's shard
+/// advancement between synchronization horizons. Tasks are drained FIFO;
+/// worker count is fixed at construction.
+///
+/// parallel_for() is safe to call from inside a pool task (the caller helps
+/// execute queued tasks while waiting on its own group), so nested parallel
+/// regions — a sweep job advancing fleet shards on the shared pool — cannot
+/// deadlock the pool.
 class ThreadPool {
  public:
   /// `workers == 0` picks `default_workers()`.
@@ -36,6 +42,15 @@ class ThreadPool {
   /// Blocks until every submitted task has finished executing.
   void wait_idle();
 
+  /// Pops and runs one queued task on the calling thread; false when the
+  /// queue was empty. parallel_for's wait loop uses this so a caller that
+  /// is itself a pool task keeps making progress instead of deadlocking.
+  bool help_one();
+
+  /// Total tasks ever submitted to this pool. The parallel_for grain
+  /// regression test pins chunking behaviour with this counter.
+  std::uint64_t tasks_submitted() const { return submitted_.load(std::memory_order_relaxed); }
+
   /// Host hardware concurrency, never less than 1.
   static std::size_t default_workers();
 
@@ -46,6 +61,7 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  void finish_task();
 
   std::mutex mutex_;
   std::condition_variable task_ready_;
@@ -53,12 +69,19 @@ class ThreadPool {
   std::deque<std::function<void()>> tasks_;
   std::size_t in_flight_ = 0;  // queued + executing
   bool stopping_ = false;
+  std::atomic<std::uint64_t> submitted_{0};
   std::vector<std::thread> threads_;
 };
 
 /// Runs `fn(0) ... fn(count-1)` on the pool and waits for all of them.
-/// Exceptions are captured; the first one (lowest index) is rethrown after
-/// every task has finished, so no work is silently lost mid-sweep.
+///
+/// Indices are dispatched in contiguous chunks of `max(1, count /
+/// (pool.size() * 4))` so tiny per-item work (100k-VP fleet domains) does
+/// not drown in per-task queue overhead. Every index runs even if earlier
+/// ones throw; the first exception (lowest index) is rethrown after all
+/// chunks have finished, so no work is silently lost mid-sweep. The calling
+/// thread helps execute queued tasks while it waits, which makes nested
+/// parallel_for calls on one shared pool deadlock-free.
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& fn);
 
@@ -70,5 +93,20 @@ void parallel_for(ThreadPool& pool, std::size_t count,
 /// requests through. This is what keeps sweep × interpreter thread counts
 /// from multiplying.
 std::size_t inner_parallel_workers(std::size_t requested);
+
+/// Process-wide shard-execution knob (`--shards` / SIGVP_SHARDS): how many
+/// host threads the fleet executor may advance simulation domains on.
+/// Execution-only — it never appears in a scenario fingerprint and never
+/// changes a result byte; `FleetConfig::domains` is the semantic knob.
+/// Default 1 (serial domain advancement).
+void set_fleet_shards(std::size_t shards);
+std::size_t fleet_shards();
+
+/// The shared fleet ThreadPool: one process-wide pool, lazily (re)built at
+/// `workers` threads, shared by every concurrently-running sharded scenario
+/// (group-based parallel_for makes concurrent use safe). Resizing happens
+/// only when no sharded scenario is running — callers all derive `workers`
+/// from the same fleet_shards() global.
+ThreadPool& fleet_pool(std::size_t workers);
 
 }  // namespace sigvp::run

@@ -123,6 +123,17 @@ class Dispatcher {
   std::uint64_t coalesced_jobs() const { return coalescer_.jobs_merged(); }
   const DispatchConfig& config() const { return config_; }
 
+  /// Deterministic size-based estimate of resident host memory: struct plus
+  /// job-queue and per-VP bookkeeping capacities (the fleet bytes-per-VP
+  /// denominator).
+  std::uint64_t resident_bytes() const {
+    return sizeof(Dispatcher) + queue_.size() * sizeof(Job) +
+           vp_streams_.capacity() * sizeof(GpuDevice::StreamId) +
+           next_seq_.capacity() * sizeof(std::uint64_t) +
+           (vp_inflight_.capacity() + vp_group_inflight_.capacity()) * sizeof(std::uint32_t) +
+           kill_actions_.size() * 96;
+  }
+
  private:
   void pump();
   bool is_ready(const Job& job) const;

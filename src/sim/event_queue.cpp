@@ -1,5 +1,6 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "snapshot/serial.hpp"
@@ -10,7 +11,8 @@ namespace sigvp {
 void EventQueue::schedule_at(SimTime t, Callback cb) {
   SIGVP_REQUIRE(t >= now_, "cannot schedule an event in the simulated past");
   SIGVP_REQUIRE(static_cast<bool>(cb), "event callback must be callable");
-  heap_.push(Event{t, next_seq_++, std::move(cb)});
+  heap_.push_back(Event{t, next_seq_++, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 void EventQueue::schedule_after(SimTime dt, Callback cb) {
@@ -18,12 +20,16 @@ void EventQueue::schedule_after(SimTime dt, Callback cb) {
   schedule_at(now_ + dt, std::move(cb));
 }
 
+SimTime EventQueue::next_event_time() const {
+  SIGVP_REQUIRE(!heap_.empty(), "next_event_time() on an empty event queue");
+  return heap_.front().time;
+}
+
 bool EventQueue::step() {
   if (heap_.empty()) return false;
-  // priority_queue::top() is const; the callback is moved out via const_cast,
-  // which is safe because the element is popped before the callback runs.
-  Event ev = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
   now_ = ev.time;
   ++processed_;
   ev.fn();
@@ -37,7 +43,7 @@ void EventQueue::run() {
 
 void EventQueue::run_until(SimTime t) {
   SIGVP_REQUIRE(t >= now_, "cannot run the queue backwards");
-  while (!heap_.empty() && heap_.top().time <= t) step();
+  while (!heap_.empty() && heap_.front().time <= t) step();
   now_ = t;
 }
 

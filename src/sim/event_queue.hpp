@@ -2,7 +2,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -13,11 +12,20 @@ namespace snapshot {
 class Writer;
 }
 
-/// Deterministic discrete-event queue.
+/// Deterministic discrete-event queue — the first-class event core every
+/// simulation domain in this repository advances on.
 ///
 /// Events scheduled for the same timestamp fire in insertion order (a strict
-/// FIFO tie-break), which keeps every simulation in this repository fully
-/// reproducible — the re-scheduler's decisions depend on queue order.
+/// FIFO tie-break via a per-queue sequence number), which keeps every
+/// simulation fully reproducible — the re-scheduler's decisions depend on
+/// queue order, and the sharded fleet executor merges cross-domain messages
+/// on exactly this (time, seq) total order.
+///
+/// The heap is hand-rolled over a contiguous vector (std::push_heap /
+/// std::pop_heap with the same comparator std::priority_queue would use), so
+/// fleet construction can `reserve()` the expected event count up front and
+/// the executor can peek `next_event_time()` to compute synchronization
+/// horizons without popping.
 class EventQueue {
  public:
   using Callback = std::function<void()>;
@@ -37,10 +45,27 @@ class EventQueue {
   void run();
 
   /// Runs events with timestamp <= `t`, then advances the clock to `t`
-  /// (even if idle) so follow-up scheduling is relative to `t`.
+  /// (even if idle) so follow-up scheduling is relative to `t`. This is the
+  /// primitive the sharded fleet executor uses to advance each domain to a
+  /// conservative synchronization horizon.
   void run_until(SimTime t);
 
+  /// Pre-sizes the heap for `n` pending events so bulk insertion at fleet
+  /// construction is O(n log n) heap work with no reallocation churn.
+  void reserve(std::size_t n) { heap_.reserve(n); }
+
+  bool empty() const { return heap_.empty(); }
   std::size_t pending() const { return heap_.size(); }
+
+  /// Deterministic size-based estimate of the queue's resident host memory
+  /// (heap capacity, not just size — capacity is what the allocator holds).
+  std::uint64_t resident_bytes() const {
+    return sizeof(EventQueue) + heap_.capacity() * sizeof(Event);
+  }
+
+  /// Timestamp of the earliest pending event; the queue must not be empty.
+  SimTime next_event_time() const;
+
   std::uint64_t events_processed() const { return processed_; }
 
   /// Serializes the sim-domain clock and queue counters (clock, sequence
@@ -63,7 +88,7 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::vector<Event> heap_;  // binary heap, earliest event at front
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;

@@ -133,6 +133,15 @@ void save_scenario_result(Writer& w, const ScenarioResult& result) {
   w.f64(result.gpu_compute_busy_us);
   w.f64(result.gpu_copy_busy_us);
   save_fault_stats(w, result.fault);
+  w.u32(result.fleet.domains);
+  w.f64(result.fleet.lookahead_us);
+  w.u64(result.fleet.sync_rounds);
+  w.u64(result.fleet.fabric_messages);
+  w.u64(result.fleet.fabric_hops);
+  w.f64(result.fleet.fleet_done_us);
+  w.u64(result.fleet.resident_bytes);
+  w.u64(result.fleet.cache_hits);
+  w.u64(result.fleet.cache_misses);
   w.u64(result.app_outputs.size());
   for (const auto& bytes : result.app_outputs) w.byte_vec(bytes);
   save_histogram(w, result.latency);
@@ -154,6 +163,15 @@ ScenarioResult load_scenario_result(Reader& r) {
   result.gpu_compute_busy_us = r.f64();
   result.gpu_copy_busy_us = r.f64();
   result.fault = load_fault_stats(r);
+  result.fleet.domains = r.u32();
+  result.fleet.lookahead_us = r.f64();
+  result.fleet.sync_rounds = r.u64();
+  result.fleet.fabric_messages = r.u64();
+  result.fleet.fabric_hops = r.u64();
+  result.fleet.fleet_done_us = r.f64();
+  result.fleet.resident_bytes = r.u64();
+  result.fleet.cache_hits = r.u64();
+  result.fleet.cache_misses = r.u64();
   const std::uint64_t n_outputs = r.u64();
   result.app_outputs.reserve(n_outputs);
   for (std::uint64_t i = 0; i < n_outputs; ++i) result.app_outputs.push_back(r.byte_vec());
@@ -272,6 +290,12 @@ std::uint64_t scenario_fingerprint(const std::string& name, const std::string& g
   w.u8(static_cast<std::uint8_t>(config.mode));
   w.boolean(config.async_launches);
   w.boolean(config.functional_io);
+  // Fleet sharding is semantic (D domains = D job queues, D coalescing
+  // windows, fabric latency on completion traffic), so it fingerprints;
+  // the execution-only --shards knob deliberately does not.
+  w.u32(config.fleet.domains);
+  w.str(config.fleet.topology);
+  w.f64(config.fleet.edge_latency_us);
   w.u64(config.fault.seed);
   w.f64(config.fault.drop_rate);
   w.f64(config.fault.dup_rate);

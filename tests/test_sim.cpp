@@ -69,6 +69,60 @@ TEST(EventQueue, StepReturnsFalseWhenEmpty) {
   EXPECT_EQ(q.events_processed(), 0u);
 }
 
+TEST(EventQueue, NextEventTimePeeksWithoutPopping) {
+  EventQueue q;
+  q.schedule_at(30.0, [] {});
+  q.schedule_at(10.0, [] {});
+  EXPECT_DOUBLE_EQ(q.next_event_time(), 10.0);
+  EXPECT_EQ(q.pending(), 2u);  // peek must not consume
+  q.step();
+  EXPECT_DOUBLE_EQ(q.next_event_time(), 30.0);
+  q.run();
+  EXPECT_TRUE(q.empty());
+  EXPECT_THROW(q.next_event_time(), ContractError);
+}
+
+TEST(EventQueue, ReservePreservesOrderAndCounters) {
+  // reserve() is an allocation hint only: bulk insertion after it must pop
+  // in exactly the same (time, seq) order, and resident_bytes must reflect
+  // the reserved capacity.
+  EventQueue q;
+  q.reserve(1000);
+  EXPECT_GE(q.resident_bytes(), sizeof(EventQueue) + 1000 * 3 * sizeof(void*));
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    q.schedule_at(static_cast<SimTime>(100 - i), [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], 99 - i);
+  EXPECT_EQ(q.events_processed(), 100u);
+}
+
+TEST(EventQueue, InterleavedTimesKeepPerTimestampFifo) {
+  // Mixed timestamps with heavy ties: within each timestamp, insertion
+  // order wins — the total (time, seq) order the fleet executor's canonical
+  // message sort relies on.
+  EventQueue q;
+  std::vector<std::pair<int, int>> order;  // (time, insert index at that time)
+  for (int round = 0; round < 5; ++round) {
+    for (int t = 1; t <= 3; ++t) {
+      q.schedule_at(static_cast<SimTime>(t), [&order, t, round] {
+        order.emplace_back(t, round);
+      });
+    }
+  }
+  q.run();
+  ASSERT_EQ(order.size(), 15u);
+  std::size_t idx = 0;
+  for (int t = 1; t <= 3; ++t) {
+    for (int round = 0; round < 5; ++round) {
+      EXPECT_EQ(order[idx], std::make_pair(t, round)) << "position " << idx;
+      ++idx;
+    }
+  }
+}
+
 TEST(Engine, JobsSerializeFifo) {
   EventQueue q;
   Engine e(q, "test");

@@ -71,6 +71,37 @@ TEST(ParallelFor, RethrowsLowestIndexExceptionAfterDraining) {
   }
 }
 
+TEST(ParallelFor, ChunksByGrainNotPerIndex) {
+  // The grain regression: 100k fleet domains must not become 100k queue
+  // round-trips. Chunks are max(1, count / (workers * 4)) indices each.
+  run::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1024);
+  std::uint64_t before = pool.tasks_submitted();
+  run::parallel_for(pool, hits.size(), [&hits](std::size_t i) { hits[i] += 1; });
+  // 1024 / (4 * 4) = 64-index chunks -> exactly 16 pool tasks.
+  EXPECT_EQ(pool.tasks_submitted() - before, 16u);
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+
+  // Small counts degrade gracefully to one task per index.
+  before = pool.tasks_submitted();
+  std::atomic<int> small{0};
+  run::parallel_for(pool, 10, [&small](std::size_t) { small += 1; });
+  EXPECT_EQ(pool.tasks_submitted() - before, 10u);
+  EXPECT_EQ(small.load(), 10);
+}
+
+TEST(ParallelFor, NestedCallsOnSharedPoolDoNotDeadlock) {
+  // The fleet executor's shape: sweep workers running parallel_for on the
+  // same pool their own task executes on. The waiting caller must help
+  // drain the queue or a 2-thread pool wedges instantly.
+  run::ThreadPool pool(2);
+  std::atomic<int> count{0};
+  run::parallel_for(pool, 4, [&pool, &count](std::size_t) {
+    run::parallel_for(pool, 8, [&count](std::size_t) { count += 1; });
+  });
+  EXPECT_EQ(count.load(), 32);
+}
+
 TEST(SweepRunner, RejectsUnnamedAndDuplicateJobs) {
   const auto suite = workloads::make_suite();
   const workloads::Workload& w = workloads::find(suite, "vectorAdd");
