@@ -17,7 +17,8 @@ double exposure_factor(const GpuArch& arch, std::uint64_t threads_per_block) {
   // bound in exposed_data_stalls().
   const std::uint64_t warps_per_block = (threads_per_block + arch.warp_width - 1) / arch.warp_width;
   const std::uint64_t resident_warps =
-      std::max<std::uint64_t>(1, warps_per_block * arch.concurrent_blocks_per_sm(threads_per_block));
+      std::max<std::uint64_t>(
+          1, warps_per_block * arch.concurrent_blocks_per_sm(threads_per_block));
   return std::clamp(1.0 / static_cast<double>(resident_warps), 0.02, 1.0);
 }
 

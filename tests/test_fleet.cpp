@@ -128,8 +128,12 @@ TEST(ShardedFleet, DomainsMatchIndependentSliceRuns) {
 
   ASSERT_EQ(fleet.app_done_us.size(), 6u);
   for (int i = 0; i < 3; ++i) {
-    EXPECT_EQ(fleet.app_done_us[static_cast<std::size_t>(i)], r_lo.app_done_us[static_cast<std::size_t>(i)]) << i;
-    EXPECT_EQ(fleet.app_done_us[static_cast<std::size_t>(i + 3)], r_hi.app_done_us[static_cast<std::size_t>(i)]) << i;
+    EXPECT_EQ(fleet.app_done_us[static_cast<std::size_t>(i)],
+              r_lo.app_done_us[static_cast<std::size_t>(i)])
+        << i;
+    EXPECT_EQ(fleet.app_done_us[static_cast<std::size_t>(i + 3)],
+              r_hi.app_done_us[static_cast<std::size_t>(i)])
+        << i;
   }
   EXPECT_EQ(fleet.makespan_us, std::max(r_lo.makespan_us, r_hi.makespan_us));
   EXPECT_EQ(fleet.jobs_dispatched, r_lo.jobs_dispatched + r_hi.jobs_dispatched);

@@ -137,7 +137,8 @@ TEST_F(Funct, HistogramCountsEveryByte) {
   std::uint64_t total = 0;
   for (int bin = 0; bin < 256; ++bin) {
     const auto count =
-        static_cast<std::uint64_t>(mem.read<std::int64_t>(hist + 8 * static_cast<std::uint64_t>(bin)));
+        static_cast<std::uint64_t>(
+            mem.read<std::int64_t>(hist + 8 * static_cast<std::uint64_t>(bin)));
     EXPECT_EQ(count, expected[static_cast<std::size_t>(bin)]) << "bin " << bin;
     total += count;
   }
