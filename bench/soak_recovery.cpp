@@ -11,6 +11,7 @@
 // rejects torn files and the scan falls back to an older one.
 //
 //   soak_recovery [--keep]         keep the work directory on success
+//                 [--seeds N]      add N randomized seeded kill-resume batteries
 
 #include <sys/wait.h>
 
@@ -178,10 +179,11 @@ struct ChildMode {
 /// `snapshot_dir` arms checkpointing + auto-resume (empty = plain run).
 ChildRun spawn_child(const std::string& exe, const ChildMode& mode, std::size_t workers,
                      const std::string& crash_spec, const fs::path& snapshot_dir,
-                     const fs::path& json_path, const fs::path& log_path) {
+                     const fs::path& json_path, const fs::path& log_path,
+                     const std::string& crash_rate = "", const std::string& crash_seed = "") {
   std::ostringstream cmd;
   cmd << "SIGVP_CRASH='" << crash_spec << "'"
-      << " SIGVP_CRASH_RATE='' SIGVP_CRASH_SEED=''"
+      << " SIGVP_CRASH_RATE='" << crash_rate << "' SIGVP_CRASH_SEED='" << crash_seed << "'"
       << " SIGVP_SNAPSHOT_DIR='" << snapshot_dir.string() << "'"
       << " SIGVP_SHARDS='" << mode.shards << "'"
       << " SIGVP_TRACE='' SIGVP_METRICS=''"
@@ -279,6 +281,40 @@ std::size_t soak_loop(const std::string& exe, const ChildMode& mode, std::size_t
   return crashes;
 }
 
+/// Randomized kill–resume battery: probabilistic deaths at every
+/// instrumented crash site (SIGVP_CRASH_RATE / SIGVP_CRASH_SEED), with a
+/// fresh seed per cycle so a resumed run rolls a different schedule. The
+/// final cycle runs disarmed, guaranteeing completion within the budget.
+std::size_t random_soak(const std::string& exe, const ChildMode& mode, std::size_t workers,
+                        std::uint64_t seed, double rate, const fs::path& snapshot_dir,
+                        const fs::path& json_path, const fs::path& workdir) {
+  fs::create_directories(snapshot_dir);
+  std::size_t crashes = 0;
+  const std::size_t max_cycles = 24;
+  for (std::size_t cycle = 0; cycle < max_cycles; ++cycle) {
+    const bool armed = cycle + 1 < max_cycles;
+    const fs::path log =
+        workdir / ("rand_s" + std::to_string(seed) + "_c" + std::to_string(cycle) + ".log");
+    const ChildRun r =
+        spawn_child(exe, mode, workers, "", snapshot_dir, json_path, log,
+                    armed ? std::to_string(rate) : "",
+                    armed ? std::to_string(seed * 1000 + cycle) : "");
+    std::cout << "[soak] seed=" << seed << " cycle=" << cycle << " exit=" << r.exit_code
+              << "\n";
+    if (r.exit_code == kCrashExitCode) {
+      ++crashes;
+      continue;
+    }
+    if (r.exit_code == 0) return crashes;
+    check(false, "random soak (seed " + std::to_string(seed) +
+                     ") child failed with unexpected exit code " +
+                     std::to_string(r.exit_code));
+    return crashes;
+  }
+  check(false, "random soak never completed within the cycle budget");
+  return crashes;
+}
+
 }  // namespace
 }  // namespace sigvp
 
@@ -289,8 +325,12 @@ int main(int argc, char** argv) {
     if (std::string(argv[i]) == "--child-fleet") return run_child_fleet(argc, argv);
   }
   bool keep = false;
+  std::uint64_t seeds = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--keep") keep = true;
+    if (std::string(argv[i]) == "--seeds" && i + 1 < argc) {
+      seeds = std::strtoull(argv[++i], nullptr, 10);
+    }
   }
 
   const std::string exe = fs::absolute(argv[0]).string();
@@ -401,12 +441,39 @@ int main(int argc, char** argv) {
   std::cout << "[soak] fleet: " << fleet_crashes
             << " crashes at 8 shard threads, resumed output byte-identical to serial golden\n";
 
+  // -- Randomized seeded batteries (nightly: --seeds N) ----------------------
+  // Probabilistic deaths instead of scheduled sites: each seed rolls its own
+  // crash schedule over every instrumented site, and the resumed output must
+  // still match the uninterrupted golden byte for byte.
+  std::size_t random_crashes = 0;
+  if (seeds > 0) {
+    std::cout << "\n== Randomized kill-resume: " << seeds << " seeded batteries ==\n";
+    for (std::uint64_t s = 1; s <= seeds; ++s) {
+      const fs::path json = workdir / ("rand_" + std::to_string(s) + ".json");
+      const std::size_t c = random_soak(exe, app_mode, 8, s, /*rate=*/0.001,
+                                        workdir / ("ckpt_rand" + std::to_string(s)), json,
+                                        workdir);
+      random_crashes += c;
+      std::string out = read_file(json);
+      check(sum_requests(out) == expected_requests,
+            "random soak (seed " + std::to_string(s) +
+                "): requests lost or duplicated across crashes");
+      const std::size_t at = out.find("\"workers\": 8");
+      if (at != std::string::npos) out.replace(at, 12, "\"workers\": 1");
+      check(normalize_wall_ms(out) == gold1,
+            "random soak (seed " + std::to_string(s) +
+                "): resumed output differs from uninterrupted golden");
+      std::cout << "[soak] seed " << s << ": " << c
+                << " random crashes, output matches golden\n";
+    }
+  }
+
   if (!g_ok) {
     std::cerr << "\nSoak recovery FAILED; work directory kept at " << workdir << "\n";
     return 1;
   }
   std::cout << "\nAll soak-recovery contracts hold: no request lost or duplicated across "
-            << crashes8 + crashes1 + fleet_crashes << " injected crashes.\n";
+            << crashes8 + crashes1 + fleet_crashes + random_crashes << " injected crashes.\n";
   if (!keep) fs::remove_all(workdir);
   return 0;
 }

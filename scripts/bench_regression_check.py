@@ -26,6 +26,10 @@ baselines in bench/baselines/ and exits nonzero on:
     at --shards {1,2,4,8}); per-point resident_bytes/sync_rounds/
     fabric_messages compared exactly (pure functions of the scenario); VPs/s
     banded like the other wall-clock throughputs.
+  * multigpu_placement: placement_determinism must be true (multi-GPU runs
+    byte-identical across workers x shards); per-point makespans, speedups
+    and placement/migration counters compared exactly (all sim-domain);
+    jobs/s banded like the other wall-clock throughputs.
 
 Divergence regressions (parallel interpreter vs serial profile, cached vs
 uncached byte-identity) are enforced by the benches themselves via nonzero
@@ -230,6 +234,52 @@ def check_fleet(baseline, current, tolerance):
            f"({db.get('host_cores')} host cores; informational)")
 
 
+def check_multigpu(baseline, current, tolerance):
+    print(f"== multigpu_placement (sim-domain: exact; jobs/s: -{tolerance:.0%})")
+    # The bench exits nonzero itself on divergence; the recorded flag guards
+    # against a stale JSON from a run whose exit code was ignored.
+    if current.get("placement_determinism") is not True:
+        fail("multigpu: placement_determinism is not true — "
+             "multi-GPU runs diverged across workers/shards")
+    else:
+        ok("placement determinism: byte-identical across workers x shards")
+    base_points = {p["label"]: p for p in baseline["points"]}
+    cur_points = {p["label"]: p for p in current["points"]}
+    for label, base in sorted(base_points.items()):
+        cur = cur_points.get(label)
+        if cur is None:
+            fail(f"multigpu: point '{label}' missing from the bench")
+            continue
+        # Makespans, speedups and placement/migration counters are pure
+        # functions of the scenario: any change is behavioural (or an
+        # intentional change -> --update).
+        exact = ("devices", "makespan_us", "speedup_vs_1", "jobs",
+                 "migrations", "migrated_bytes")
+        changed = [f for f in exact if cur.get(f) != base.get(f)]
+        if changed:
+            fail(f"multigpu: {label} deterministic fields changed "
+                 f"({', '.join(f'{f}: {base.get(f)} -> {cur.get(f)}' for f in changed)})")
+        else:
+            ok(f"{label}: makespan {base['makespan_us']:.0f} us "
+               f"({base['speedup_vs_1']:.2f}x), {base['migrations']} migrations "
+               f"unchanged")
+        floor = base["jobs_per_sec"] * (1.0 - tolerance)
+        if cur["jobs_per_sec"] < floor:
+            fail(f"multigpu: {label} throughput {cur['jobs_per_sec']:.0f} jobs/s "
+                 f"< floor {floor:.0f} (baseline {base['jobs_per_sec']:.0f})")
+        else:
+            ok(f"{label}: {cur['jobs_per_sec']:.0f} jobs/s >= floor {floor:.0f}")
+    for label in sorted(set(cur_points) - set(base_points)):
+        fail(f"multigpu: new point '{label}' has no baseline "
+             f"(run with --update to record it)")
+    for block in ("placement", "migration"):
+        if current.get(block) != baseline.get(block):
+            fail(f"multigpu: {block} block changed "
+                 f"{baseline.get(block)} -> {current.get(block)}")
+        else:
+            ok(f"{block} block unchanged")
+
+
 def check_app_suite(baseline, current, tolerance):
     del tolerance  # sim-domain results are exact, not banded
     print("== app_suite (sim-domain scenario results: exact)")
@@ -271,6 +321,8 @@ def main():
                         help="fresh BENCH_tier.json to check")
     parser.add_argument("--fleet", type=pathlib.Path,
                         help="fresh BENCH_fleet_scale.json to check")
+    parser.add_argument("--multigpu", type=pathlib.Path,
+                        help="fresh BENCH_multigpu_placement.json to check")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional throughput drop (default 0.25)")
     parser.add_argument("--update", action="store_true",
@@ -288,10 +340,12 @@ def main():
         pairs.append(("tier_throughput.json", args.tier, check_tier))
     if args.fleet:
         pairs.append(("fleet_scale.json", args.fleet, check_fleet))
+    if args.multigpu:
+        pairs.append(("multigpu_placement.json", args.multigpu, check_multigpu))
     if not pairs:
         parser.error(
             "nothing to do: pass --interp, --cache, --app-suite, --tier, "
-            "and/or --fleet")
+            "--fleet, and/or --multigpu")
 
     if args.update:
         args.baseline_dir.mkdir(parents=True, exist_ok=True)

@@ -47,24 +47,34 @@ void FleetDomain::build(const ScenarioConfig& config, const std::vector<AppInsta
   app_end = end;
   functional = config.mode == ExecMode::kFunctional;
 
-  // Host-side infrastructure (only built when the backend needs it).
+  // Host-side infrastructure (only built when the backend needs it). An
+  // empty host_gpus declaration resolves to one implicit device from the
+  // legacy gpu/gpu_mem_bytes fields — byte-identical to every prior release.
+  // HostGpuSet gives each device a private launch-cache shard whenever the
+  // fleet is sharded or the set is multi-device: hit/miss sequences stay a
+  // pure function of each device's own launch stream (the process singleton
+  // would make first-fill outcomes depend on shard-thread interleaving).
   const bool needs_gpu =
       config.backend == Backend::kNativeGpu || config.backend == Backend::kSigmaVp;
   if (needs_gpu) {
-    device = std::make_unique<GpuDevice>(queue, config.gpu, config.gpu_mem_bytes, "hostGPU");
+    std::vector<HostGpuSpec> specs = config.host_gpus;
+    if (specs.empty()) specs.push_back(HostGpuSpec{config.gpu, config.gpu_mem_bytes});
+    multi_gpu = specs.size() > 1;
+    gpus = std::make_unique<HostGpuSet>(queue, specs, sharded);
+    device = gpus->primary();
   }
   if (config.backend == Backend::kSigmaVp) {
     ipc = std::make_unique<IpcManager>(queue, calib.ipc);
-    dispatcher = std::make_unique<Dispatcher>(queue, *device, config.dispatch);
+    // Migration only makes sense where the working set is priced, not
+    // carried: analytic mode without faults. Functional runs keep VPs
+    // pinned so device-memory contents stay where the VP allocated them.
+    PlacementConfig placement = config.placement;
+    if (config.mode != ExecMode::kAnalytic || config.fault.enabled()) {
+      placement.allow_migration = false;
+    }
+    dispatcher =
+        std::make_unique<Dispatcher>(queue, gpus->device_ptrs(), config.dispatch, placement);
     ipc->set_sink([&d = *dispatcher](Job job) { d.submit(std::move(job)); });
-  }
-  if (sharded && device != nullptr) {
-    // Launch-cache sharding by VP slice: a private cache per domain keeps
-    // hit/miss sequences a pure function of the domain's own launch stream —
-    // the process singleton would make first-fill outcomes depend on how
-    // shard threads interleave across domains.
-    cache = LaunchCache::create_shard();
-    device->set_launch_cache(cache.get());
   }
 
   // Observability (ΣVP only): one track group + metrics registry per
@@ -74,7 +84,20 @@ void FleetDomain::build(const ScenarioConfig& config, const std::vector<AppInsta
     rt = std::make_unique<trace::RunTrace>(trace_label);
     ipc->set_trace(rt.get());
     dispatcher->set_trace(rt.get());
-    device->set_trace(rt.get());
+    // Device 0 keeps the legacy gpu.compute/copy tracks; every extra device
+    // of a multi-GPU set gets its own named track triple.
+    for (std::size_t g = 0; g < gpus->count(); ++g) {
+      GpuDevice& dev = gpus->device(g);
+      dev.set_trace(rt.get());
+      if (g >= 1) {
+        const std::uint32_t base = 2000 + 8 * static_cast<std::uint32_t>(g);
+        dev.set_trace_tids(base, base + 1, base + 2);
+        const std::string nm = "gpu" + std::to_string(g);
+        rt->thread_name(base, nm + ".compute");
+        rt->thread_name(base + 1, nm + ".copy_in");
+        rt->thread_name(base + 2, nm + ".copy_out");
+      }
+    }
   }
 
   // Fault injection + tolerance (ΣVP only). A zero-fault config builds none
@@ -103,6 +126,21 @@ void FleetDomain::build(const ScenarioConfig& config, const std::vector<AppInsta
     for (SimTime t : fc.device_reset_at_us) {
       queue.schedule_at(t, [&d = *dispatcher] { d.inject_device_reset(); });
     }
+  }
+
+  // Multi-GPU sets: compute the slice's initial VP↔device assignment before
+  // any VP registers. Weights proxy each app's demand (problem size times
+  // request count); the affinity policy spreads them LPT-greedily over the
+  // devices' relative speeds, round-robin ignores both.
+  std::vector<std::uint32_t> assign;
+  if (config.backend == Backend::kSigmaVp && gpus->count() > 1) {
+    std::vector<std::uint64_t> weights;
+    weights.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      const AppInstance& a = apps[i];
+      weights.push_back(a.n * std::max<std::uint64_t>(1, a.arrivals.size()));
+    }
+    assign = initial_placement(config.placement.policy, weights, gpus->relative_speeds());
   }
 
   // Per-app CPU contexts and drivers. On the paper's 32-core host each VP
@@ -136,16 +174,18 @@ void FleetDomain::build(const ScenarioConfig& config, const std::vector<AppInsta
         cpus.push_back(std::make_unique<Processor>(queue, tag + ".guest",
                                                    calib.vp.guest_ips(calib.host_cpu)));
         const std::uint32_t ipc_id = ipc->register_vp(tag);
-        dispatcher->register_vp();
+        const std::uint32_t dev_idx = assign.empty() ? 0 : assign[i - begin];
+        dispatcher->register_vp(dev_idx);
+        GpuDevice& vp_dev = gpus->device(dev_idx);
         auto drv =
-            std::make_unique<SigmaVpDriver>(*cpus.back(), *ipc, *device, ipc_id, calib.vp);
+            std::make_unique<SigmaVpDriver>(*cpus.back(), *ipc, vp_dev, ipc_id, calib.vp);
         if (faults_on) {
           health->register_vp();
           // Graceful-degradation path: an emulation driver on the guest CPU
           // that borrows the real device's address space, so jobs escalated
           // mid-run keep operating on valid device pointers and data.
           fallback_drivers.push_back(std::make_unique<EmulationDriver>(
-              *cpus.back(), calib.emulation_on_vp(functional), device->memory()));
+              *cpus.back(), calib.emulation_on_vp(functional), vp_dev.memory()));
           drv->enable_fallback(fallback_drivers.back().get());
           sigma_drivers.push_back(drv.get());
         }
@@ -211,7 +251,13 @@ void FleetDomain::start(const std::function<void(std::size_t, SimTime)>& on_app_
 
 void FleetDomain::capture_components(snapshot::Writer& w, bool hash_memory) const {
   queue.capture_state(w);
-  if (device) device->capture_state(w, hash_memory);
+  if (gpus) {
+    // Declaration order; a 1-device set digests exactly like the legacy
+    // single-device capture.
+    for (std::size_t g = 0; g < gpus->count(); ++g) {
+      gpus->device(g).capture_state(w, hash_memory);
+    }
+  }
   if (ipc) ipc->capture_state(w);
   if (dispatcher) dispatcher->capture_state(w);
   for (const auto& cpu : cpus) {
@@ -265,17 +311,40 @@ void FleetDomain::fold_counters(ScenarioResult& result) const {
     result.coalesced_jobs += dispatcher->coalesced_jobs();
   }
   if (ipc) result.ipc_messages += ipc->messages_sent();
-  if (device) {
-    result.gpu_dynamic_energy_j += device->dynamic_energy_j();
-    result.gpu_compute_busy_us += device->compute_busy_us();
-    result.gpu_copy_busy_us += device->copy_busy_us();
+  if (gpus) {
+    // The legacy gpu_* totals sum over the whole set, so 1-device results
+    // are unchanged and multi-GPU results stay comparable.
+    for (std::size_t g = 0; g < gpus->count(); ++g) {
+      const GpuDevice& dev = gpus->device(g);
+      result.gpu_dynamic_energy_j += dev.dynamic_energy_j();
+      result.gpu_compute_busy_us += dev.compute_busy_us();
+      result.gpu_copy_busy_us += dev.copy_busy_us();
+    }
+  }
+  if (multi_gpu) {
+    MultiGpuStats& mg = result.gpus;
+    mg.devices = static_cast<std::uint32_t>(gpus->count());
+    if (mg.per_device.size() < gpus->count()) mg.per_device.resize(gpus->count());
+    for (std::size_t g = 0; g < gpus->count(); ++g) {
+      const GpuDevice& dev = gpus->device(g);
+      GpuDeviceStats& ds = mg.per_device[g];
+      if (ds.arch.empty()) ds.arch = dev.arch().name;
+      ds.vps += dispatcher->vps_on_device(g);
+      ds.jobs += dispatcher->lane_jobs(g);
+      ds.kernels += dev.kernels_launched();
+      ds.compute_busy_us += dev.compute_busy_us();
+      ds.copy_busy_us += dev.copy_busy_us();
+      ds.energy_j += dev.dynamic_energy_j();
+    }
+    mg.migrations += dispatcher->migrations();
+    mg.migrated_bytes += dispatcher->migrated_bytes();
   }
   if (faults_on) result.fault.merge(*fault_stats);
 }
 
 std::uint64_t FleetDomain::resident_bytes() const {
   std::uint64_t total = sizeof(FleetDomain) + queue.resident_bytes();
-  if (device) total += device->resident_bytes();
+  if (gpus) total += gpus->resident_bytes();
   if (ipc) total += ipc->resident_bytes();
   if (dispatcher) total += dispatcher->resident_bytes();
   total += cpus.size() * sizeof(Processor);
@@ -285,10 +354,6 @@ std::uint64_t FleetDomain::resident_bytes() const {
     if (streams[i]) total += sizeof(RequestStream);
   }
   total += fallback_drivers.size() * sizeof(EmulationDriver);
-  if (cache) {
-    const LaunchCacheStats cs = cache->stats();
-    total += cs.bytes + cs.entries * 256;  // resident write-sets + entry overhead
-  }
   total += captures.capacity() * sizeof(FleetCapture);
   total += outbox.capacity() * sizeof(FabricMsg);
   return total;
@@ -548,8 +613,8 @@ ScenarioResult run_scenario_sharded(const ScenarioConfig& config,
   result.fleet.fleet_done_us = root.fleet_done_us;
   result.fleet.resident_bytes = peak_resident;
   for (const auto& dom : doms) {
-    if (dom->cache == nullptr) continue;
-    const LaunchCacheStats cs = dom->cache->stats();
+    if (!dom->gpus || !dom->gpus->has_private_caches()) continue;
+    const LaunchCacheStats cs = dom->gpus->cache_stats();
     result.fleet.cache_hits += cs.hits;
     result.fleet.cache_misses += cs.misses;
   }
@@ -564,11 +629,16 @@ ScenarioResult run_scenario_sharded(const ScenarioConfig& config,
           .merge(result.latency);
     }
     if (result.makespan_us > 0.0) {
-      // Aggregate utilization across the D per-domain devices.
+      // Aggregate utilization across every device of every domain.
+      const double devs = result.gpus.devices > 0 ? result.gpus.devices : 1.0;
       merged->gauge("gpu.compute_utilization")
-          .record_max(result.gpu_compute_busy_us / (D * result.makespan_us));
+          .record_max(result.gpu_compute_busy_us / (D * devs * result.makespan_us));
       merged->gauge("gpu.copy_utilization")
-          .record_max(result.gpu_copy_busy_us / (D * result.makespan_us));
+          .record_max(result.gpu_copy_busy_us / (D * devs * result.makespan_us));
+    }
+    if (result.gpus.devices > 0) {
+      merged->counter("placement.migrations").value += result.gpus.migrations;
+      merged->counter("placement.migrated_bytes").value += result.gpus.migrated_bytes;
     }
     merged->counter("fleet.fabric_messages").value += result.fleet.fabric_messages;
     merged->counter("fleet.sync_rounds").value += result.fleet.sync_rounds;

@@ -51,8 +51,13 @@ struct FleetDomain {
   FleetDomain& operator=(const FleetDomain&) = delete;
 
   EventQueue queue;
-  std::unique_ptr<GpuDevice> device;
-  std::unique_ptr<LaunchCache> cache;  // sharded runs only: private VP-slice shard
+  /// The domain's host GPU complement: one implicit device unless the
+  /// scenario declares host_gpus. Owns the per-device launch-cache shards
+  /// (sharded runs and multi-GPU sets).
+  std::unique_ptr<HostGpuSet> gpus;
+  /// Primary device (gpus->primary()); null when the backend needs no GPU.
+  /// Single-device call sites keep reading through this pointer.
+  GpuDevice* device = nullptr;
   std::unique_ptr<IpcManager> ipc;
   std::unique_ptr<Dispatcher> dispatcher;
   std::unique_ptr<trace::RunTrace> rt;
@@ -69,6 +74,7 @@ struct FleetDomain {
 
   bool faults_on = false;
   bool functional = false;
+  bool multi_gpu = false;  // scenario declared two or more host GPUs
   std::uint32_t id = 0;
   std::size_t app_begin = 0;
   std::size_t app_end = 0;

@@ -50,6 +50,16 @@ ScenarioResult run_scenario(const ScenarioConfig& config, const std::vector<AppI
                   "per-request overrides must align with the arrival schedule");
   }
 
+  if (config.host_gpus.size() > 1) {
+    // The placement layer lives in the ΣVP dispatcher; other backends have
+    // no job queue to place over. Fault injection models one flaky device —
+    // combining it with a device *set* is undefined until someone needs it.
+    SIGVP_REQUIRE(config.backend == Backend::kSigmaVp,
+                  "multiple host GPUs require the ΣVP backend");
+    SIGVP_REQUIRE(!config.fault.enabled(),
+                  "fault injection supports a single host GPU only");
+  }
+
   SIGVP_REQUIRE(config.fleet.domains >= 1, "fleet.domains must be >= 1");
   if (config.fleet.domains > 1) {
     // Sharded fleet: D scheduler/dispatcher domains over contiguous app
@@ -132,10 +142,17 @@ ScenarioResult run_scenario(const ScenarioConfig& config, const std::vector<AppI
           .merge(result.latency);
     }
     if (result.makespan_us > 0.0 && dom.device) {
+      // Utilization is per device: divide the summed busy time by the
+      // declared device count (1 for every legacy scenario).
+      const double devs = result.gpus.devices > 0 ? result.gpus.devices : 1.0;
       dom.rt->metrics.gauge("gpu.compute_utilization")
-          .record_max(result.gpu_compute_busy_us / result.makespan_us);
+          .record_max(result.gpu_compute_busy_us / (devs * result.makespan_us));
       dom.rt->metrics.gauge("gpu.copy_utilization")
-          .record_max(result.gpu_copy_busy_us / result.makespan_us);
+          .record_max(result.gpu_copy_busy_us / (devs * result.makespan_us));
+    }
+    if (result.gpus.devices > 0) {
+      dom.rt->metrics.counter("placement.migrations").value += result.gpus.migrations;
+      dom.rt->metrics.counter("placement.migrated_bytes").value += result.gpus.migrated_bytes;
     }
     result.metrics = std::make_shared<trace::Metrics>(std::move(dom.rt->metrics));
   }

@@ -11,7 +11,9 @@
 #include "fault/fault_stats.hpp"
 #include "gpu/arch.hpp"
 #include "gpu/device.hpp"
+#include "gpu/host_gpu_set.hpp"
 #include "sched/dispatcher.hpp"
+#include "sched/placement.hpp"
 #include "trace/metrics.hpp"
 #include "workloads/spec.hpp"
 #include "workloads/workload.hpp"
@@ -92,6 +94,19 @@ struct ScenarioConfig {
   FleetConfig fleet;         // ΣVP only when fleet.domains >= 2
   GpuArch gpu = make_quadro4000();
   std::uint64_t gpu_mem_bytes = 2ull * 1024 * 1024 * 1024;
+
+  /// Declared host GPU complement (ΣVP backend only). Empty — the default —
+  /// means one implicit device built from `gpu` + `gpu_mem_bytes` above,
+  /// byte-identical to every release before multi-GPU existed. Two or more
+  /// specs (heterogeneous mixes allowed) turn on the placement layer:
+  /// per-device dispatcher lanes, launch-cache shards and trace tracks, VPs
+  /// placed by `placement`. Requires Backend::kSigmaVp and no fault plan.
+  std::vector<HostGpuSpec> host_gpus;
+
+  /// VP↔device placement policy; only consulted when `host_gpus` declares
+  /// two or more devices. Part of the scenario fingerprint.
+  PlacementConfig placement;
+
   ExecMode mode = ExecMode::kAnalytic;
 
   /// Submit each iteration's kernel cascade asynchronously (stream-style)
@@ -142,6 +157,31 @@ struct FleetStats {
   bool operator==(const FleetStats&) const = default;
 };
 
+/// One declared host device's share of a multi-GPU run.
+struct GpuDeviceStats {
+  std::string arch;               // GpuArch::name of the declared spec
+  std::uint32_t vps = 0;          // VPs assigned at end of run
+  std::uint64_t jobs = 0;         // jobs dispatched through this device's lane
+  std::uint64_t kernels = 0;      // kernel launches the device executed
+  SimTime compute_busy_us = 0.0;
+  SimTime copy_busy_us = 0.0;
+  double energy_j = 0.0;
+
+  bool operator==(const GpuDeviceStats&) const = default;
+};
+
+/// Multi-GPU placement observables; `devices == 0` means the scenario ran
+/// with the single implicit host GPU and the whole block is absent from
+/// JSON/snapshot comparisons of legacy runs.
+struct MultiGpuStats {
+  std::uint32_t devices = 0;
+  std::uint64_t migrations = 0;      // VP moves the affinity policy made
+  std::uint64_t migrated_bytes = 0;  // working-set bytes those moves restaged
+  std::vector<GpuDeviceStats> per_device;
+
+  bool operator==(const MultiGpuStats&) const = default;
+};
+
 struct ScenarioResult {
   /// Completion time of the last application (the number the paper's
   /// Fig. 11 reports per app: "time for completing all the executions").
@@ -164,6 +204,10 @@ struct ScenarioResult {
 
   /// Sharded-fleet observables; inert (domains == 0) on the unsharded path.
   FleetStats fleet;
+
+  /// Multi-GPU observables; inert (devices == 0) unless the scenario
+  /// declared host_gpus.
+  MultiGpuStats gpus;
 
   /// Per app: the concatenated bytes of its output buffers after teardown.
   /// Populated only when `ScenarioConfig::functional_io` is set.

@@ -24,7 +24,10 @@ GpuDevice::GpuDevice(EventQueue& queue, GpuArch arch, std::uint64_t mem_bytes, s
       arch_(std::move(arch)),
       name_(std::move(name)),
       memory_(mem_bytes, name_ + ".mem"),
-      allocator_(kHeapBase, mem_bytes - kHeapBase) {
+      allocator_(kHeapBase, mem_bytes - kHeapBase),
+      tid_compute_(trace::RunTrace::kTidGpuCompute),
+      tid_copy_in_(trace::RunTrace::kTidGpuCopyIn),
+      tid_copy_out_(trace::RunTrace::kTidGpuCopyOut) {
   SIGVP_REQUIRE(mem_bytes > kHeapBase, "device memory too small");
   streams_.push_back(Stream{});  // stream 0: the default stream
 }
@@ -87,7 +90,7 @@ SimTime GpuDevice::memcpy_h2d(StreamId stream, std::uint64_t dst, const void* sr
   copy_busy_ += copy_duration(bytes);
   ++copies_submitted_;
   if (trace_ != nullptr) {
-    trace_->span(trace::RunTrace::kTidGpuCopyIn, "gpu", "h2d", end - copy_duration(bytes), end,
+    trace_->span(tid_copy_in_, "gpu", "h2d", end - copy_duration(bytes), end,
                  {trace::arg("bytes", bytes), trace::arg("stream", static_cast<int>(stream))});
   }
   std::function<void()> fire;
@@ -104,7 +107,7 @@ SimTime GpuDevice::memcpy_d2h(StreamId stream, void* dst, std::uint64_t src, std
   copy_busy_ += copy_duration(bytes);
   ++copies_submitted_;
   if (trace_ != nullptr) {
-    trace_->span(trace::RunTrace::kTidGpuCopyOut, "gpu", "d2h", end - copy_duration(bytes), end,
+    trace_->span(tid_copy_out_, "gpu", "d2h", end - copy_duration(bytes), end,
                  {trace::arg("bytes", bytes), trace::arg("stream", static_cast<int>(stream))});
   }
   std::function<void()> fire;
@@ -125,7 +128,7 @@ SimTime GpuDevice::memcpy_d2d(StreamId stream, std::uint64_t dst, std::uint64_t 
   copy_busy_ += duration;
   ++copies_submitted_;
   if (trace_ != nullptr) {
-    trace_->span(trace::RunTrace::kTidGpuCopyOut, "gpu", "d2d", end - duration, end,
+    trace_->span(tid_copy_out_, "gpu", "d2d", end - duration, end,
                  {trace::arg("bytes", bytes), trace::arg("stream", static_cast<int>(stream))});
   }
   std::function<void()> fire;
@@ -148,7 +151,7 @@ SimTime GpuDevice::memcpy_d2d_batch(StreamId stream, const std::vector<CopyDesc>
   copy_busy_ += duration;
   ++copies_submitted_;
   if (trace_ != nullptr) {
-    trace_->span(trace::RunTrace::kTidGpuCopyOut, "gpu", "d2d_batch", end - duration, end,
+    trace_->span(tid_copy_out_, "gpu", "d2d_batch", end - duration, end,
                  {trace::arg("bytes", total_bytes),
                   trace::arg("descs", static_cast<int>(descs.size())),
                   trace::arg("stream", static_cast<int>(stream))});
@@ -178,7 +181,7 @@ SimTime GpuDevice::launch(StreamId stream, const LaunchRequest& request, KernelC
     SIGVP_DEBUG("gpu") << name_ << " TRANSIENT LAUNCH FAILURE of "
                        << request.kernel->name << " at t=" << queue_.now();
     if (trace_ != nullptr) {
-      trace_->instant(trace::RunTrace::kTidGpuCompute, "fault", "launch_failure", queue_.now(),
+      trace_->instant(tid_compute_, "fault", "launch_failure", queue_.now(),
                       {trace::arg("kernel", request.kernel->name)});
     }
     complete_tracked(end, [end, on_fault = std::move(on_fault)] { on_fault(end); });
@@ -235,7 +238,7 @@ SimTime GpuDevice::launch(StreamId stream, const LaunchRequest& request, KernelC
             *interp_detail::DecodedCache::instance().get(*request.kernel), request.dims)) {
       ++trace_->tier2_eligible->value;
     }
-    trace_->span(trace::RunTrace::kTidGpuCompute, "gpu", request.kernel->name, end - duration,
+    trace_->span(tid_compute_, "gpu", request.kernel->name, end - duration,
                  end,
                  {trace::arg("blocks", static_cast<std::uint64_t>(stats.num_blocks)),
                   trace::arg("cycles", static_cast<double>(stats.total_cycles)),
@@ -274,7 +277,7 @@ SimTime GpuDevice::reset(SimTime recovery_latency_us) {
   SIGVP_DEBUG("gpu") << name_ << " DEVICE RESET at t=" << queue_.now() << ": killed "
                      << killed.size() << " in-flight ops, back at t=" << back;
   if (trace_ != nullptr) {
-    trace_->span(trace::RunTrace::kTidGpuCompute, "fault", "device_reset", queue_.now(), back,
+    trace_->span(tid_compute_, "fault", "device_reset", queue_.now(), back,
                  {trace::arg("ops_killed", static_cast<int>(killed.size()))});
   }
 

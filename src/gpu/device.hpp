@@ -78,6 +78,19 @@ class GpuDevice {
   /// Must outlive the device.
   void set_trace(trace::RunTrace* trace) { trace_ = trace; }
 
+  /// Redirects this device's trace tracks (compute / copy-in / copy-out
+  /// spans) to the given track ids. Defaults to the process-wide
+  /// RunTrace::kTidGpu* constants, so single-device scenarios trace exactly
+  /// as before; multi-GPU host sets give each extra device its own tracks.
+  void set_trace_tids(std::uint32_t compute, std::uint32_t copy_in, std::uint32_t copy_out) {
+    tid_compute_ = compute;
+    tid_copy_in_ = copy_in;
+    tid_copy_out_ = copy_out;
+  }
+  std::uint32_t trace_tid_compute() const { return tid_compute_; }
+  std::uint32_t trace_tid_copy_in() const { return tid_copy_in_; }
+  std::uint32_t trace_tid_copy_out() const { return tid_copy_out_; }
+
   /// Routes functional launches through a private launch-cache shard instead
   /// of the process singleton (null = singleton; the default). Sharded
   /// fleets give each domain its own shard so hit/miss sequences are a pure
@@ -223,6 +236,11 @@ class GpuDevice {
   FreeListAllocator allocator_;
   trace::RunTrace* trace_ = nullptr;
   LaunchCache* launch_cache_ = nullptr;  // null = process singleton
+  // Trace track ids; initialized in the ctor to the RunTrace::kTidGpu*
+  // defaults (the constants live behind a forward declaration here).
+  std::uint32_t tid_compute_;
+  std::uint32_t tid_copy_in_;
+  std::uint32_t tid_copy_out_;
 
   EngineState copy_in_engine_;
   EngineState copy_out_engine_;

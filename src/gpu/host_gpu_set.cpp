@@ -1,0 +1,67 @@
+#include "gpu/host_gpu_set.hpp"
+
+#include "util/check.hpp"
+
+namespace sigvp {
+
+HostGpuSet::HostGpuSet(EventQueue& queue, const std::vector<HostGpuSpec>& specs,
+                       bool private_caches) {
+  SIGVP_REQUIRE(!specs.empty(), "a host GPU set needs at least one device");
+  const bool multi = specs.size() > 1;
+  devices_.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const std::string name = multi ? "hostGPU" + std::to_string(i) : "hostGPU";
+    devices_.push_back(
+        std::make_unique<GpuDevice>(queue, specs[i].arch, specs[i].mem_bytes, name));
+  }
+  if (private_caches || multi) {
+    caches_.reserve(devices_.size());
+    for (auto& dev : devices_) {
+      caches_.push_back(LaunchCache::create_shard());
+      dev->set_launch_cache(caches_.back().get());
+    }
+  }
+}
+
+std::vector<GpuDevice*> HostGpuSet::device_ptrs() {
+  std::vector<GpuDevice*> ptrs;
+  ptrs.reserve(devices_.size());
+  for (auto& dev : devices_) ptrs.push_back(dev.get());
+  return ptrs;
+}
+
+LaunchCacheStats HostGpuSet::cache_stats() const {
+  LaunchCacheStats total;
+  for (const auto& cache : caches_) {
+    const LaunchCacheStats s = cache->stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.bypasses += s.bypasses;
+    total.bytes_replayed += s.bytes_replayed;
+    total.evictions += s.evictions;
+    total.entries += s.entries;
+    total.bytes += s.bytes;
+  }
+  return total;
+}
+
+std::vector<double> HostGpuSet::relative_speeds() const {
+  std::vector<double> speeds;
+  speeds.reserve(devices_.size());
+  for (const auto& dev : devices_) {
+    speeds.push_back(dev->arch().max_ipc() * dev->arch().clock_ghz);
+  }
+  return speeds;
+}
+
+std::uint64_t HostGpuSet::resident_bytes() const {
+  std::uint64_t total = sizeof(HostGpuSet);
+  for (const auto& dev : devices_) total += dev->resident_bytes();
+  for (const auto& cache : caches_) {
+    const LaunchCacheStats cs = cache->stats();
+    total += cs.bytes + cs.entries * 256;  // resident write-sets + entry overhead
+  }
+  return total;
+}
+
+}  // namespace sigvp

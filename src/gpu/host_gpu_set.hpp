@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/arch.hpp"
+#include "gpu/device.hpp"
+#include "gpu/launch_cache.hpp"
+#include "sim/event_queue.hpp"
+
+namespace sigvp {
+
+/// One declared host GPU of a multi-device host set. A scenario that leaves
+/// ScenarioConfig::host_gpus empty gets one implicit device built from the
+/// legacy `gpu` + `gpu_mem_bytes` fields — byte-identical to every release
+/// before multi-GPU existed.
+struct HostGpuSpec {
+  GpuArch arch = make_quadro4000();
+  std::uint64_t mem_bytes = 2ull * 1024 * 1024 * 1024;
+};
+
+/// The host's GPU complement: N GpuDevice models on one event queue, each
+/// with its own engines/streams/allocator and — whenever the set is sharded
+/// or holds more than one device — a private launch-cache shard, so
+/// hit/miss sequences stay a pure function of each device's own launch
+/// stream (the cache key already includes the arch fingerprint, so
+/// heterogeneous sets never cross-pollinate entries).
+///
+/// Device naming preserves the single-device contract: a 1-device set names
+/// its device "hostGPU" exactly as before; N >= 2 names them "hostGPU0",
+/// "hostGPU1", ...
+class HostGpuSet {
+ public:
+  /// `private_caches` forces a launch-cache shard per device even for a
+  /// 1-device set (sharded fleets); multi-device sets always get them.
+  HostGpuSet(EventQueue& queue, const std::vector<HostGpuSpec>& specs, bool private_caches);
+
+  std::size_t count() const { return devices_.size(); }
+  GpuDevice& device(std::size_t i) { return *devices_.at(i); }
+  const GpuDevice& device(std::size_t i) const { return *devices_.at(i); }
+  GpuDevice* primary() { return devices_.front().get(); }
+
+  /// Non-owning device pointers in declaration order (dispatcher lanes).
+  std::vector<GpuDevice*> device_ptrs();
+
+  bool has_private_caches() const { return !caches_.empty(); }
+
+  /// Summed launch-cache shard activity across the set's private shards
+  /// (zero stats when the set uses the process singleton).
+  LaunchCacheStats cache_stats() const;
+
+  /// Relative throughput per device (peak thread-IPC × clock) — the
+  /// speed vector the affinity placement scales loads by.
+  std::vector<double> relative_speeds() const;
+
+  /// Deterministic size-based resident-host-memory estimate: device models
+  /// plus private cache shards (resident write-sets + entry overhead).
+  std::uint64_t resident_bytes() const;
+
+ private:
+  std::vector<std::unique_ptr<GpuDevice>> devices_;
+  std::vector<std::unique_ptr<LaunchCache>> caches_;  // index-aligned when present
+};
+
+}  // namespace sigvp

@@ -1,0 +1,49 @@
+#include "run/host_gpus.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace sigvp::run {
+
+namespace {
+
+GpuArch arch_by_name(const std::string& name) {
+  if (name == "quadro4000") return make_quadro4000();
+  if (name == "gridk520") return make_gridk520();
+  if (name == "tegrak1") return make_tegrak1();
+  SIGVP_REQUIRE(false, "unknown host GPU arch '" + name +
+                           "' (expected quadro4000, gridk520 or tegrak1)");
+  return make_quadro4000();  // unreachable
+}
+
+}  // namespace
+
+std::vector<HostGpuSpec> parse_host_gpus(const std::string& spec) {
+  std::vector<HostGpuSpec> out;
+  if (spec.empty()) return out;
+  SIGVP_REQUIRE(spec.back() != ',', "trailing comma in host GPU spec '" + spec + "'");
+  std::istringstream is(spec);
+  std::string entry;
+  while (std::getline(is, entry, ',')) {
+    SIGVP_REQUIRE(!entry.empty(), "empty entry in host GPU spec '" + spec + "'");
+    std::string name = entry;
+    std::uint64_t count = 1;
+    const std::size_t star = entry.find('*');
+    if (star != std::string::npos) {
+      name = entry.substr(0, star);
+      const std::string count_str = entry.substr(star + 1);
+      char* end = nullptr;
+      count = std::strtoull(count_str.c_str(), &end, 10);
+      SIGVP_REQUIRE(end != nullptr && *end == '\0' && count >= 1,
+                    "malformed device count in host GPU entry '" + entry + "'");
+    }
+    HostGpuSpec dev;
+    dev.arch = arch_by_name(name);
+    for (std::uint64_t i = 0; i < count; ++i) out.push_back(dev);
+  }
+  return out;
+}
+
+}  // namespace sigvp::run

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpu/host_gpu_set.hpp"
+
+namespace sigvp::run {
+
+/// Parses a host GPU declaration string into HostGpuSpecs — the CLI/env/
+/// bench-side syntax behind the sweep JSON "host_gpus" block.
+///
+/// Grammar: comma-separated entries, each `<arch>` or `<arch>*<count>`,
+/// where `<arch>` is one of the built-in presets (quadro4000, gridk520,
+/// tegrak1). Examples:
+///   "quadro4000*4"            — 4 homogeneous Fermi Quadro devices
+///   "quadro4000*2,gridk520*2" — a heterogeneous 2+2 mix
+///   ""                        — empty vector (the implicit single device)
+/// Throws on unknown arch names, zero counts or malformed entries.
+std::vector<HostGpuSpec> parse_host_gpus(const std::string& spec);
+
+}  // namespace sigvp::run

@@ -165,6 +165,28 @@ std::string sweep_to_json(const SweepResult& sweep, const std::string& bench_nam
       os << ", \"cache_hits\": " << fl.cache_hits
          << ", \"cache_misses\": " << fl.cache_misses << "}";
     }
+    // Multi-GPU placement observables; absent unless the scenario declared
+    // host_gpus, so legacy BENCH JSON stays byte-identical.
+    if (r.gpus.devices > 0) {
+      const MultiGpuStats& mg = r.gpus;
+      os << ", \"host_gpus\": {\"devices\": " << mg.devices
+         << ", \"migrations\": " << mg.migrations
+         << ", \"migrated_bytes\": " << mg.migrated_bytes << ", \"per_device\": [";
+      for (std::size_t d = 0; d < mg.per_device.size(); ++d) {
+        const GpuDeviceStats& ds = mg.per_device[d];
+        if (d != 0) os << ", ";
+        os << "{\"arch\": \"" << ds.arch << "\", \"vps\": " << ds.vps
+           << ", \"jobs\": " << ds.jobs << ", \"kernels\": " << ds.kernels
+           << ", \"compute_busy_us\": ";
+        append_number(os, ds.compute_busy_us);
+        os << ", \"copy_busy_us\": ";
+        append_number(os, ds.copy_busy_us);
+        os << ", \"energy_j\": ";
+        append_number(os, ds.energy_j);
+        os << "}";
+      }
+      os << "]}";
+    }
     os << "}";
     if (i + 1 != sweep.jobs.size()) os << ",";
     os << "\n";

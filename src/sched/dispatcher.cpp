@@ -19,24 +19,43 @@ constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
 }
 
 Dispatcher::Dispatcher(EventQueue& queue, GpuDevice& device, DispatchConfig config)
-    : events_(queue),
-      device_(device),
-      config_(config),
-      service_stream_(device.create_stream()),
-      coalescer_(queue, device, service_stream_),
-      service_(queue, "dispatcher") {}
+    : Dispatcher(queue, std::vector<GpuDevice*>{&device}, config, PlacementConfig{}) {}
 
-void Dispatcher::register_vp() {
-  vp_streams_.push_back(device_.create_stream());
+Dispatcher::Dispatcher(EventQueue& queue, std::vector<GpuDevice*> devices,
+                       DispatchConfig config, PlacementConfig placement)
+    : events_(queue), config_(config), placement_(placement) {
+  SIGVP_REQUIRE(!devices.empty(), "dispatcher needs at least one device");
+  lanes_.reserve(devices.size());
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    SIGVP_REQUIRE(devices[i] != nullptr, "dispatcher given a null device");
+    DeviceLane lane;
+    lane.device = devices[i];
+    lane.service_stream = devices[i]->create_stream();
+    lane.coalescer = std::make_unique<Coalescer>(queue, *devices[i], lane.service_stream);
+    // Lane 0 keeps the legacy engine name so single-device runs trace and
+    // capture byte-identically.
+    lane.service = std::make_unique<Engine>(
+        queue, i == 0 ? std::string("dispatcher") : "dispatcher" + std::to_string(i));
+    lanes_.push_back(std::move(lane));
+  }
+}
+
+void Dispatcher::register_vp(std::uint32_t device_index) {
+  SIGVP_REQUIRE(device_index < lanes_.size(), "register_vp: unknown device index");
+  vp_device_.push_back(device_index);
+  vp_streams_.push_back(lanes_[device_index].device->create_stream());
   next_seq_.push_back(0);
   vp_inflight_.push_back(0);
   vp_group_inflight_.push_back(0);
+  vp_h2d_bytes_.push_back(0);
+  vp_ready_at_.push_back(0.0);
 }
 
 void Dispatcher::submit(Job job) {
   SIGVP_REQUIRE(job.vp_id < vp_streams_.size(), "job from unregistered VP");
   SIGVP_REQUIRE(job.kind != JobKind::kKernel || job.launch.request.kernel != nullptr,
                 "kernel job without a kernel");
+  maybe_migrate(job.vp_id);
   job.enqueue_time = events_.now();
   if (trace_ != nullptr) {
     if (job.id != 0) trace_->flow_step(trace::RunTrace::kTidDispatcher, events_.now(), job.id);
@@ -48,6 +67,71 @@ void Dispatcher::submit(Job job) {
     trace_->counter("sched.queue_depth", events_.now(), static_cast<double>(queue_.size()));
   }
   pump();
+}
+
+// --- placement -------------------------------------------------------------------
+
+SimTime Dispatcher::lane_backlog(std::size_t d) const {
+  const SimTime now = events_.now();
+  const DeviceLane& lane = lanes_[d];
+  SimTime backlog = std::max(0.0, lane.service->free_at() - now) +
+                    std::max(0.0, lane.device->compute_engine_free_at() - now);
+  std::uint64_t queued = 0;
+  for (const Job& j : queue_) {
+    if (vp_device_[j.vp_id] == d) ++queued;
+  }
+  return backlog + static_cast<SimTime>(queued) * config_.dispatch_overhead_us;
+}
+
+void Dispatcher::maybe_migrate(std::uint32_t vp) {
+  if (lanes_.size() < 2 || placement_.policy != PlacementPolicy::kAffinity ||
+      !placement_.allow_migration || fault_active()) {
+    return;
+  }
+  // Only a fully idle VP may move: nothing queued, nothing in flight, no
+  // group membership — so no stream chaining or sequence state spans the
+  // device switch.
+  if (vp_inflight_[vp] != 0 || vp_group_inflight_[vp] != 0) return;
+  for (const Job& j : queue_) {
+    if (j.vp_id == vp) return;
+  }
+  const std::uint32_t cur = vp_device_[vp];
+  const SimTime cost = migration_cost_us(placement_, vp_h2d_bytes_[vp]);
+  const SimTime stay_score = lane_backlog(cur);
+  std::size_t best = cur;
+  SimTime best_score = stay_score;
+  for (std::size_t d = 0; d < lanes_.size(); ++d) {
+    if (d == cur) continue;
+    const SimTime score = lane_backlog(d) + cost;
+    if (score < best_score) {
+      best = d;
+      best_score = score;
+    }
+  }
+  // Hysteresis: a move must beat staying by a clear margin, or a VP would
+  // ping-pong between near-equal lanes paying the restage cost every hop.
+  if (best == cur || best_score + placement_.hysteresis_us >= stay_score) return;
+
+  vp_device_[vp] = static_cast<std::uint32_t>(best);
+  vp_streams_[vp] = lanes_[best].device->create_stream();
+  const SimTime ready_at = events_.now() + cost;
+  vp_ready_at_[vp] = ready_at;
+  ++migrations_;
+  migrated_bytes_ += vp_h2d_bytes_[vp];
+  SIGVP_DEBUG("dispatcher") << "migrate vp" << vp << " gpu" << cur << "->gpu" << best
+                            << " ws=" << vp_h2d_bytes_[vp] << "B cost=" << cost
+                            << "us t=" << events_.now();
+  if (trace_ != nullptr) {
+    trace_->instant(trace::RunTrace::kTidDispatcher, "placement", "migrate", events_.now(),
+                    {trace::arg("vp", static_cast<int>(vp)),
+                     trace::arg("from", static_cast<int>(cur)),
+                     trace::arg("to", static_cast<int>(best)),
+                     trace::arg("ws_bytes", vp_h2d_bytes_[vp]),
+                     trace::arg("cost_us", cost)});
+  }
+  // The VP's next job waits out the restage; make sure something re-pumps
+  // when the hold expires (its own submit may be the only trigger).
+  events_.schedule_at(ready_at, [this] { pump(); });
 }
 
 bool Dispatcher::is_ready(const Job& job) const {
@@ -73,13 +157,16 @@ bool Dispatcher::can_join_group(const Job& job) const {
   // counter (not the device stream tail) is authoritative here because a
   // dispatched job only reaches its stream after the service delay.
   return is_ready(job) && vp_inflight_[job.vp_id] == 0 &&
-         device_.stream_idle_at(vp_streams_[job.vp_id]) <= events_.now();
+         vp_ready_at_[job.vp_id] <= events_.now() &&
+         lane_of(job).device->stream_idle_at(vp_streams_[job.vp_id]) <= events_.now();
 }
 
 std::uint32_t Dispatcher::ready_peers(const Job& job) const {
   std::uint32_t peers = 0;
   for (const Job& other : queue_) {
     if (&other == &job) continue;
+    // Coalesced groups launch once, on one device: peers must share a lane.
+    if (vp_device_[other.vp_id] != vp_device_[job.vp_id]) continue;
     if (coalescable(other) && other.launch.coalesce.key == job.launch.coalesce.key &&
         can_join_group(other)) {
       ++peers;
@@ -121,6 +208,7 @@ std::size_t Dispatcher::pick_next() const {
     // Serial baseline: strictly one job at a time, arrival order.
     if (in_flight_ > 0) return kNone;
     for (std::size_t i = 0; i < queue_.size(); ++i) {
+      if (vp_ready_at_[queue_[i].vp_id] > events_.now()) continue;
       if (is_ready(queue_[i]) && !held_for_coalescing(queue_[i])) return i;
     }
     return kNone;
@@ -131,11 +219,15 @@ std::size_t Dispatcher::pick_next() const {
   // previous op of the same VP) must have completed. The second condition is
   // the "augmented for job dependencies" part of the paper's Re-scheduler:
   // without it, a dependency-stalled job would head-of-line-block its engine
-  // while another VP's runnable job waits behind it (Fig. 3(a)).
+  // while another VP's runnable job waits behind it (Fig. 3(a)). All engine
+  // and service checks are against the job's own lane, so lanes of a
+  // multi-device host pump independently.
   const SimTime now = events_.now();
   for (std::size_t i = 0; i < queue_.size(); ++i) {
     const Job& job = queue_[i];
     if (!is_ready(job) || held_for_coalescing(job)) continue;
+    // A migrated VP is restaging its working set onto the target device.
+    if (vp_ready_at_[job.vp_id] > now) continue;
     // A coalesced group member of this VP may still be running on the
     // coalescer's service stream; the VP stream would not chain behind it,
     // so the VP's next op must wait for the group's completion.
@@ -145,14 +237,15 @@ std::size_t Dispatcher::pick_next() const {
     // it (rolling next_seq_ back) without a later job of the same VP having
     // slipped past it. Without a fault plan this gate does not exist.
     if (fault_active() && vp_inflight_[job.vp_id] > 0) continue;
+    const DeviceLane& lane = lane_of(job);
     const SimTime engine_free = job.kind == JobKind::kKernel
-                                    ? device_.compute_engine_free_at()
+                                    ? lane.device->compute_engine_free_at()
                                     : (job.kind == JobKind::kMemcpyH2D
-                                           ? device_.h2d_engine_free_at()
-                                           : device_.d2h_engine_free_at());
+                                           ? lane.device->h2d_engine_free_at()
+                                           : lane.device->d2h_engine_free_at());
     if (engine_free > now) continue;
-    if (service_.free_at() > now) continue;  // one job in service at a time
-    if (device_.stream_idle_at(vp_streams_[job.vp_id]) > now) continue;
+    if (lane.service->free_at() > now) continue;  // one job in service per lane
+    if (lane.device->stream_idle_at(vp_streams_[job.vp_id]) > now) continue;
     return i;
   }
   return kNone;
@@ -172,16 +265,18 @@ const char* Dispatcher::head_hold_reason() const {
   if (queue_.empty()) return "empty";
   const Job& head = queue_.front();
   if (!is_ready(head)) return "head waits on VP sequence order";
+  if (vp_ready_at_[head.vp_id] > events_.now()) return "head restaging after migration";
   if (held_for_coalescing(head)) return "head held for coalescing peers";
   if (vp_group_inflight_[head.vp_id] > 0) return "head waits on a merged group";
   if (fault_active() && vp_inflight_[head.vp_id] > 0) return "head gated by fault-mode order";
+  const DeviceLane& lane = lane_of(head);
   const SimTime engine_free = head.kind == JobKind::kKernel
-                                  ? device_.compute_engine_free_at()
+                                  ? lane.device->compute_engine_free_at()
                                   : (head.kind == JobKind::kMemcpyH2D
-                                         ? device_.h2d_engine_free_at()
-                                         : device_.d2h_engine_free_at());
+                                         ? lane.device->h2d_engine_free_at()
+                                         : lane.device->d2h_engine_free_at());
   if (engine_free > events_.now()) return "head engine busy";
-  if (device_.stream_idle_at(vp_streams_[head.vp_id]) > events_.now())
+  if (lane.device->stream_idle_at(vp_streams_[head.vp_id]) > events_.now())
     return "head stream busy";
   return "head ready (tie)";
 }
@@ -208,11 +303,13 @@ void Dispatcher::dispatch_at(std::size_t index) {
   queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
 
   if (config_.coalesce && coalescable(job)) {
-    // Kernel Match: sweep the queue for ready identical requests.
+    // Kernel Match: sweep the queue for ready identical requests on the
+    // same device (one merged launch targets one device's engines).
     std::vector<Job> group;
     group.push_back(std::move(job));
     for (auto it = queue_.begin(); it != queue_.end();) {
       const bool match = coalescable(*it) &&
+                         vp_device_[it->vp_id] == vp_device_[group.front().vp_id] &&
                          it->launch.coalesce.key == group.front().launch.coalesce.key &&
                          can_join_group(*it);
       if (match) {
@@ -251,10 +348,13 @@ void Dispatcher::dispatch_at(std::size_t index) {
 }
 
 void Dispatcher::dispatch_single(Job job) {
+  DeviceLane& lane = lane_of(job);
   ++next_seq_[job.vp_id];
   ++vp_inflight_[job.vp_id];
   ++in_flight_;
   ++jobs_dispatched_;
+  ++lane.jobs_dispatched;
+  if (job.kind == JobKind::kMemcpyH2D) vp_h2d_bytes_[job.vp_id] += job.bytes;
   // Injected process death between dispatch accounting and device
   // submission: the most scheduler-state-laden instant of a job's life.
   crash_point(CrashSite::kDispatch);
@@ -267,7 +367,7 @@ void Dispatcher::dispatch_single(Job job) {
     // Queue residency on the VP's track, then the dispatcher's service slot.
     trace_->span(job.vp_id, "sched", std::string("queue:") + job_kind_name(job.kind),
                  job.enqueue_time, events_.now(), {trace::arg("job", job.id)});
-    const SimTime service_start = std::max(events_.now(), service_.free_at());
+    const SimTime service_start = std::max(events_.now(), lane.service->free_at());
     trace_->span(trace::RunTrace::kTidDispatcher, "sched",
                  std::string("service:") + job_kind_name(job.kind), service_start,
                  service_start + config_.dispatch_overhead_us,
@@ -278,11 +378,11 @@ void Dispatcher::dispatch_single(Job job) {
   }
   // Host-side job handling happens on the dispatcher thread before the op
   // reaches the device engines.
-  service_.submit(config_.dispatch_overhead_us,
-                  [this, job = std::make_shared<Job>(std::move(job))](SimTime) mutable {
-                    submit_to_device(std::move(*job));
-                    pump();
-                  });
+  lane.service->submit(config_.dispatch_overhead_us,
+                       [this, job = std::make_shared<Job>(std::move(job))](SimTime) mutable {
+                         submit_to_device(std::move(*job));
+                         pump();
+                       });
 }
 
 void Dispatcher::submit_to_device(Job job) {
@@ -290,37 +390,40 @@ void Dispatcher::submit_to_device(Job job) {
     submit_to_device_tolerant(std::move(job));
     return;
   }
+  GpuDevice& device = *lane_of(job).device;
   const GpuDevice::StreamId stream = vp_streams_[job.vp_id];
   const std::uint32_t vp = job.vp_id;
   switch (job.kind) {
     case JobKind::kMemcpyH2D:
-      device_.memcpy_h2d(stream, job.device_addr, job.host_src, job.bytes,
-                         [this, vp, cb = std::move(job.on_complete)](SimTime end) {
-                           if (cb) cb(end, nullptr);
-                           on_job_finished(vp);
-                         });
+      device.memcpy_h2d(stream, job.device_addr, job.host_src, job.bytes,
+                        [this, vp, cb = std::move(job.on_complete)](SimTime end) {
+                          if (cb) cb(end, nullptr);
+                          on_job_finished(vp);
+                        });
       break;
     case JobKind::kMemcpyD2H:
-      device_.memcpy_d2h(stream, job.host_dst, job.device_addr, job.bytes,
-                         [this, vp, cb = std::move(job.on_complete)](SimTime end) {
-                           if (cb) cb(end, nullptr);
-                           on_job_finished(vp);
-                         });
+      device.memcpy_d2h(stream, job.host_dst, job.device_addr, job.bytes,
+                        [this, vp, cb = std::move(job.on_complete)](SimTime end) {
+                          if (cb) cb(end, nullptr);
+                          on_job_finished(vp);
+                        });
       break;
     case JobKind::kKernel:
-      device_.launch(stream, job.launch.request,
-                     [this, vp, cb = std::move(job.on_complete)](
-                         SimTime end, const KernelExecStats& stats) {
-                       if (cb) cb(end, &stats);
-                       on_job_finished(vp);
-                     });
+      device.launch(stream, job.launch.request,
+                    [this, vp, cb = std::move(job.on_complete)](
+                        SimTime end, const KernelExecStats& stats) {
+                      if (cb) cb(end, &stats);
+                      on_job_finished(vp);
+                    });
       break;
   }
 }
 
 void Dispatcher::dispatch_group(std::vector<Job> group) {
+  DeviceLane& lane = lane_of(group.front());
   in_flight_ += static_cast<std::uint32_t>(group.size());
   jobs_dispatched_ += group.size();
+  lane.jobs_dispatched += group.size();
   if (trace_ != nullptr) {
     ++trace_->coalesced_groups->value;
     trace_->coalesced_jobs->value += group.size();
@@ -331,7 +434,7 @@ void Dispatcher::dispatch_group(std::vector<Job> group) {
                     {trace::arg("size", static_cast<int>(group.size())),
                      trace::arg("lead_job", group.front().id),
                      trace::arg("reason", "identical ready kernels merged")});
-    const SimTime service_start = std::max(events_.now(), service_.free_at());
+    const SimTime service_start = std::max(events_.now(), lane.service->free_at());
     trace_->span(trace::RunTrace::kTidDispatcher, "sched", "service:group", service_start,
                  service_start + config_.dispatch_overhead_us,
                  {trace::arg("size", static_cast<int>(group.size()))});
@@ -369,12 +472,13 @@ void Dispatcher::dispatch_group(std::vector<Job> group) {
   }
   // One host-side service charge for the whole merged group — the core of
   // the coalescing gain: N launches, one dispatch + one profiler arming.
-  service_.submit(
+  Coalescer* coalescer = lane.coalescer.get();
+  lane.service->submit(
       config_.dispatch_overhead_us,
-      [this, retained, member_ops,
+      [this, coalescer, retained, member_ops,
        group = std::make_shared<std::vector<Job>>(std::move(group))](SimTime) mutable {
         if (!fault_active()) {
-          coalescer_.execute(std::move(*group));
+          coalescer->execute(std::move(*group));
           pump();
           return;
         }
@@ -404,7 +508,7 @@ void Dispatcher::dispatch_group(std::vector<Job> group) {
             requeue(std::move(j));
           };
         };
-        coalescer_.execute(std::move(*group), &hooks);
+        coalescer->execute(std::move(*group), &hooks);
         pump();
       });
 }
@@ -423,12 +527,14 @@ void Dispatcher::set_fault(const FaultPlan* plan, FaultStats* stats, HealthPolic
                            RecoveryConfig recovery) {
   SIGVP_REQUIRE(plan == nullptr || (stats != nullptr && health != nullptr),
                 "fault plan without stats/health sinks");
+  SIGVP_REQUIRE(plan == nullptr || !plan->enabled() || lanes_.size() == 1,
+                "fault injection requires a single host GPU");
   fault_plan_ = plan;
   fault_stats_ = stats;
   health_ = health;
   recovery_ = recovery;
   if (fault_active()) {
-    device_.set_kill_handler([this](std::uint64_t op_id) { on_op_killed(op_id); });
+    lanes_[0].device->set_kill_handler([this](std::uint64_t op_id) { on_op_killed(op_id); });
   }
 }
 
@@ -442,7 +548,8 @@ void Dispatcher::inject_device_reset() {
   // order, which is per-VP sequence order). With everything killed there may
   // be no pending completion left to re-enter pump(), so one is scheduled
   // for the moment the engines come back.
-  const SimTime recovered_at = device_.reset(fault_plan_->config().device_reset_latency_us);
+  const SimTime recovered_at =
+      lanes_[0].device->reset(fault_plan_->config().device_reset_latency_us);
   pump();
   events_.schedule_at(recovered_at, [this] { pump(); });
 }
@@ -509,6 +616,7 @@ void Dispatcher::submit_to_device_tolerant(Job job) {
     pump();
     return;
   }
+  GpuDevice& device = *lane_of(job).device;
   const GpuDevice::StreamId stream = vp_streams_[vp];
   auto boxed = std::make_shared<Job>(std::move(job));
   auto op_box = std::make_shared<std::uint64_t>(0);
@@ -519,24 +627,24 @@ void Dispatcher::submit_to_device_tolerant(Job job) {
   };
   switch (boxed->kind) {
     case JobKind::kMemcpyH2D:
-      device_.memcpy_h2d(stream, boxed->device_addr, boxed->host_src, boxed->bytes,
-                         [done](SimTime end) { done(end, nullptr); });
+      device.memcpy_h2d(stream, boxed->device_addr, boxed->host_src, boxed->bytes,
+                        [done](SimTime end) { done(end, nullptr); });
       break;
     case JobKind::kMemcpyD2H:
-      device_.memcpy_d2h(stream, boxed->host_dst, boxed->device_addr, boxed->bytes,
-                         [done](SimTime end) { done(end, nullptr); });
+      device.memcpy_d2h(stream, boxed->host_dst, boxed->device_addr, boxed->bytes,
+                        [done](SimTime end) { done(end, nullptr); });
       break;
     case JobKind::kKernel:
-      device_.launch(stream, boxed->launch.request,
-                     [done](SimTime end, const KernelExecStats& stats) { done(end, &stats); },
-                     [this, boxed, op_box](SimTime) {
-                       kill_actions_.erase(*op_box);
-                       on_launch_failed(boxed);
-                     });
+      device.launch(stream, boxed->launch.request,
+                    [done](SimTime end, const KernelExecStats& stats) { done(end, &stats); },
+                    [this, boxed, op_box](SimTime) {
+                      kill_actions_.erase(*op_box);
+                      on_launch_failed(boxed);
+                    });
       break;
   }
   // Submission is single-threaded, so the op just submitted is last_op_id().
-  *op_box = device_.last_op_id();
+  *op_box = device.last_op_id();
   kill_actions_[*op_box] = [this, boxed] {
     rollback_dispatch(*boxed);
     ++fault_stats_->reset_requeues;
@@ -617,13 +725,33 @@ void Dispatcher::capture_state(snapshot::Writer& w) const {
   w.u64(jobs_dispatched_);
   w.u64(reorders_);
   w.f64(window_timer_at_);
-  w.u64(coalescer_.groups_executed());
-  w.u64(coalescer_.jobs_merged());
-  w.f64(service_.free_at());
-  w.f64(service_.busy_time());
-  w.u64(service_.jobs_submitted());
+  w.u64(lanes_[0].coalescer->groups_executed());
+  w.u64(lanes_[0].coalescer->jobs_merged());
+  w.f64(lanes_[0].service->free_at());
+  w.f64(lanes_[0].service->busy_time());
+  w.u64(lanes_[0].service->jobs_submitted());
   w.u64(kill_actions_.size());
   for (const auto& [op_id, fn] : kill_actions_) w.u64(op_id);
+  // Multi-lane state is appended past the legacy layout, so a single-device
+  // capture digests byte-identically to every release before multi-GPU.
+  if (lanes_.size() > 1) {
+    w.u64(lanes_.size());
+    for (std::size_t d = 1; d < lanes_.size(); ++d) {
+      w.u64(lanes_[d].coalescer->groups_executed());
+      w.u64(lanes_[d].coalescer->jobs_merged());
+      w.f64(lanes_[d].service->free_at());
+      w.f64(lanes_[d].service->busy_time());
+      w.u64(lanes_[d].service->jobs_submitted());
+      w.u64(lanes_[d].jobs_dispatched);
+    }
+    w.u64(lanes_[0].jobs_dispatched);
+    w.u64(vp_device_.size());
+    for (std::uint32_t d : vp_device_) w.u32(d);
+    w.u64_vec(vp_h2d_bytes_);
+    for (SimTime t : vp_ready_at_) w.f64(t);
+    w.u64(migrations_);
+    w.u64(migrated_bytes_);
+  }
 }
 
 }  // namespace sigvp

@@ -14,6 +14,7 @@
 #include "gpu/device.hpp"
 #include "ipc/job.hpp"
 #include "sched/coalescer.hpp"
+#include "sched/placement.hpp"
 #include "sim/engine.hpp"
 #include "sim/event_queue.hpp"
 
@@ -69,13 +70,29 @@ struct DispatchConfig {
 /// stop/resume interleaving of Fig. 4(b) emerges because a VP whose job
 /// waits in the queue is effectively stopped until the completion message
 /// releases it.
+///
+/// With more than one host device the dispatcher runs one *lane* per device
+/// — its own service engine (the host thread pumping that device), its own
+/// coalescer and service stream. Each VP is placed on exactly one device;
+/// jobs of a VP dispatch through its lane, and coalesced groups only merge
+/// VPs sharing a device. Under the affinity policy a fully idle VP may
+/// migrate to a less-loaded lane, paying an explicit restaging cost
+/// (PlacementConfig's migration model) before it becomes runnable again.
+/// A 1-device dispatcher is byte-identical to every release before
+/// multi-GPU existed.
 class Dispatcher {
  public:
+  /// Single-device dispatcher (the legacy shape: one lane, no placement).
   Dispatcher(EventQueue& queue, GpuDevice& device, DispatchConfig config);
 
-  /// Creates the device stream for a VP; call once per registered VP, in
-  /// VP-id order.
-  void register_vp();
+  /// Multi-device dispatcher: one lane per device, in declaration order.
+  /// Fault injection requires a single lane (enforced at set_fault).
+  Dispatcher(EventQueue& queue, std::vector<GpuDevice*> devices, DispatchConfig config,
+             PlacementConfig placement);
+
+  /// Creates the device stream for a VP on its assigned device; call once
+  /// per registered VP, in VP-id order.
+  void register_vp(std::uint32_t device_index = 0);
 
   /// Installs the scenario's trace/metrics context (null = off; the default).
   /// Must outlive the dispatcher.
@@ -113,28 +130,73 @@ class Dispatcher {
   /// job queue (ids, VPs, kinds, sequence numbers), per-VP dispatch cursors
   /// and in-flight counters, the coalescing-window timer, the coalescer's
   /// group counters, the service engine's clock, and the pending reset-kill
-  /// actions. Digest input for resume replay-verification.
+  /// actions. Multi-lane dispatchers append the extra lanes' engine clocks
+  /// plus the placement state (assignments, working sets, migration holds),
+  /// so a 1-lane capture stays byte-identical to the legacy layout. Digest
+  /// input for resume replay-verification.
   void capture_state(snapshot::Writer& w) const;
 
   // --- stats -------------------------------------------------------------------
   std::uint64_t jobs_dispatched() const { return jobs_dispatched_; }
   std::uint64_t reorders() const { return reorders_; }
-  std::uint64_t coalesced_groups() const { return coalescer_.groups_executed(); }
-  std::uint64_t coalesced_jobs() const { return coalescer_.jobs_merged(); }
+  std::uint64_t coalesced_groups() const {
+    std::uint64_t total = 0;
+    for (const DeviceLane& lane : lanes_) total += lane.coalescer->groups_executed();
+    return total;
+  }
+  std::uint64_t coalesced_jobs() const {
+    std::uint64_t total = 0;
+    for (const DeviceLane& lane : lanes_) total += lane.coalescer->jobs_merged();
+    return total;
+  }
   const DispatchConfig& config() const { return config_; }
+
+  // --- placement --------------------------------------------------------------
+  std::size_t num_lanes() const { return lanes_.size(); }
+  /// Jobs dispatched through device `d`'s lane.
+  std::uint64_t lane_jobs(std::size_t d) const { return lanes_.at(d).jobs_dispatched; }
+  /// Current device assignment of a registered VP.
+  std::uint32_t device_of(std::uint32_t vp_id) const { return vp_device_.at(vp_id); }
+  /// Number of VPs currently assigned to device `d`.
+  std::uint32_t vps_on_device(std::size_t d) const {
+    std::uint32_t n = 0;
+    for (const std::uint32_t dev : vp_device_) {
+      if (dev == d) ++n;
+    }
+    return n;
+  }
+  std::uint64_t migrations() const { return migrations_; }
+  std::uint64_t migrated_bytes() const { return migrated_bytes_; }
 
   /// Deterministic size-based estimate of resident host memory: struct plus
   /// job-queue and per-VP bookkeeping capacities (the fleet bytes-per-VP
   /// denominator).
   std::uint64_t resident_bytes() const {
     return sizeof(Dispatcher) + queue_.size() * sizeof(Job) +
+           lanes_.capacity() * sizeof(DeviceLane) +
            vp_streams_.capacity() * sizeof(GpuDevice::StreamId) +
            next_seq_.capacity() * sizeof(std::uint64_t) +
-           (vp_inflight_.capacity() + vp_group_inflight_.capacity()) * sizeof(std::uint32_t) +
-           kill_actions_.size() * 96;
+           (vp_inflight_.capacity() + vp_group_inflight_.capacity() + vp_device_.capacity()) *
+               sizeof(std::uint32_t) +
+           vp_h2d_bytes_.capacity() * sizeof(std::uint64_t) +
+           vp_ready_at_.capacity() * sizeof(SimTime) + kill_actions_.size() * 96;
   }
 
  private:
+  /// One host device's dispatch path: the device, the coalescer's service
+  /// stream on it, and the host-side service engine that serializes this
+  /// lane's dispatch overheads. Lane 0 is the legacy dispatcher.
+  struct DeviceLane {
+    GpuDevice* device = nullptr;
+    GpuDevice::StreamId service_stream = 0;
+    std::unique_ptr<Coalescer> coalescer;
+    std::unique_ptr<Engine> service;
+    std::uint64_t jobs_dispatched = 0;
+  };
+
+  DeviceLane& lane_of(const Job& job) { return lanes_[vp_device_[job.vp_id]]; }
+  const DeviceLane& lane_of(const Job& job) const { return lanes_[vp_device_[job.vp_id]]; }
+
   void pump();
   bool is_ready(const Job& job) const;
   /// True when `job` could start independently right now: sequence-ready,
@@ -158,6 +220,17 @@ class Dispatcher {
   void dispatch_group(std::vector<Job> group);
   void submit_to_device(Job job);
   void on_job_finished(std::uint32_t vp_id);
+
+  // --- placement (inert with a single lane) ------------------------------------
+  /// Affinity-policy migration check, run when `vp` submits a job while
+  /// fully idle (nothing queued or in flight): if another lane's backlog
+  /// beats the current one by more than the hysteresis margin plus the
+  /// restaging cost, the VP moves there and is held until the restage
+  /// completes. Deterministic: scores are pure functions of simulated state.
+  void maybe_migrate(std::uint32_t vp);
+  /// Estimated wait a newly placed job would see on lane `d`: host service
+  /// backlog, compute-engine backlog, plus queued-not-yet-serviced jobs.
+  SimTime lane_backlog(std::size_t d) const;
 
   // --- fault tolerance (inert without an active plan) --------------------------
   bool fault_active() const { return fault_plan_ != nullptr && fault_plan_->enabled(); }
@@ -190,14 +263,13 @@ class Dispatcher {
   std::map<std::uint64_t, std::function<void()>> kill_actions_;
 
   EventQueue& events_;
-  GpuDevice& device_;
   DispatchConfig config_;
+  PlacementConfig placement_;
   trace::RunTrace* trace_ = nullptr;
-  GpuDevice::StreamId service_stream_;
-  Coalescer coalescer_;
-  Engine service_;  // the dispatcher's host thread
+  std::vector<DeviceLane> lanes_;
 
   std::deque<Job> queue_;
+  std::vector<std::uint32_t> vp_device_;  // per VP: current device assignment
   std::vector<GpuDevice::StreamId> vp_streams_;
   std::vector<std::uint64_t> next_seq_;  // per VP: next sequence number to dispatch
   std::vector<std::uint32_t> vp_inflight_;  // per VP: dispatched, not yet completed
@@ -205,9 +277,17 @@ class Dispatcher {
   /// run on the coalescer's service stream, outside the VP stream's FIFO
   /// chaining, so follow-up ops of the same VP must hold until they finish.
   std::vector<std::uint32_t> vp_group_inflight_;
+  /// Per VP: cumulative H2D bytes — the working-set proxy the migration
+  /// cost model restages.
+  std::vector<std::uint64_t> vp_h2d_bytes_;
+  /// Per VP: earliest time its next job may dispatch (a migration restage
+  /// hold; 0 when never migrated).
+  std::vector<SimTime> vp_ready_at_;
   std::uint32_t in_flight_ = 0;
   std::uint64_t jobs_dispatched_ = 0;
   std::uint64_t reorders_ = 0;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t migrated_bytes_ = 0;
   bool pumping_ = false;
   SimTime window_timer_at_ = -1.0;
 };

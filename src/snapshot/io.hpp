@@ -18,7 +18,10 @@ namespace sigvp::snapshot {
 /// mismatch and checksum mismatch each throw SnapshotError with a
 /// distinct message.
 inline constexpr char kSnapshotMagic[8] = {'S', 'V', 'P', 'S', 'N', 'A', 'P', '1'};
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// Version 2: ScenarioResult carries the MultiGpuStats block and scenario
+/// fingerprints cover host_gpus + placement, so version-1 checkpoints are
+/// rejected instead of misparsed.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /// Writes `payload` wrapped in the container, via write-temp + fsync +
 /// atomic rename — a crash at any instant leaves either the previous file

@@ -142,6 +142,19 @@ void save_scenario_result(Writer& w, const ScenarioResult& result) {
   w.u64(result.fleet.resident_bytes);
   w.u64(result.fleet.cache_hits);
   w.u64(result.fleet.cache_misses);
+  w.u32(result.gpus.devices);
+  w.u64(result.gpus.migrations);
+  w.u64(result.gpus.migrated_bytes);
+  w.u64(result.gpus.per_device.size());
+  for (const GpuDeviceStats& d : result.gpus.per_device) {
+    w.str(d.arch);
+    w.u32(d.vps);
+    w.u64(d.jobs);
+    w.u64(d.kernels);
+    w.f64(d.compute_busy_us);
+    w.f64(d.copy_busy_us);
+    w.f64(d.energy_j);
+  }
   w.u64(result.app_outputs.size());
   for (const auto& bytes : result.app_outputs) w.byte_vec(bytes);
   save_histogram(w, result.latency);
@@ -172,6 +185,22 @@ ScenarioResult load_scenario_result(Reader& r) {
   result.fleet.resident_bytes = r.u64();
   result.fleet.cache_hits = r.u64();
   result.fleet.cache_misses = r.u64();
+  result.gpus.devices = r.u32();
+  result.gpus.migrations = r.u64();
+  result.gpus.migrated_bytes = r.u64();
+  const std::uint64_t n_devices = r.u64();
+  result.gpus.per_device.reserve(n_devices);
+  for (std::uint64_t i = 0; i < n_devices; ++i) {
+    GpuDeviceStats d;
+    d.arch = r.str();
+    d.vps = r.u32();
+    d.jobs = r.u64();
+    d.kernels = r.u64();
+    d.compute_busy_us = r.f64();
+    d.copy_busy_us = r.f64();
+    d.energy_j = r.f64();
+    result.gpus.per_device.push_back(std::move(d));
+  }
   const std::uint64_t n_outputs = r.u64();
   result.app_outputs.reserve(n_outputs);
   for (std::uint64_t i = 0; i < n_outputs; ++i) result.app_outputs.push_back(r.byte_vec());
@@ -296,6 +325,21 @@ std::uint64_t scenario_fingerprint(const std::string& name, const std::string& g
   w.u32(config.fleet.domains);
   w.str(config.fleet.topology);
   w.f64(config.fleet.edge_latency_us);
+  // The declared host GPU complement and the placement policy both change
+  // what system is simulated, so they fingerprint. An empty declaration
+  // hashes as count 0 — plus the default placement fields, which the
+  // version bump to kSnapshotVersion 2 keeps from colliding with pre-
+  // multi-GPU checkpoints.
+  w.u64(config.host_gpus.size());
+  for (const HostGpuSpec& spec : config.host_gpus) {
+    w.str(spec.arch.name);
+    w.u64(spec.mem_bytes);
+  }
+  w.u8(static_cast<std::uint8_t>(config.placement.policy));
+  w.f64(config.placement.migration_fixed_us);
+  w.f64(config.placement.migration_gbps);
+  w.f64(config.placement.hysteresis_us);
+  w.boolean(config.placement.allow_migration);
   w.u64(config.fault.seed);
   w.f64(config.fault.drop_rate);
   w.f64(config.fault.dup_rate);
